@@ -1,0 +1,63 @@
+//! Regenerates Figures 4.1–4.5 — the sparsity structure of BARTH4 under
+//! the original, GPS, GK, RCM and SPECTRAL orderings.
+//!
+//! Output: ASCII spy plots on stdout and PGM images under `bench_out/`
+//! (viewable with any image tool). The "original" ordering of the real
+//! BARTH4 is an unstructured mesh-generator numbering; we reproduce that by
+//! scrambling the synthetic mesh deterministically.
+
+use meshgen::scramble;
+use sparsemat::spy::SpyGrid;
+use sparsemat::Permutation;
+use spectral_env::report::group_digits;
+use spectral_env::{reorder_pattern, Algorithm};
+
+fn main() {
+    let s = meshgen::standin("BARTH4").expect("BARTH4 standin exists");
+    // Present the matrix the way the paper received it: scrambled.
+    let original = s
+        .pattern
+        .permute(&scramble(s.pattern.n(), 0xF1A7))
+        .expect("scramble is valid");
+
+    let out_dir = std::path::Path::new("bench_out");
+    std::fs::create_dir_all(out_dir).expect("create bench_out/");
+
+    let figures: Vec<(&str, &str, Permutation)> = {
+        let mut v = Vec::new();
+        v.push((
+            "Figure 4.1",
+            "original",
+            Permutation::identity(original.n()),
+        ));
+        for (fig, alg) in [
+            ("Figure 4.2", Algorithm::Gps),
+            ("Figure 4.3", Algorithm::Gk),
+            ("Figure 4.4", Algorithm::Rcm),
+            ("Figure 4.5", Algorithm::Spectral),
+        ] {
+            let o = reorder_pattern(&original, alg).expect("ordering succeeds");
+            v.push((fig, alg.name(), o.perm));
+        }
+        v
+    };
+
+    for (fig, name, perm) in &figures {
+        let grid = SpyGrid::new(&original, perm, 56).expect("spy grid");
+        println!(
+            "{fig}: structure of the {name} ordering of BARTH4 (nz = {})",
+            group_digits(grid.nnz_plotted() as u64)
+        );
+        println!("{}", grid.to_ascii());
+        let big = SpyGrid::new(&original, perm, 512).expect("spy grid");
+        let path = out_dir.join(format!(
+            "barth4_{}.pgm",
+            name.to_ascii_lowercase().replace(' ', "_")
+        ));
+        big.write_pgm(&path).expect("write pgm");
+        println!("  -> wrote {}\n", path.display());
+    }
+    println!("Shape check (paper §4): the GK, GPS and RCM plots look like narrow bands;");
+    println!("the SPECTRAL plot is visibly different — a wavier, globally-thin profile");
+    println!("whose bandwidth is larger but whose envelope is much smaller.");
+}

@@ -1,0 +1,31 @@
+//! Prints every stand-in's order and nonzero count against the paper's
+//! matrices — the fidelity check for the workload substitution (DESIGN.md §4).
+
+use spectral_env::report::group_digits;
+
+fn main() {
+    println!("==== Stand-in fidelity: synthetic vs paper matrices ====\n");
+    println!(
+        "  {:<9} {:>9} {:>9} {:>7} {:>11} {:>11} {:>7}  {}",
+        "Matrix", "n", "paper n", "dn%", "nnz", "paper nnz", "dnnz%", "structure class"
+    );
+    for name in meshgen::standins::ALL_NAMES {
+        let s = meshgen::standin(name).expect("standin exists");
+        let n = s.pattern.n();
+        let nnz = s.nnz();
+        let dn = 100.0 * (n as f64 - s.paper_n as f64) / s.paper_n as f64;
+        let dnnz = 100.0 * (nnz as f64 - s.paper_nnz as f64) / s.paper_nnz as f64;
+        println!(
+            "  {:<9} {:>9} {:>9} {:>6.1}% {:>11} {:>11} {:>6.1}%  {}",
+            s.name,
+            group_digits(n as u64),
+            group_digits(s.paper_n as u64),
+            dn,
+            group_digits(nnz as u64),
+            group_digits(s.paper_nnz as u64),
+            dnnz,
+            s.class,
+        );
+    }
+    println!("\n(nnz is the paper's convention: lower triangle including the diagonal)");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4.1 — Boeing–Harwell structural analysis matrices.
+
+fn main() {
+    se_bench::run_table(
+        meshgen::TableId::BhStructural,
+        "Table 4.1: Results (Boeing-Harwell -- Structural Analysis)",
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 4.2 — Boeing–Harwell miscellaneous matrices.
+
+fn main() {
+    se_bench::run_table(
+        meshgen::TableId::BhMisc,
+        "Table 4.2: Results (Boeing-Harwell -- Miscellaneous)",
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 4.3 — NASA matrices.
+
+fn main() {
+    se_bench::run_table(meshgen::TableId::Nasa, "Table 4.3: Results (NASA)");
+}

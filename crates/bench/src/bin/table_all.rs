@@ -1,0 +1,18 @@
+//! One-command reproduction: regenerates every table of the paper in
+//! sequence (set `SE_MAX_N` to bound matrix sizes, `SE_CSV=path.csv` to
+//! also capture machine-readable rows).
+
+fn main() {
+    se_bench::run_table(
+        meshgen::TableId::BhStructural,
+        "Table 4.1: Results (Boeing-Harwell -- Structural Analysis)",
+    );
+    se_bench::run_table(
+        meshgen::TableId::BhMisc,
+        "Table 4.2: Results (Boeing-Harwell -- Miscellaneous)",
+    );
+    se_bench::run_table(meshgen::TableId::Nasa, "Table 4.3: Results (NASA)");
+    println!("(Table 4.4, figures, bounds, storage, scaling and ablations have");
+    println!(" dedicated binaries: table_4_4, figures_4_x, bounds_report,");
+    println!(" storage_report, scaling_report, ablation_report, size_report.)");
+}

@@ -1,0 +1,152 @@
+//! Side-by-side comparison of ordering algorithms — the machinery behind
+//! the paper's Tables 4.1–4.3 (envelope, bandwidth, run time, rank).
+
+use crate::Result;
+use se_order::{order, Algorithm};
+use sparsemat::envelope::EnvelopeStats;
+use sparsemat::{Permutation, SymmetricPattern};
+use std::time::Instant;
+
+/// One algorithm's row in a comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Envelope statistics under its ordering.
+    pub stats: EnvelopeStats,
+    /// Ordering wall-clock time in seconds.
+    pub seconds: f64,
+    /// Rank by envelope size among the compared algorithms (1 = smallest).
+    pub rank: usize,
+    /// The permutation itself.
+    pub perm: Permutation,
+}
+
+/// A comparison of several orderings of one matrix.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Matrix order.
+    pub n: usize,
+    /// Nonzeros in the paper's convention (lower triangle + diagonal).
+    pub nnz: usize,
+    /// Rows in the order the algorithms were given.
+    pub rows: Vec<ComparisonRow>,
+}
+
+/// Runs each algorithm on `g`, timing it, and ranks results by envelope
+/// size (the paper's "Rank" column; ties share the smaller rank position by
+/// envelope, broken by run order).
+pub fn compare_orderings(g: &SymmetricPattern, algs: &[Algorithm]) -> Result<Comparison> {
+    let mut rows = Vec::with_capacity(algs.len());
+    for &alg in algs {
+        let t0 = Instant::now();
+        let o = order(g, alg)?;
+        let seconds = t0.elapsed().as_secs_f64();
+        rows.push(ComparisonRow {
+            algorithm: alg,
+            stats: o.stats,
+            seconds,
+            rank: 0,
+            perm: o.perm,
+        });
+    }
+    // Rank by envelope size.
+    let mut idx: Vec<usize> = (0..rows.len()).collect();
+    idx.sort_by_key(|&i| (rows[i].stats.envelope_size, i));
+    for (r, &i) in idx.iter().enumerate() {
+        rows[i].rank = r + 1;
+    }
+    Ok(Comparison {
+        n: g.n(),
+        nnz: g.nnz_lower_with_diagonal(),
+        rows,
+    })
+}
+
+impl Comparison {
+    /// The winning row (rank 1).
+    pub fn best(&self) -> &ComparisonRow {
+        self.rows
+            .iter()
+            .find(|r| r.rank == 1)
+            .expect("comparison is nonempty")
+    }
+
+    /// Renders rows in the layout of the paper's tables:
+    /// `Envelope  Bandwidth  Run time  Algorithm  Rank`.
+    pub fn format_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{title}\n  (equations: {}, nonzeros: {})\n",
+            group_digits(self.n as u64),
+            group_digits(self.nnz as u64)
+        ));
+        out.push_str(&format!(
+            "  {:>14} {:>10} {:>10}  {:<10} {:>4}\n",
+            "Envelope", "Bandwidth", "Time (s)", "Algorithm", "Rank"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:>14} {:>10} {:>10.2}  {:<10} {:>4}\n",
+                group_digits(r.stats.envelope_size),
+                group_digits(r.stats.bandwidth),
+                r.seconds,
+                r.algorithm.name(),
+                r.rank
+            ));
+        }
+        out
+    }
+}
+
+/// Formats an integer with thousands separators, as the paper's tables do.
+pub fn group_digits(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshgen::grid2d;
+
+    #[test]
+    fn digits_are_grouped() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1,000");
+        assert_eq!(group_digits(3067004), "3,067,004");
+    }
+
+    #[test]
+    fn comparison_ranks_are_a_permutation() {
+        let g = grid2d(15, 9);
+        let c = compare_orderings(&g, &Algorithm::paper_set()).unwrap();
+        let mut ranks: Vec<usize> = c.rows.iter().map(|r| r.rank).collect();
+        ranks.sort();
+        assert_eq!(ranks, vec![1, 2, 3, 4]);
+        // Rank 1 really has the smallest envelope.
+        let best = c.best();
+        for r in &c.rows {
+            assert!(best.stats.envelope_size <= r.stats.envelope_size);
+        }
+    }
+
+    #[test]
+    fn table_formatting_contains_all_algorithms() {
+        let g = grid2d(10, 10);
+        let c = compare_orderings(&g, &Algorithm::paper_set()).unwrap();
+        let t = c.format_table("TEST");
+        for alg in Algorithm::paper_set() {
+            assert!(t.contains(alg.name()), "missing {}", alg.name());
+        }
+        assert!(t.contains("equations: 100"));
+    }
+}

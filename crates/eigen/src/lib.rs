@@ -1,0 +1,79 @@
+//! Hand-rolled symmetric eigensolvers for the spectral envelope-reduction
+//! algorithm.
+//!
+//! The paper's Algorithm 1 needs one eigenvector — a **second Laplacian
+//! eigenvector** (Fiedler vector) — of a large sparse graph Laplacian. No
+//! mature sparse eigensolver crate is assumed; everything is built here:
+//!
+//! * [`op`] — the [`op::SymOp`] operator abstraction (Laplacian, shifted and
+//!   deflated operators),
+//! * [`dense`] — dense symmetric eigensolver (Householder + QL), the
+//!   reference oracle,
+//! * [`tridiag`] — dense symmetric *tridiagonal* eigensolver (implicit-shift
+//!   QL with eigenvectors, EISPACK `tql2` style),
+//! * [`lanczos`] — Lanczos with full reorthogonalization and null-space
+//!   deflation,
+//! * [`lobpcg`] — locally optimal preconditioned CG (modern comparator),
+//! * [`minres`] — MINRES for symmetric (indefinite) shifted systems,
+//! * [`rqi`] — Rayleigh Quotient Iteration refinement,
+//! * [`multilevel`] — the Barnard–Simon multilevel Fiedler solver of §3
+//!   (contract → interpolate → refine).
+//!
+//! ```
+//! use sparsemat::SymmetricPattern;
+//! use se_eigen::multilevel::{fiedler, FiedlerOptions};
+//!
+//! // λ₂ of the path P₁₀ is 2 − 2cos(π/10).
+//! let g = SymmetricPattern::from_edges(10, &(0..9).map(|i| (i, i+1)).collect::<Vec<_>>()).unwrap();
+//! let f = fiedler(&g, &FiedlerOptions::default()).unwrap();
+//! let exact = 2.0 - 2.0 * (std::f64::consts::PI / 10.0).cos();
+//! assert!((f.lambda2 - exact).abs() < 1e-8);
+//! ```
+
+pub mod dense;
+pub mod lanczos;
+pub mod lobpcg;
+pub mod minres;
+pub mod multilevel;
+pub mod op;
+pub mod rqi;
+pub mod tridiag;
+
+pub use dense::{DenseEigen, DenseSym};
+pub use lanczos::{lanczos_smallest, LanczosOptions, LanczosResult};
+pub use lobpcg::{lobpcg_smallest, LobpcgOptions, LobpcgResult};
+pub use minres::{minres, MinresOptions, MinresOutcome};
+pub use multilevel::{fiedler, fiedler_lanczos, fiedler_weighted, FiedlerOptions, FiedlerResult};
+pub use op::{CsrOp, DeflatedOp, LaplacianOp, ShiftedOp, SymOp, WeightedLaplacianOp};
+pub use rqi::{rayleigh_quotient_iteration, RqiOptions, RqiResult};
+
+/// Errors produced by the eigensolvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EigenError {
+    /// The iteration did not converge within its budget.
+    NoConvergence { what: &'static str, iters: usize },
+    /// The input graph must be connected for a Fiedler vector to exist.
+    Disconnected,
+    /// The problem is too small (e.g. Fiedler vector of a 1-vertex graph).
+    TooSmall { n: usize },
+    /// An internal invariant failed (a bug or pathological input).
+    Numerical(String),
+}
+
+impl std::fmt::Display for EigenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EigenError::NoConvergence { what, iters } => {
+                write!(f, "{what} did not converge in {iters} iterations")
+            }
+            EigenError::Disconnected => write!(f, "graph is disconnected"),
+            EigenError::TooSmall { n } => write!(f, "problem too small (n = {n})"),
+            EigenError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EigenError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, EigenError>;

@@ -1,0 +1,432 @@
+//! Symmetric linear operators.
+//!
+//! Every iterative solver in this crate consumes a [`SymOp`] — a symmetric
+//! `n x n` operator presented only through matrix–vector products. This is
+//! precisely the paper's point (§1): the spectral algorithm is built from
+//! matvecs, dot products and axpys, all of which vectorise/parallelise.
+
+use sparsemat::{CsrMatrix, SymmetricPattern};
+
+/// A symmetric linear operator on `ℝⁿ`.
+pub trait SymOp {
+    /// Operator dimension.
+    fn n(&self) -> usize;
+
+    /// `y = A x`. `x.len() == y.len() == self.n()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Allocating convenience.
+    fn apply_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n()];
+        self.apply(x, &mut y);
+        y
+    }
+
+    /// A cheap upper bound on the spectral radius, used to scale convergence
+    /// tolerances. Defaults to the Gershgorin-free value 1.0; concrete
+    /// operators should override.
+    fn norm_bound(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A symmetric CSR matrix as an operator. The caller promises symmetry; the
+/// constructor checks squareness and structural symmetry.
+pub struct CsrOp<'a> {
+    a: &'a CsrMatrix,
+}
+
+impl<'a> CsrOp<'a> {
+    /// Wraps a square, structurally symmetric matrix.
+    ///
+    /// # Panics
+    /// If `a` is not square (symmetry of values is the caller's contract).
+    pub fn new(a: &'a CsrMatrix) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "CsrOp requires a square matrix");
+        CsrOp { a }
+    }
+}
+
+impl SymOp for CsrOp<'_> {
+    fn n(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.a.matvec(x, y);
+    }
+
+    fn norm_bound(&self) -> f64 {
+        // Gershgorin: max row sum of absolute values.
+        (0..self.a.nrows())
+            .map(|r| self.a.row_vals(r).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+            .max(1.0)
+    }
+}
+
+/// The graph Laplacian `Q = D − B` applied directly from the adjacency
+/// structure — no explicit matrix is formed.
+pub struct LaplacianOp<'a> {
+    g: &'a SymmetricPattern,
+    degree: Vec<f64>,
+}
+
+impl<'a> LaplacianOp<'a> {
+    /// Builds the Laplacian operator of a pattern.
+    pub fn new(g: &'a SymmetricPattern) -> Self {
+        let degree = (0..g.n()).map(|v| g.degree(v) as f64).collect();
+        LaplacianOp { g, degree }
+    }
+
+    /// The underlying pattern.
+    pub fn pattern(&self) -> &SymmetricPattern {
+        self.g
+    }
+
+    /// The Rayleigh quotient `xᵀQx / xᵀx`, computed edge-wise as
+    /// `Σ_{(u,v)∈E} (x_u − x_v)² / xᵀx` — exact and nonnegative by
+    /// construction (this is the 2-sum objective of §2.3).
+    pub fn rayleigh_quotient(&self, x: &[f64]) -> f64 {
+        let num: f64 = self
+            .g
+            .edges()
+            .map(|(u, v)| {
+                let d = x[u] - x[v];
+                d * d
+            })
+            .sum();
+        let den: f64 = x.iter().map(|v| v * v).sum();
+        num / den
+    }
+}
+
+impl LaplacianOp<'_> {
+    /// Row-parallel `y = Qx` (rayon). This kernel demonstrates §1's claim
+    /// that the spectral method is built from trivially parallel operations.
+    #[cfg(feature = "parallel")]
+    pub fn apply_par(&self, x: &[f64], y: &mut [f64]) {
+        use rayon::prelude::*;
+        assert_eq!(x.len(), self.g.n());
+        assert_eq!(y.len(), self.g.n());
+        y.par_iter_mut().enumerate().for_each(|(v, yv)| {
+            let mut acc = self.degree[v] * x[v];
+            for &u in self.g.neighbors(v) {
+                acc -= x[u];
+            }
+            *yv = acc;
+        });
+    }
+}
+
+impl SymOp for LaplacianOp<'_> {
+    fn n(&self) -> usize {
+        self.g.n()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.g.n());
+        assert_eq!(y.len(), self.g.n());
+        for v in 0..self.g.n() {
+            let mut acc = self.degree[v] * x[v];
+            for &u in self.g.neighbors(v) {
+                acc -= x[u];
+            }
+            y[v] = acc;
+        }
+    }
+
+    fn norm_bound(&self) -> f64 {
+        // λ_max(Q) ≤ 2·Δ.
+        2.0 * self.degree.iter().copied().fold(0.0, f64::max).max(0.5)
+    }
+}
+
+/// The **weighted** graph Laplacian of a symmetric matrix: edge weights
+/// `w(u,v) = |a_uv|`, `L = diag(Σ_v w(u,v)) − W`. For matrices whose
+/// magnitudes carry geometry (e.g. anisotropic stiffness), the weighted
+/// Fiedler vector can order better than the purely structural one.
+pub struct WeightedLaplacianOp {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    weights: Vec<f64>,
+    wdeg: Vec<f64>,
+}
+
+impl WeightedLaplacianOp {
+    /// Builds from a structurally symmetric matrix; off-diagonal magnitudes
+    /// become edge weights (diagonal values are ignored; zero off-diagonals
+    /// contribute nothing).
+    pub fn from_matrix(a: &CsrMatrix) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "weighted Laplacian needs square matrix");
+        let n = a.nrows();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut weights = Vec::new();
+        let mut wdeg = vec![0.0f64; n];
+        row_ptr.push(0);
+        for r in 0..n {
+            for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
+                if c != r && v != 0.0 {
+                    col_idx.push(c);
+                    weights.push(v.abs());
+                    wdeg[r] += v.abs();
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        WeightedLaplacianOp {
+            n,
+            row_ptr,
+            col_idx,
+            weights,
+            wdeg,
+        }
+    }
+
+    /// Weighted degree of vertex `v`.
+    pub fn weighted_degree(&self, v: usize) -> f64 {
+        self.wdeg[v]
+    }
+}
+
+impl SymOp for WeightedLaplacianOp {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for v in 0..self.n {
+            let mut acc = self.wdeg[v] * x[v];
+            for k in self.row_ptr[v]..self.row_ptr[v + 1] {
+                acc -= self.weights[k] * x[self.col_idx[k]];
+            }
+            y[v] = acc;
+        }
+    }
+
+    fn norm_bound(&self) -> f64 {
+        2.0 * self.wdeg.iter().copied().fold(0.0, f64::max).max(0.5)
+    }
+}
+
+/// `A − shift·I` as an operator (for RQI / MINRES shifted solves).
+pub struct ShiftedOp<'a, Op: SymOp> {
+    op: &'a Op,
+    shift: f64,
+}
+
+impl<'a, Op: SymOp> ShiftedOp<'a, Op> {
+    /// Wraps `op − shift·I`.
+    pub fn new(op: &'a Op, shift: f64) -> Self {
+        ShiftedOp { op, shift }
+    }
+}
+
+impl<Op: SymOp> SymOp for ShiftedOp<'_, Op> {
+    fn n(&self) -> usize {
+        self.op.n()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.op.apply(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi -= self.shift * xi;
+        }
+    }
+
+    fn norm_bound(&self) -> f64 {
+        self.op.norm_bound() + self.shift.abs()
+    }
+}
+
+/// `P A P` where `P = I − Σ uᵢuᵢᵀ` projects out an orthonormal basis
+/// `{uᵢ}` — used to deflate the Laplacian's constant null vector so that
+/// iterative solvers operate in `1⊥`.
+pub struct DeflatedOp<'a, Op: SymOp> {
+    op: &'a Op,
+    basis: &'a [Vec<f64>],
+}
+
+impl<'a, Op: SymOp> DeflatedOp<'a, Op> {
+    /// Wraps `op` deflated against an *orthonormal* basis.
+    pub fn new(op: &'a Op, basis: &'a [Vec<f64>]) -> Self {
+        for u in basis {
+            assert_eq!(u.len(), op.n(), "deflation vector length mismatch");
+        }
+        DeflatedOp { op, basis }
+    }
+
+    /// Projects `x` onto the orthogonal complement of the basis, in place.
+    pub fn project(&self, x: &mut [f64]) {
+        for u in self.basis {
+            let c: f64 = u.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            for (xi, ui) in x.iter_mut().zip(u) {
+                *xi -= c * ui;
+            }
+        }
+    }
+}
+
+impl<Op: SymOp> SymOp for DeflatedOp<'_, Op> {
+    fn n(&self) -> usize {
+        self.op.n()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut xp = x.to_vec();
+        self.project(&mut xp);
+        self.op.apply(&xp, y);
+        self.project(y);
+    }
+
+    fn norm_bound(&self) -> f64 {
+        self.op.norm_bound()
+    }
+}
+
+/// Returns the normalised constant vector `1/√n`, the Laplacian's null
+/// vector for a connected graph.
+pub fn constant_unit_vector(n: usize) -> Vec<f64> {
+    vec![1.0 / (n as f64).sqrt(); n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> SymmetricPattern {
+        SymmetricPattern::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+            .unwrap()
+    }
+
+    #[test]
+    fn laplacian_op_matches_explicit_matrix() {
+        let g = path(6);
+        let lop = LaplacianOp::new(&g);
+        let lmat = g.laplacian();
+        let x: Vec<f64> = (0..6).map(|i| (i as f64).sin()).collect();
+        let y1 = lop.apply_alloc(&x);
+        let y2 = lmat.matvec_alloc(&x);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn laplacian_annihilates_constants() {
+        let g = path(5);
+        let lop = LaplacianOp::new(&g);
+        let y = lop.apply_alloc(&[3.0; 5]);
+        for v in y {
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn rayleigh_quotient_of_eigvec_is_eigval() {
+        // P_2 Laplacian [[1,-1],[-1,1]] has eigenpair (2, [1,-1]).
+        let g = path(2);
+        let lop = LaplacianOp::new(&g);
+        let rq = lop.rayleigh_quotient(&[1.0, -1.0]);
+        assert!((rq - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shifted_op_shifts() {
+        let g = path(3);
+        let lop = LaplacianOp::new(&g);
+        let sh = ShiftedOp::new(&lop, 1.0);
+        let x = [1.0, 0.0, 0.0];
+        let y = sh.apply_alloc(&x);
+        // L[0] row: [1,-1,0], minus shift -> [0,-1,0].
+        assert!((y[0] - 0.0).abs() < 1e-15);
+        assert!((y[1] + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deflated_op_output_is_orthogonal_to_basis() {
+        let g = path(7);
+        let lop = LaplacianOp::new(&g);
+        let basis = vec![constant_unit_vector(7)];
+        let dop = DeflatedOp::new(&lop, &basis);
+        let x: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let y = dop.apply_alloc(&x);
+        let dot: f64 = y.iter().zip(&basis[0]).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_op_norm_bound_is_gershgorin() {
+        let a = CsrMatrix::from_entries(2, &[(0, 0, 3.0), (0, 1, -2.0), (1, 0, -2.0), (1, 1, 1.0)])
+            .unwrap();
+        let op = CsrOp::new(&a);
+        assert_eq!(op.norm_bound(), 5.0);
+    }
+
+    #[test]
+    fn laplacian_norm_bound_dominates_lambda_max() {
+        // P_2: λ_max = 2, Δ = 1, bound = 2.
+        let g = path(2);
+        let lop = LaplacianOp::new(&g);
+        assert!(lop.norm_bound() >= 2.0);
+    }
+
+    #[test]
+    fn weighted_laplacian_with_unit_weights_matches_unweighted() {
+        let g = path(8);
+        let a = g.to_csr_with(|v| g.degree(v) as f64, -1.0);
+        let wop = WeightedLaplacianOp::from_matrix(&a);
+        let lop = LaplacianOp::new(&g);
+        let x: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).cos()).collect();
+        let y1 = wop.apply_alloc(&x);
+        let y2 = lop.apply_alloc(&x);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn weighted_laplacian_annihilates_constants() {
+        let a = CsrMatrix::from_entries(
+            3,
+            &[
+                (0, 1, -5.0),
+                (1, 0, -5.0),
+                (1, 2, 0.25),
+                (2, 1, 0.25),
+                (0, 0, 9.0),
+            ],
+        )
+        .unwrap();
+        let wop = WeightedLaplacianOp::from_matrix(&a);
+        assert_eq!(wop.weighted_degree(1), 5.25);
+        let y = wop.apply_alloc(&[2.0; 3]);
+        for v in y {
+            assert!(v.abs() < 1e-14);
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn laplacian_apply_par_matches_serial() {
+        let g = path(40);
+        let lop = LaplacianOp::new(&g);
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut y1 = vec![0.0; 40];
+        let mut y2 = vec![0.0; 40];
+        lop.apply(&x, &mut y1);
+        lop.apply_par(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn constant_unit_vector_is_unit() {
+        let u = constant_unit_vector(9);
+        let norm: f64 = u.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-14);
+    }
+}

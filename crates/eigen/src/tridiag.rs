@@ -1,0 +1,383 @@
+//! Dense symmetric tridiagonal eigensolver.
+//!
+//! Implicit-shift QL with accumulation of eigenvectors — the EISPACK
+//! `TQL2` / Numerical Recipes `tqli` algorithm, hand-rolled (no LAPACK).
+//! This is the inner solver of the Lanczos method: the projected matrix
+//! `T_m = Vᵀ A V` is tridiagonal and small.
+
+use crate::{EigenError, Result};
+
+/// Eigendecomposition of a symmetric tridiagonal matrix.
+#[derive(Debug, Clone)]
+pub struct TridiagEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// `vectors[j]` is the unit eigenvector for `values[j]`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Fortran `SIGN(a, b)`: `|a|` with the sign of `b`.
+fn fsign(a: f64, b: f64) -> f64 {
+    if b >= 0.0 {
+        a.abs()
+    } else {
+        -a.abs()
+    }
+}
+
+/// Computes all eigenvalues and eigenvectors of the symmetric tridiagonal
+/// matrix with diagonal `d` (length `n`) and subdiagonal `e` (length
+/// `n − 1`; `e[i]` couples `i` and `i+1`).
+pub fn eigh_tridiag(d: &[f64], e: &[f64]) -> Result<TridiagEigen> {
+    let (values, vectors) = ql_implicit(d, e, VectorMode::Identity)?;
+    Ok(TridiagEigen {
+        values,
+        vectors: vectors.expect("vectors requested"),
+    })
+}
+
+/// Eigenvalues only (ascending); cheaper than [`eigh_tridiag`].
+pub fn eigvals_tridiag(d: &[f64], e: &[f64]) -> Result<Vec<f64>> {
+    Ok(ql_implicit(d, e, VectorMode::None)?.0)
+}
+
+/// Like [`eigh_tridiag`], but accumulates the rotations onto an initial
+/// `n x n` row-major basis `z0` instead of the identity. If `T = Q₀ᵀ A Q₀`
+/// (e.g. from Householder reduction), passing `z0 = Q₀` yields the
+/// eigenvectors of the *original* `A`. Used by [`crate::dense`].
+pub(crate) fn eigh_tridiag_with_basis(
+    d: &[f64],
+    e: &[f64],
+    z0: Vec<f64>,
+) -> Result<TridiagEigen> {
+    let (values, vectors) = ql_implicit(d, e, VectorMode::Basis(z0))?;
+    Ok(TridiagEigen {
+        values,
+        vectors: vectors.expect("vectors requested"),
+    })
+}
+
+enum VectorMode {
+    None,
+    Identity,
+    Basis(Vec<f64>),
+}
+
+fn ql_implicit(
+    d_in: &[f64],
+    e_in: &[f64],
+    mode: VectorMode,
+) -> Result<(Vec<f64>, Option<Vec<Vec<f64>>>)> {
+    let n = d_in.len();
+    let want_vectors = !matches!(mode, VectorMode::None);
+    if n == 0 {
+        return Ok((Vec::new(), want_vectors.then(Vec::new)));
+    }
+    assert_eq!(
+        e_in.len(),
+        n.saturating_sub(1),
+        "subdiagonal must have length n-1"
+    );
+    let mut d = d_in.to_vec();
+    let mut e = e_in.to_vec();
+    e.push(0.0); // workspace convention: e[n-1] unused sentinel
+    // z: row-major n x n; eigenvector j will be column j.
+    let mut z: Vec<f64> = match mode {
+        VectorMode::None => Vec::new(),
+        VectorMode::Identity => {
+            let mut id = vec![0.0; n * n];
+            for k in 0..n {
+                id[k * n + k] = 1.0;
+            }
+            id
+        }
+        VectorMode::Basis(z0) => {
+            assert_eq!(z0.len(), n * n, "initial basis must be n x n");
+            z0
+        }
+    };
+    let eps = f64::EPSILON;
+
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Find the first negligible subdiagonal element at or after l.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= eps * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 64 {
+                return Err(EigenError::NoConvergence {
+                    what: "tridiagonal QL",
+                    iters: iter,
+                });
+            }
+            // Form the implicit Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + fsign(r, g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            let mut underflow = false;
+            let mut i = m;
+            while i > l {
+                let iu = i - 1;
+                let mut f = s * e[iu];
+                let b = c * e[iu];
+                r = f.hypot(g);
+                e[iu + 1] = r;
+                if r == 0.0 {
+                    // Recover from underflow: skip the rest of the sweep.
+                    d[iu + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[iu + 1] - p;
+                r = (d[iu] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[iu + 1] = g + p;
+                g = c * r - b;
+                if want_vectors {
+                    for k in 0..n {
+                        f = z[k * n + iu + 1];
+                        z[k * n + iu + 1] = s * z[k * n + iu] + c * f;
+                        z[k * n + iu] = c * z[k * n + iu] - s * f;
+                    }
+                }
+                i -= 1;
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort eigenvalues ascending, permuting eigenvector columns along.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = idx.iter().map(|&j| d[j]).collect();
+    let vectors = want_vectors.then(|| {
+        idx.iter()
+            .map(|&j| (0..n).map(|k| z[k * n + j]).collect::<Vec<f64>>())
+            .collect()
+    });
+    Ok((values, vectors))
+}
+
+/// Sturm-sequence count: the number of eigenvalues of the symmetric
+/// tridiagonal matrix `(d, e)` that are **strictly less than** `x`.
+///
+/// Computed from the signs of the leading-principal-minor recurrence
+/// (equivalently, the number of negative pivots of `T − xI`), numerically
+/// guarded against underflow. `O(n)` per query — the standard tool for
+/// verifying that a computed eigenvalue really is the k-th smallest.
+pub fn sturm_count(d: &[f64], e: &[f64], x: f64) -> usize {
+    let n = d.len();
+    assert_eq!(e.len(), n.saturating_sub(1), "subdiagonal must have length n-1");
+    let mut count = 0usize;
+    let mut q = 1.0f64; // ratio p_i / p_{i-1}
+    for i in 0..n {
+        let off = if i == 0 { 0.0 } else { e[i - 1] * e[i - 1] };
+        q = d[i] - x - if i == 0 { 0.0 } else { off / q };
+        if q == 0.0 {
+            // Perturb off the exact eigenvalue of a leading block.
+            q = f64::EPSILON * (d[i].abs() + x.abs() + 1.0);
+        }
+        if q < 0.0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    /// Multiplies the tridiagonal (d, e) by vector x.
+    fn tri_matvec(d: &[f64], e: &[f64], x: &[f64]) -> Vec<f64> {
+        let n = d.len();
+        (0..n)
+            .map(|i| {
+                let mut v = d[i] * x[i];
+                if i > 0 {
+                    v += e[i - 1] * x[i - 1];
+                }
+                if i + 1 < n {
+                    v += e[i] * x[i + 1];
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let r = eigh_tridiag(&[], &[]).unwrap();
+        assert!(r.values.is_empty());
+        let r1 = eigh_tridiag(&[4.2], &[]).unwrap();
+        assert_eq!(r1.values, vec![4.2]);
+        assert_eq!(r1.vectors[0], vec![1.0]);
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let r = eigh_tridiag(&[3.0, 1.0, 2.0], &[0.0, 0.0]).unwrap();
+        assert_eq!(r.values, vec![1.0, 2.0, 3.0]);
+        // Eigenvector of value 1.0 is e_1.
+        assert_close(r.vectors[0][1].abs(), 1.0, 1e-14);
+    }
+
+    #[test]
+    fn two_by_two_analytic() {
+        // [[2, 1], [1, 2]] -> eigenvalues 1, 3; vectors (1,-1)/√2, (1,1)/√2.
+        let r = eigh_tridiag(&[2.0, 2.0], &[1.0]).unwrap();
+        assert_close(r.values[0], 1.0, 1e-14);
+        assert_close(r.values[1], 3.0, 1e-14);
+        let v0 = &r.vectors[0];
+        assert_close((v0[0] + v0[1]).abs(), 0.0, 1e-14);
+    }
+
+    #[test]
+    fn dirichlet_laplacian_eigenvalues() {
+        // Second-difference matrix (d=2, e=-1): λ_k = 2 − 2cos(kπ/(n+1)).
+        let n = 12;
+        let d = vec![2.0; n];
+        let e = vec![-1.0; n - 1];
+        let r = eigh_tridiag(&d, &e).unwrap();
+        for (k, &lam) in r.values.iter().enumerate() {
+            let exact = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n + 1) as f64).cos();
+            assert_close(lam, exact, 1e-12);
+        }
+    }
+
+    #[test]
+    fn path_laplacian_eigenvalues() {
+        // Free path Laplacian (d = [1,2,…,2,1], e = −1):
+        // λ_k = 2 − 2cos(kπ/n), k = 0..n−1.
+        let n = 10;
+        let mut d = vec![2.0; n];
+        d[0] = 1.0;
+        d[n - 1] = 1.0;
+        let e = vec![-1.0; n - 1];
+        let r = eigh_tridiag(&d, &e).unwrap();
+        for (k, &lam) in r.values.iter().enumerate() {
+            let exact = 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / n as f64).cos();
+            assert_close(lam, exact, 1e-12);
+        }
+        // λ₁ > 0 = λ₀: the path is connected.
+        assert!(r.values[0].abs() < 1e-13);
+        assert!(r.values[1] > 1e-3);
+    }
+
+    #[test]
+    fn residuals_and_orthogonality() {
+        let n = 25;
+        // A pseudo-random but deterministic tridiagonal matrix.
+        let d: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let e: Vec<f64> = (0..n - 1).map(|i| ((i * 5 + 1) % 7) as f64 / 3.0 - 1.0).collect();
+        let r = eigh_tridiag(&d, &e).unwrap();
+        for j in 0..n {
+            let v = &r.vectors[j];
+            let av = tri_matvec(&d, &e, v);
+            for i in 0..n {
+                assert_close(av[i], r.values[j] * v[i], 1e-10);
+            }
+            // Unit norm.
+            let nrm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert_close(nrm, 1.0, 1e-12);
+            // Orthogonality to the others.
+            for k in 0..j {
+                let dot: f64 = v.iter().zip(&r.vectors[k]).map(|(a, b)| a * b).sum();
+                assert_close(dot, 0.0, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_and_sum_preserved() {
+        let d = vec![1.0, -2.0, 0.5, 3.0, 3.0];
+        let e = vec![0.3, -0.7, 1.1, 0.0];
+        let r = eigvals_tridiag(&d, &e).unwrap();
+        let trace: f64 = d.iter().sum();
+        let sum: f64 = r.iter().sum();
+        assert_close(trace, sum, 1e-12);
+    }
+
+    #[test]
+    fn eigvals_only_matches_full() {
+        let d = vec![2.0, 5.0, -1.0, 0.0];
+        let e = vec![1.0, 2.0, -0.5];
+        let full = eigh_tridiag(&d, &e).unwrap();
+        let vals = eigvals_tridiag(&d, &e).unwrap();
+        for (a, b) in full.values.iter().zip(&vals) {
+            assert_close(*a, *b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn sturm_count_brackets_every_eigenvalue() {
+        let d = vec![1.0, -2.0, 0.5, 3.0, 3.0, -1.0];
+        let e = vec![0.3, -0.7, 1.1, 0.0, 0.9];
+        let vals = eigvals_tridiag(&d, &e).unwrap();
+        for (k, &lam) in vals.iter().enumerate() {
+            assert_eq!(sturm_count(&d, &e, lam - 1e-9), k, "below λ_{k}");
+            assert_eq!(sturm_count(&d, &e, lam + 1e-9), k + 1, "above λ_{k}");
+        }
+        assert_eq!(sturm_count(&d, &e, -1e9), 0);
+        assert_eq!(sturm_count(&d, &e, 1e9), 6);
+    }
+
+    #[test]
+    fn sturm_count_verifies_path_lambda2() {
+        // The path Laplacian's λ₂ really is the second smallest: exactly
+        // two eigenvalues lie below λ₂ + ε and one below λ₂ − ε... (λ₁ = 0).
+        let n = 16;
+        let mut d = vec![2.0; n];
+        d[0] = 1.0;
+        d[n - 1] = 1.0;
+        let e = vec![-1.0; n - 1];
+        let lam2 = 2.0 - 2.0 * (std::f64::consts::PI / n as f64).cos();
+        assert_eq!(sturm_count(&d, &e, lam2 + 1e-9), 2);
+        assert_eq!(sturm_count(&d, &e, lam2 - 1e-9), 1);
+    }
+
+    #[test]
+    fn sturm_count_on_exact_eigenvalue_is_stable() {
+        // Querying exactly at an eigenvalue must not panic or miscount
+        // wildly (the guarded pivot keeps the recurrence finite).
+        let d = vec![2.0, 2.0];
+        let e = vec![1.0]; // eigenvalues 1 and 3
+        let c = sturm_count(&d, &e, 1.0);
+        assert!(c <= 1);
+        assert_eq!(sturm_count(&d, &e, 2.0), 1);
+    }
+
+    #[test]
+    fn clustered_eigenvalues_converge() {
+        // Nearly-degenerate pair.
+        let d = vec![1.0, 1.0 + 1e-12, 5.0];
+        let e = vec![1e-13, 1e-13];
+        let r = eigh_tridiag(&d, &e).unwrap();
+        assert_eq!(r.values.len(), 3);
+        assert!(r.values[0] <= r.values[1]);
+    }
+}

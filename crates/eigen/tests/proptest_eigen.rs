@@ -1,0 +1,151 @@
+//! Property-based cross-validation of the eigensolver stack: the dense
+//! Householder+QL decomposition is the oracle; Lanczos, MINRES and the
+//! multilevel Fiedler solver must agree with it on random inputs.
+
+use proptest::prelude::*;
+use se_eigen::dense::DenseSym;
+use se_eigen::lanczos::{lanczos_smallest, LanczosOptions};
+use se_eigen::minres::{minres, MinresOptions};
+use se_eigen::op::{constant_unit_vector, CsrOp, LaplacianOp};
+use se_eigen::tridiag::eigh_tridiag;
+use sparsemat::{CooMatrix, CsrMatrix, SymmetricPattern};
+
+/// Random connected graph: random edges + a random spanning path.
+fn connected_graph() -> impl Strategy<Value = SymmetricPattern> {
+    (3usize..=24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..2 * n);
+        let spine = Just(n).prop_map(|n| (0..n).collect::<Vec<usize>>()).prop_shuffle();
+        (Just(n), edges, spine).prop_map(|(n, mut edges, spine)| {
+            for w in spine.windows(2) {
+                edges.push((w[0], w[1]));
+            }
+            SymmetricPattern::from_edges(n, &edges).expect("edges in range")
+        })
+    })
+}
+
+/// Random symmetric matrix with small integer-ish entries.
+fn symmetric_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (2usize..=14).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, -6i32..=6), 0..2 * n).prop_map(move |tri| {
+            let mut coo = CooMatrix::new(n, n);
+            for (r, c, v) in tri {
+                coo.push(r, c, v as f64 / 2.0).unwrap();
+                if r != c {
+                    coo.push(c, r, v as f64 / 2.0).unwrap();
+                }
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lanczos λ₂ on a connected graph equals the dense oracle's second
+    /// smallest Laplacian eigenvalue.
+    #[test]
+    fn lanczos_matches_dense_lambda2(g in connected_graph()) {
+        let dense = DenseSym::from_csr(&g.laplacian()).unwrap();
+        let full = dense.eigh().unwrap();
+        let lop = LaplacianOp::new(&g);
+        let deflate = vec![constant_unit_vector(g.n())];
+        let lz = lanczos_smallest(&lop, &deflate, 1, &LanczosOptions::default()).unwrap();
+        prop_assert!(
+            (lz.values[0] - full.values[1]).abs() < 1e-7 * (1.0 + full.values[1]),
+            "Lanczos {} vs dense {}",
+            lz.values[0],
+            full.values[1]
+        );
+    }
+
+    /// The multilevel solver agrees with the dense oracle too (small graphs
+    /// route straight to Lanczos, so this exercises the fallback path).
+    #[test]
+    fn multilevel_fiedler_matches_dense(g in connected_graph()) {
+        use se_eigen::multilevel::{fiedler, FiedlerOptions};
+        let dense = DenseSym::from_csr(&g.laplacian()).unwrap();
+        let full = dense.eigh().unwrap();
+        let f = fiedler(&g, &FiedlerOptions::default()).unwrap();
+        prop_assert!(
+            (f.lambda2 - full.values[1]).abs() < 1e-6 * (1.0 + full.values[1]),
+            "multilevel {} vs dense {}",
+            f.lambda2,
+            full.values[1]
+        );
+    }
+
+    /// Dense eigendecomposition reconstructs the matrix: A = V Λ Vᵀ.
+    #[test]
+    fn dense_reconstructs_matrix(a in symmetric_matrix()) {
+        let n = a.nrows();
+        let m = DenseSym::from_csr(&a).unwrap();
+        let eig = m.eigh().unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += eig.values[k] * eig.vectors[k][i] * eig.vectors[k][j];
+                }
+                let aij = a.get(i, j).unwrap_or(0.0);
+                prop_assert!((s - aij).abs() < 1e-8, "A[{i}][{j}] = {aij} vs {s}");
+            }
+        }
+    }
+
+    /// MINRES solves random SPD (shifted Laplacian) systems.
+    #[test]
+    fn minres_solves_spd(g in connected_graph()) {
+        let a = g.spd_matrix(0.5);
+        let op = CsrOp::new(&a);
+        let n = g.n();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
+        let b = a.matvec_alloc(&x_true);
+        let out = minres(&op, &b, &MinresOptions { max_iter: 10 * n, rtol: 1e-12 });
+        prop_assert!(out.converged, "residual {}", out.residual_norm);
+        for (xi, ti) in out.x.iter().zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-6, "{} vs {}", xi, ti);
+        }
+    }
+
+    /// Tridiagonal QL matches the dense solver on tridiagonal matrices.
+    #[test]
+    fn tridiag_matches_dense(
+        d in proptest::collection::vec(-5.0f64..5.0, 2..12),
+    ) {
+        let n = d.len();
+        let e: Vec<f64> = (0..n - 1).map(|i| ((i * 7 % 5) as f64) / 2.0 - 1.0).collect();
+        let tri = eigh_tridiag(&d, &e).unwrap();
+        // Build the dense equivalent.
+        let mut full = vec![0.0; n * n];
+        for i in 0..n {
+            full[i * n + i] = d[i];
+            if i + 1 < n {
+                full[i * n + i + 1] = e[i];
+                full[(i + 1) * n + i] = e[i];
+            }
+        }
+        let dense = DenseSym::new(n, full, 0.0).unwrap().eigh().unwrap();
+        for (a, b) in tri.values.iter().zip(&dense.values) {
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    /// λ₂ of a connected graph is positive and at most the vertex
+    /// connectivity bound n/(n−1)·min_degree (Fiedler).
+    #[test]
+    fn lambda2_respects_fiedler_bounds(g in connected_graph()) {
+        use se_eigen::multilevel::fiedler_lanczos;
+        let f = fiedler_lanczos(&g, &LanczosOptions::default()).unwrap();
+        prop_assert!(f.lambda2 > 1e-10, "λ₂ = {}", f.lambda2);
+        let min_deg = (0..g.n()).map(|v| g.degree(v)).min().unwrap() as f64;
+        let n = g.n() as f64;
+        prop_assert!(
+            f.lambda2 <= n / (n - 1.0) * min_deg + 1e-8,
+            "λ₂ = {} exceeds Fiedler bound {}",
+            f.lambda2,
+            n / (n - 1.0) * min_deg
+        );
+    }
+}

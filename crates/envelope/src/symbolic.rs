@@ -1,0 +1,258 @@
+//! Symbolic Cholesky analysis: elimination trees and fill counts.
+//!
+//! §1 of the paper contrasts envelope schemes with *general sparse*
+//! methods: "it has long been known that general sparse methods are
+//! considerably more efficient with respect to storage" (citing George–Liu
+//! and Ashcraft et al.). This module provides the general-sparse side of
+//! that comparison — the size of the true Cholesky factor `L` (with fill)
+//! under an ordering — so the trade can be measured:
+//!
+//! * envelope storage = `Esize + n` (never less than `|L|`),
+//! * general sparse storage = `|L|` = what a compressed factorization needs.
+//!
+//! Algorithms: Liu's elimination-tree construction with path compression,
+//! and row-subtree traversal for exact per-row fill counts.
+
+use sparsemat::{Permutation, SymmetricPattern};
+
+/// The elimination tree of a symmetric matrix under an ordering:
+/// `parent[k]` is the parent of position `k` (positions, not original
+/// vertices); roots have `parent[k] == usize::MAX`.
+#[derive(Debug, Clone)]
+pub struct EliminationTree {
+    /// Parent of each position (by position index).
+    pub parent: Vec<usize>,
+}
+
+/// No-parent marker.
+pub const NO_PARENT: usize = usize::MAX;
+
+/// Builds the elimination tree of `PᵀAP` (Liu's algorithm with path
+/// compression), in `O(nnz·α(n))`.
+pub fn elimination_tree(g: &SymmetricPattern, perm: &Permutation) -> EliminationTree {
+    let n = g.n();
+    assert_eq!(perm.len(), n, "pattern/permutation size mismatch");
+    let pos = perm.positions();
+    let mut parent = vec![NO_PARENT; n];
+    let mut ancestor = vec![NO_PARENT; n];
+    for k in 0..n {
+        let v = perm.new_to_old(k);
+        for &u in g.neighbors(v) {
+            // For each entry in row k of the lower triangle (pos[u] < k),
+            // walk from pos[u] to the root, compressing.
+            let mut j = pos[u];
+            if j >= k {
+                continue;
+            }
+            while ancestor[j] != NO_PARENT && ancestor[j] != k {
+                let next = ancestor[j];
+                ancestor[j] = k;
+                j = next;
+            }
+            if ancestor[j] == NO_PARENT {
+                ancestor[j] = k;
+                parent[j] = k;
+            }
+        }
+    }
+    EliminationTree { parent }
+}
+
+/// Per-row nonzero counts of the Cholesky factor `L` of `PᵀAP`
+/// (*excluding* the diagonal), computed by traversing row subtrees of the
+/// elimination tree. Total work is `O(|L|)`.
+pub fn factor_row_counts(g: &SymmetricPattern, perm: &Permutation) -> Vec<u64> {
+    let n = g.n();
+    let etree = elimination_tree(g, perm);
+    let pos = perm.positions();
+    let mut counts = vec![0u64; n];
+    let mut mark = vec![usize::MAX; n];
+    for k in 0..n {
+        let v = perm.new_to_old(k);
+        mark[k] = k;
+        for &u in g.neighbors(v) {
+            let mut j = pos[u];
+            if j >= k {
+                continue;
+            }
+            // Walk up the etree until we hit something already in row k.
+            while mark[j] != k {
+                mark[j] = k;
+                counts[k] += 1;
+                j = etree.parent[j];
+                debug_assert_ne!(j, NO_PARENT, "walk must stop at k");
+                if j == k {
+                    break;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Total nonzeros of the Cholesky factor `L` including the diagonal —
+/// the storage a general sparse method needs for `PᵀAP`.
+pub fn factor_size(g: &SymmetricPattern, perm: &Permutation) -> u64 {
+    factor_row_counts(g, perm).iter().sum::<u64>() + g.n() as u64
+}
+
+/// Fill-in: factor entries that are *not* original matrix entries
+/// (lower triangle, excluding diagonal).
+pub fn fill_in(g: &SymmetricPattern, perm: &Permutation) -> u64 {
+    let lnz: u64 = factor_row_counts(g, perm).iter().sum();
+    lnz - g.num_edges() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::envelope::envelope_size;
+
+    fn path(n: usize) -> SymmetricPattern {
+        SymmetricPattern::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+            .unwrap()
+    }
+
+    fn grid(nx: usize, ny: usize) -> SymmetricPattern {
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| y * nx + x;
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < ny {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        SymmetricPattern::from_edges(nx * ny, &edges).unwrap()
+    }
+
+    /// Brute-force symbolic factorization on a dense boolean matrix.
+    fn brute_force_factor_size(g: &SymmetricPattern, perm: &Permutation) -> u64 {
+        let n = g.n();
+        let mut a = vec![vec![false; n]; n];
+        for v in 0..n {
+            a[perm.old_to_new(v)][perm.old_to_new(v)] = true;
+            for &u in g.neighbors(v) {
+                a[perm.old_to_new(v)][perm.old_to_new(u)] = true;
+            }
+        }
+        for i in 0..n {
+            a[i][i] = true;
+        }
+        // Right-looking symbolic elimination.
+        for k in 0..n {
+            let below: Vec<usize> = (k + 1..n).filter(|&i| a[i][k]).collect();
+            for &i in &below {
+                for &j in &below {
+                    a[i][j] = true;
+                }
+            }
+        }
+        // |L| = diagonal + strictly-lower entries of the filled matrix.
+        let mut lnz = 0u64;
+        for i in 0..n {
+            for j in 0..i {
+                if a[i][j] {
+                    lnz += 1;
+                }
+            }
+        }
+        lnz + n as u64
+    }
+
+    #[test]
+    fn path_etree_is_a_chain() {
+        let g = path(6);
+        let t = elimination_tree(&g, &Permutation::identity(6));
+        assert_eq!(t.parent[..5], [1, 2, 3, 4, 5]);
+        assert_eq!(t.parent[5], NO_PARENT);
+    }
+
+    #[test]
+    fn path_has_no_fill() {
+        let g = path(10);
+        let id = Permutation::identity(10);
+        assert_eq!(fill_in(&g, &id), 0);
+        assert_eq!(factor_size(&g, &id), 19); // 9 off-diag + 10 diag
+    }
+
+    #[test]
+    fn star_center_first_fills_completely() {
+        // Eliminating the center of a star first connects all leaves:
+        // fill = C(n-1, 2) - 0 ... wait: center first makes leaves a clique.
+        let g = SymmetricPattern::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let center_first = Permutation::identity(5);
+        let center_last = Permutation::from_new_to_old(vec![1, 2, 3, 4, 0]).unwrap();
+        // Center last: no fill (leaves are independent).
+        assert_eq!(fill_in(&g, &center_last), 0);
+        // Center first: the 4 leaves become a clique -> C(4,2) = 6 fill.
+        assert_eq!(fill_in(&g, &center_first), 6);
+    }
+
+    #[test]
+    fn factor_size_matches_brute_force_on_small_graphs() {
+        for (g, n) in [
+            (grid(3, 3), 9),
+            (path(7), 7),
+            (
+                SymmetricPattern::from_edges(
+                    8,
+                    &[(0, 3), (1, 4), (2, 5), (3, 6), (4, 7), (0, 7), (2, 6), (1, 3)],
+                )
+                .unwrap(),
+                8,
+            ),
+        ] {
+            for seed in [0u64, 5, 9] {
+                let perm = scramble(n, seed);
+                assert_eq!(
+                    factor_size(&g, &perm),
+                    brute_force_factor_size(&g, &perm),
+                    "mismatch on n={n}, seed={seed}"
+                );
+            }
+        }
+    }
+
+    fn scramble(n: usize, seed: u64) -> Permutation {
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_add(0x12345);
+        for i in (1..n).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        Permutation::from_new_to_old(order).unwrap()
+    }
+
+    #[test]
+    fn factor_never_exceeds_envelope_storage() {
+        // The Cholesky factor lives inside the envelope, so
+        // |L| ≤ Esize + n for every ordering — the paper's §1 point that
+        // general sparse storage is never worse.
+        let g = grid(7, 6);
+        for seed in [1u64, 2, 3] {
+            let perm = scramble(42, seed);
+            let lnz = factor_size(&g, &perm);
+            let env = envelope_size(&g, &perm) + 42;
+            assert!(lnz <= env, "factor {lnz} > envelope {env}");
+        }
+    }
+
+    #[test]
+    fn etree_parents_are_later_positions() {
+        let g = grid(5, 5);
+        let perm = scramble(25, 7);
+        let t = elimination_tree(&g, &perm);
+        for k in 0..25 {
+            if t.parent[k] != NO_PARENT {
+                assert!(t.parent[k] > k);
+            }
+        }
+    }
+}

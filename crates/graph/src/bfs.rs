@@ -1,0 +1,240 @@
+//! Breadth-first search and connected components.
+
+use crate::UNREACHED;
+use sparsemat::SymmetricPattern;
+use std::collections::VecDeque;
+
+/// The result of a breadth-first search from a root vertex.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    /// Vertices in visit order (only those reachable from the root).
+    pub order: Vec<usize>,
+    /// `level[v]` = BFS distance from the root, [`UNREACHED`] if unreachable.
+    pub level: Vec<usize>,
+    /// `parent[v]` = BFS tree parent, [`UNREACHED`] for the root and
+    /// unreachable vertices.
+    pub parent: Vec<usize>,
+}
+
+impl Bfs {
+    /// Eccentricity of the root within its component (max BFS level).
+    pub fn eccentricity(&self) -> usize {
+        self.order.iter().map(|&v| self.level[v]).max().unwrap_or(0)
+    }
+
+    /// Number of vertices reached (component size).
+    pub fn reached(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// Breadth-first search from `root`. Neighbors are visited in adjacency
+/// (sorted) order, making the traversal deterministic.
+pub fn bfs(g: &SymmetricPattern, root: usize) -> Bfs {
+    assert!(root < g.n(), "bfs root {root} out of range");
+    let mut level = vec![UNREACHED; g.n()];
+    let mut parent = vec![UNREACHED; g.n()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    level[root] = 0;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if level[u] == UNREACHED {
+                level[u] = level[v] + 1;
+                parent[u] = v;
+                queue.push_back(u);
+            }
+        }
+    }
+    Bfs {
+        order,
+        level,
+        parent,
+    }
+}
+
+/// The connected components of a graph.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `comp_of[v]` = component index of vertex `v`.
+    pub comp_of: Vec<usize>,
+    /// Vertices of each component, in BFS-from-lowest-vertex order.
+    pub members: Vec<Vec<usize>>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the graph is connected (and nonempty).
+    pub fn is_connected(&self) -> bool {
+        self.members.len() == 1
+    }
+}
+
+/// Computes connected components by repeated BFS. Components are numbered in
+/// order of their lowest-numbered vertex.
+pub fn connected_components(g: &SymmetricPattern) -> Components {
+    let n = g.n();
+    let mut comp_of = vec![UNREACHED; n];
+    let mut members = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp_of[start] != UNREACHED {
+            continue;
+        }
+        let cid = members.len();
+        let mut verts = Vec::new();
+        comp_of[start] = cid;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            verts.push(v);
+            for &u in g.neighbors(v) {
+                if comp_of[u] == UNREACHED {
+                    comp_of[u] = cid;
+                    queue.push_back(u);
+                }
+            }
+        }
+        members.push(verts);
+    }
+    Components { comp_of, members }
+}
+
+/// Extracts the subgraph induced on `vertices` (which must be a component or
+/// any vertex subset). Returns the sub-pattern and the map from sub-vertex
+/// index to original vertex.
+pub fn induced_subgraph(
+    g: &SymmetricPattern,
+    vertices: &[usize],
+) -> (SymmetricPattern, Vec<usize>) {
+    let mut local = vec![UNREACHED; g.n()];
+    for (i, &v) in vertices.iter().enumerate() {
+        local[v] = i;
+    }
+    let mut edges = Vec::new();
+    for (i, &v) in vertices.iter().enumerate() {
+        for &u in g.neighbors(v) {
+            let lu = local[u];
+            if lu != UNREACHED && lu > i {
+                edges.push((i, lu));
+            }
+        }
+    }
+    let sub = SymmetricPattern::from_edges(vertices.len(), &edges)
+        .expect("induced subgraph edges are in range");
+    (sub, vertices.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> SymmetricPattern {
+        SymmetricPattern::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+            .unwrap()
+    }
+
+    fn grid(nx: usize, ny: usize) -> SymmetricPattern {
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| y * nx + x;
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < ny {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        SymmetricPattern::from_edges(nx * ny, &edges).unwrap()
+    }
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = path(5);
+        let b = bfs(&g, 0);
+        assert_eq!(b.level, vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.eccentricity(), 4);
+        assert_eq!(b.parent[3], 2);
+        assert_eq!(b.parent[0], UNREACHED);
+    }
+
+    #[test]
+    fn bfs_from_middle() {
+        let g = path(5);
+        let b = bfs(&g, 2);
+        assert_eq!(b.level, vec![2, 1, 0, 1, 2]);
+        assert_eq!(b.eccentricity(), 2);
+    }
+
+    #[test]
+    fn bfs_levels_differ_by_at_most_one_across_edges() {
+        let g = grid(5, 4);
+        let b = bfs(&g, 7);
+        for (u, v) in g.edges() {
+            assert!(b.level[u].abs_diff(b.level[v]) <= 1);
+        }
+    }
+
+    #[test]
+    fn bfs_disconnected_leaves_unreached() {
+        let g = SymmetricPattern::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let b = bfs(&g, 0);
+        assert_eq!(b.reached(), 2);
+        assert_eq!(b.level[2], UNREACHED);
+        assert_eq!(b.level[3], UNREACHED);
+    }
+
+    #[test]
+    fn components_connected() {
+        let g = grid(3, 3);
+        let c = connected_components(&g);
+        assert!(c.is_connected());
+        assert_eq!(c.members[0].len(), 9);
+    }
+
+    #[test]
+    fn components_multiple() {
+        let g = SymmetricPattern::from_edges(6, &[(0, 1), (2, 3), (3, 4)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.comp_of[0], c.comp_of[1]);
+        assert_eq!(c.comp_of[2], c.comp_of[4]);
+        assert_ne!(c.comp_of[0], c.comp_of[2]);
+        // Isolated vertex 5 forms its own component.
+        assert_eq!(c.members[2], vec![5]);
+    }
+
+    #[test]
+    fn components_partition_vertices() {
+        let g = SymmetricPattern::from_edges(7, &[(0, 2), (2, 4), (1, 3), (5, 6)]).unwrap();
+        let c = connected_components(&g);
+        let total: usize = c.members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn induced_subgraph_of_component() {
+        let g = SymmetricPattern::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let c = connected_components(&g);
+        let (sub, map) = induced_subgraph(&g, &c.members[0]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(map, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = grid(3, 3);
+        let (sub, _) = induced_subgraph(&g, &[0, 1, 4]);
+        // Edges among {0,1,4}: (0,1) and (1,4).
+        assert_eq!(sub.num_edges(), 2);
+    }
+}

@@ -1,0 +1,303 @@
+//! Rooted level structures and pseudo-peripheral vertices.
+//!
+//! The GPS/GK/RCM family all begin by generating a *long* rooted level
+//! structure from a vertex near one end of a pseudo-diameter (§4 of the
+//! paper). Two finders are provided:
+//!
+//! * [`pseudo_peripheral`] — the George–Liu algorithm used by SPARSPAK RCM,
+//! * [`pseudo_diameter`] — the GPS variant that also returns the opposite
+//!   endpoint and prefers narrow level structures.
+
+use crate::bfs::bfs;
+#[cfg(test)]
+use crate::UNREACHED;
+use sparsemat::SymmetricPattern;
+
+/// A rooted level structure: the partition of (the component of) a graph
+/// into BFS levels from a root.
+#[derive(Debug, Clone)]
+pub struct LevelStructure {
+    root: usize,
+    /// `level_of[v]` = level index, [`crate::UNREACHED`] if `v` is in another
+    /// component.
+    level_of: Vec<usize>,
+    /// Concatenated vertices of each level.
+    verts: Vec<usize>,
+    /// `level_ptr[l]..level_ptr[l+1]` indexes `verts` for level `l`.
+    level_ptr: Vec<usize>,
+}
+
+impl LevelStructure {
+    /// Builds the structure from a BFS.
+    fn from_bfs(root: usize, level: &[usize], order: &[usize]) -> Self {
+        let height = order.iter().map(|&v| level[v]).max().unwrap_or(0);
+        let mut counts = vec![0usize; height + 2];
+        for &v in order {
+            counts[level[v] + 1] += 1;
+        }
+        for l in 0..height + 1 {
+            counts[l + 1] += counts[l];
+        }
+        let mut verts = vec![0usize; order.len()];
+        let mut next = counts.clone();
+        // BFS order already visits levels in sequence, but we re-bucket to be
+        // robust to any visit order.
+        for &v in order {
+            let slot = next[level[v]];
+            verts[slot] = v;
+            next[level[v]] += 1;
+        }
+        LevelStructure {
+            root,
+            level_of: level.to_vec(),
+            verts,
+            level_ptr: counts,
+        }
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of levels (eccentricity of root + 1).
+    pub fn num_levels(&self) -> usize {
+        self.level_ptr.len() - 1
+    }
+
+    /// Height: number of levels − 1 (the root's eccentricity).
+    pub fn height(&self) -> usize {
+        self.num_levels().saturating_sub(1)
+    }
+
+    /// Width: maximum number of vertices in a level.
+    pub fn width(&self) -> usize {
+        (0..self.num_levels())
+            .map(|l| self.level(l).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Vertices of level `l` (ascending vertex order within a level is *not*
+    /// guaranteed; they appear in BFS visit order).
+    pub fn level(&self, l: usize) -> &[usize] {
+        &self.verts[self.level_ptr[l]..self.level_ptr[l + 1]]
+    }
+
+    /// Level of vertex `v`, [`crate::UNREACHED`] if not in the rooted component.
+    pub fn level_of(&self, v: usize) -> usize {
+        self.level_of[v]
+    }
+
+    /// Number of vertices in the structure (the component size).
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// All vertices in level order.
+    pub fn vertices(&self) -> &[usize] {
+        &self.verts
+    }
+}
+
+/// Builds the rooted level structure of `root`'s component.
+pub fn rooted_level_structure(g: &SymmetricPattern, root: usize) -> LevelStructure {
+    let b = bfs(g, root);
+    LevelStructure::from_bfs(root, &b.level, &b.order)
+}
+
+/// George–Liu pseudo-peripheral vertex finder.
+///
+/// Starting from `seed`, repeatedly move to a minimum-degree vertex of the
+/// last level while the eccentricity keeps growing. Returns the final vertex
+/// and its level structure. Deterministic.
+pub fn pseudo_peripheral(g: &SymmetricPattern, seed: usize) -> (usize, LevelStructure) {
+    let mut r = seed;
+    let mut ls = rooted_level_structure(g, r);
+    loop {
+        let last = ls.level(ls.num_levels() - 1);
+        // Minimum-degree vertex of the last level (ties: smaller index).
+        let x = *last
+            .iter()
+            .min_by_key(|&&v| (g.degree(v), v))
+            .expect("last level nonempty");
+        let ls_x = rooted_level_structure(g, x);
+        if ls_x.height() > ls.height() {
+            r = x;
+            ls = ls_x;
+        } else {
+            return (r, ls);
+        }
+    }
+}
+
+/// The endpoints of a pseudo-diameter with their level structures, as
+/// computed by the GPS endpoint heuristic.
+#[derive(Debug, Clone)]
+pub struct PseudoDiameter {
+    /// Starting endpoint (a pseudo-peripheral vertex).
+    pub u: usize,
+    /// Opposite endpoint.
+    pub v: usize,
+    /// Level structure rooted at `u`.
+    pub ls_u: LevelStructure,
+    /// Level structure rooted at `v`.
+    pub ls_v: LevelStructure,
+}
+
+/// GPS pseudo-diameter: find a pseudo-peripheral `u`, then among a shrunk
+/// candidate set of the last level of `ls(u)` pick the root whose level
+/// structure is narrowest (restarting from it if strictly deeper).
+pub fn pseudo_diameter(g: &SymmetricPattern, seed: usize) -> PseudoDiameter {
+    let mut u = seed;
+    let mut ls_u = rooted_level_structure(g, u);
+    'outer: loop {
+        // Shrink the last level: sort by degree and keep one vertex of each
+        // degree (the "shrinking strategy" of GPS / Lewis' implementation).
+        let last = ls_u.level(ls_u.num_levels() - 1);
+        let mut cands: Vec<usize> = last.to_vec();
+        cands.sort_by_key(|&v| (g.degree(v), v));
+        let mut shrunk: Vec<usize> = Vec::new();
+        let mut last_deg = usize::MAX;
+        for &v in &cands {
+            if g.degree(v) != last_deg {
+                shrunk.push(v);
+                last_deg = g.degree(v);
+            }
+        }
+        let mut best: Option<(usize, LevelStructure)> = None;
+        for &x in &shrunk {
+            let ls_x = rooted_level_structure(g, x);
+            if ls_x.height() > ls_u.height() {
+                // Found a deeper structure: restart with x as the new u.
+                u = x;
+                ls_u = ls_x;
+                continue 'outer;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, b)) => ls_x.width() < b.width(),
+            };
+            if better {
+                best = Some((x, ls_x));
+            }
+        }
+        let (v, ls_v) = best.expect("candidate set nonempty");
+        return PseudoDiameter { u, v, ls_u, ls_v };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> SymmetricPattern {
+        SymmetricPattern::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+            .unwrap()
+    }
+
+    fn grid(nx: usize, ny: usize) -> SymmetricPattern {
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| y * nx + x;
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < ny {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        SymmetricPattern::from_edges(nx * ny, &edges).unwrap()
+    }
+
+    #[test]
+    fn level_structure_of_path_middle() {
+        let g = path(5);
+        let ls = rooted_level_structure(&g, 2);
+        assert_eq!(ls.num_levels(), 3);
+        assert_eq!(ls.height(), 2);
+        assert_eq!(ls.width(), 2);
+        assert_eq!(ls.level(0), &[2]);
+        let mut l1 = ls.level(1).to_vec();
+        l1.sort();
+        assert_eq!(l1, vec![1, 3]);
+        assert_eq!(ls.level_of(4), 2);
+    }
+
+    #[test]
+    fn level_structure_counts_component_only() {
+        let g = SymmetricPattern::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let ls = rooted_level_structure(&g, 0);
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls.level_of(3), UNREACHED);
+    }
+
+    #[test]
+    fn pseudo_peripheral_on_path_reaches_endpoint() {
+        let g = path(9);
+        let (r, ls) = pseudo_peripheral(&g, 4);
+        assert!(r == 0 || r == 8, "got {r}");
+        assert_eq!(ls.height(), 8);
+    }
+
+    #[test]
+    fn pseudo_peripheral_on_grid_hits_corner() {
+        let g = grid(6, 4);
+        let (r, ls) = pseudo_peripheral(&g, 9);
+        // Corners have the max eccentricity 6+4-2 = 8.
+        assert_eq!(ls.height(), 8);
+        let corners = [0, 5, 18, 23];
+        assert!(corners.contains(&r), "got {r}");
+    }
+
+    #[test]
+    fn pseudo_diameter_endpoints_far_apart() {
+        let g = grid(7, 3);
+        let pd = pseudo_diameter(&g, 10);
+        assert_eq!(pd.ls_u.height(), 8);
+        // Opposite structure must span the same component.
+        assert_eq!(pd.ls_v.len(), 21);
+        assert!(pd.ls_v.height() >= pd.ls_u.height() - 1);
+        assert_ne!(pd.u, pd.v);
+    }
+
+    #[test]
+    fn pseudo_diameter_on_star() {
+        // A star has diameter 2; from the center the height is 1.
+        let g = SymmetricPattern::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let pd = pseudo_diameter(&g, 0);
+        assert!(pd.ls_u.height() >= 1);
+        assert!(pd.u != 0, "pseudo-peripheral vertex should be a leaf");
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = SymmetricPattern::from_edges(1, &[]).unwrap();
+        let (r, ls) = pseudo_peripheral(&g, 0);
+        assert_eq!(r, 0);
+        assert_eq!(ls.num_levels(), 1);
+        assert_eq!(ls.width(), 1);
+    }
+
+    #[test]
+    fn levels_partition_vertices_exactly_once() {
+        let g = grid(5, 5);
+        let ls = rooted_level_structure(&g, 12);
+        let mut seen = vec![false; 25];
+        for l in 0..ls.num_levels() {
+            for &v in ls.level(l) {
+                assert!(!seen[v], "vertex {v} in two levels");
+                seen[v] = true;
+                assert_eq!(ls.level_of(v), l);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,160 @@
+//! Elementary graph families: paths, cycles, stars, grids.
+
+use sparsemat::SymmetricPattern;
+
+/// A path on `n` vertices.
+pub fn path(n: usize) -> SymmetricPattern {
+    let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+    SymmetricPattern::from_edges(n, &edges).expect("path edges valid")
+}
+
+/// A cycle on `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> SymmetricPattern {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+    edges.push((n - 1, 0));
+    SymmetricPattern::from_edges(n, &edges).expect("cycle edges valid")
+}
+
+/// A star: vertex 0 adjacent to all others.
+pub fn star(n: usize) -> SymmetricPattern {
+    let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+    SymmetricPattern::from_edges(n, &edges).expect("star edges valid")
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> SymmetricPattern {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            edges.push((i, j));
+        }
+    }
+    SymmetricPattern::from_edges(n, &edges).expect("complete edges valid")
+}
+
+/// A 5-point `nx × ny` grid (2-D Laplacian stencil).
+pub fn grid2d(nx: usize, ny: usize) -> SymmetricPattern {
+    let id = |x: usize, y: usize| y * nx + x;
+    let mut edges = Vec::with_capacity(2 * nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                edges.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < ny {
+                edges.push((id(x, y), id(x, y + 1)));
+            }
+        }
+    }
+    SymmetricPattern::from_edges(nx * ny, &edges).expect("grid edges valid")
+}
+
+/// A 9-point `nx × ny` grid (adds both diagonals of each cell) — the
+/// connectivity of bilinear quadrilateral finite elements.
+pub fn grid2d_9point(nx: usize, ny: usize) -> SymmetricPattern {
+    let id = |x: usize, y: usize| y * nx + x;
+    let mut edges = Vec::with_capacity(4 * nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                edges.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < ny {
+                edges.push((id(x, y), id(x, y + 1)));
+            }
+            if x + 1 < nx && y + 1 < ny {
+                edges.push((id(x, y), id(x + 1, y + 1)));
+                edges.push((id(x + 1, y), id(x, y + 1)));
+            }
+        }
+    }
+    SymmetricPattern::from_edges(nx * ny, &edges).expect("grid edges valid")
+}
+
+/// A 7-point `nx × ny × nz` grid (3-D Laplacian stencil) — the connectivity
+/// class of 3-D solid finite-element models.
+pub fn grid3d(nx: usize, ny: usize, nz: usize) -> SymmetricPattern {
+    let id = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut edges = Vec::with_capacity(3 * nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id(x, y, z), id(x + 1, y, z)));
+                }
+                if y + 1 < ny {
+                    edges.push((id(x, y, z), id(x, y + 1, z)));
+                }
+                if z + 1 < nz {
+                    edges.push((id(x, y, z), id(x, y, z + 1)));
+                }
+            }
+        }
+    }
+    SymmetricPattern::from_edges(nx * ny * nz, &edges).expect("grid edges valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_graph::bfs::connected_components;
+
+    #[test]
+    fn path_counts() {
+        let g = path(10);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle(8);
+        assert_eq!(g.num_edges(), 8);
+        assert!(g.has_edge(7, 0));
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(9);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.degree(0), 8);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn grid2d_counts_and_connectivity() {
+        let g = grid2d(7, 5);
+        assert_eq!(g.n(), 35);
+        assert_eq!(g.num_edges(), 6 * 5 + 7 * 4);
+        assert!(connected_components(&g).is_connected());
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn grid2d_9point_interior_degree_is_8() {
+        let g = grid2d_9point(5, 5);
+        assert_eq!(g.degree(12), 8); // center vertex
+        assert!(connected_components(&g).is_connected());
+    }
+
+    #[test]
+    fn grid3d_counts() {
+        let (nx, ny, nz) = (4, 3, 5);
+        let g = grid3d(nx, ny, nz);
+        assert_eq!(g.n(), 60);
+        let expect =
+            (nx - 1) * ny * nz + nx * (ny - 1) * nz + nx * ny * (nz - 1);
+        assert_eq!(g.num_edges(), expect);
+        assert!(connected_components(&g).is_connected());
+        assert_eq!(g.max_degree(), 6);
+    }
+}

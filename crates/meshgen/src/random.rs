@@ -1,0 +1,235 @@
+//! Randomised (but seeded, hence reproducible) graph generators: power
+//! networks, random geometric graphs, and ordering scramblers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sparsemat::{Permutation, SymmetricPattern};
+
+/// A power-network-like graph: a random tree (each vertex attaches to a
+/// recent predecessor, giving the long stringy runs of transmission grids)
+/// plus `extra` chords. Average degree ≈ 2(n−1+extra)/n ≈ 2.4 for the POW9
+/// class.
+pub fn power_grid(n: usize, extra: usize, seed: u64) -> SymmetricPattern {
+    assert!(n >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n - 1 + extra);
+    for v in 1..n {
+        // Attach to a nearby predecessor: locality keeps the graph stringy
+        // (diameter large) like a geographic network.
+        let window = 20.min(v);
+        let u = v - 1 - rng.gen_range(0..window);
+        edges.push((u, v));
+    }
+    let mut added = 0usize;
+    while added < extra {
+        let a = rng.gen_range(0..n);
+        // Chords are mostly local too.
+        let span = rng.gen_range(2..100.min(n));
+        let b = (a + span) % n;
+        if a != b {
+            edges.push((a.min(b), a.max(b)));
+            added += 1;
+        }
+    }
+    SymmetricPattern::from_edges(n, &edges).expect("power grid edges valid")
+}
+
+/// A random geometric graph: `n` points uniform in the unit square,
+/// connected when closer than `radius`. Uses cell binning, so building is
+/// `O(n)` for constant expected degree. The structure class of scattered
+/// structural models (CAN*, BODY).
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> SymmetricPattern {
+    assert!(n >= 1 && radius > 0.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let cells = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        (
+            ((p.0 * cells as f64) as usize).min(cells - 1),
+            ((p.1 * cells as f64) as usize).min(cells - 1),
+        )
+    };
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); cells * cells];
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        bins[cy * cells + cx].push(i);
+    }
+    let r2 = radius * radius;
+    let mut edges = Vec::new();
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells as i64 || ny >= cells as i64 {
+                    continue;
+                }
+                for &j in &bins[(ny as usize) * cells + nx as usize] {
+                    if j <= i {
+                        continue;
+                    }
+                    let q = pts[j];
+                    let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);
+                    if d2 <= r2 {
+                        edges.push((i, j));
+                    }
+                }
+            }
+        }
+    }
+    SymmetricPattern::from_edges(n, &edges).expect("geometric edges valid")
+}
+
+/// A 3-D random geometric graph: `n` points uniform in the unit cube,
+/// connected when closer than `radius` — the structure class of irregular
+/// 3-D solid models (BCSSTK30/31). Cell-binned like the 2-D version.
+pub fn random_geometric_3d(n: usize, radius: f64, seed: u64) -> SymmetricPattern {
+    assert!(n >= 1 && radius > 0.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<[f64; 3]> = (0..n)
+        .map(|_| [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+        .collect();
+    let cells = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |p: &[f64; 3]| -> [usize; 3] {
+        [
+            ((p[0] * cells as f64) as usize).min(cells - 1),
+            ((p[1] * cells as f64) as usize).min(cells - 1),
+            ((p[2] * cells as f64) as usize).min(cells - 1),
+        ]
+    };
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); cells * cells * cells];
+    let idx = |c: &[usize; 3]| (c[2] * cells + c[1]) * cells + c[0];
+    for (i, p) in pts.iter().enumerate() {
+        bins[idx(&cell_of(p))].push(i);
+    }
+    let r2 = radius * radius;
+    let mut edges = Vec::new();
+    for (i, p) in pts.iter().enumerate() {
+        let c = cell_of(p);
+        for dz in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let nx = c[0] as i64 + dx;
+                    let ny = c[1] as i64 + dy;
+                    let nz = c[2] as i64 + dz;
+                    if nx < 0 || ny < 0 || nz < 0 {
+                        continue;
+                    }
+                    let (nx, ny, nz) = (nx as usize, ny as usize, nz as usize);
+                    if nx >= cells || ny >= cells || nz >= cells {
+                        continue;
+                    }
+                    for &j in &bins[idx(&[nx, ny, nz])] {
+                        if j <= i {
+                            continue;
+                        }
+                        let q = &pts[j];
+                        let d2 = (p[0] - q[0]).powi(2)
+                            + (p[1] - q[1]).powi(2)
+                            + (p[2] - q[2]).powi(2);
+                        if d2 <= r2 {
+                            edges.push((i, j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    SymmetricPattern::from_edges(n, &edges).expect("geometric edges valid")
+}
+
+/// A deterministic scrambling permutation: relabels a mesh the way a real
+/// mesh generator's "original ordering" scatters it (Figure 4.1 of the
+/// paper shows BARTH4's original ordering is far from banded).
+pub fn scramble(n: usize, seed: u64) -> Permutation {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    Permutation::from_new_to_old(order).expect("shuffle is a permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_graph::bfs::connected_components;
+
+    #[test]
+    fn power_grid_counts() {
+        let g = power_grid(500, 150, 3);
+        assert_eq!(g.n(), 500);
+        // Tree edges + chords, possibly a few duplicate chords merged.
+        assert!(g.num_edges() >= 499 + 100);
+        assert!(g.num_edges() <= 649);
+        assert!(connected_components(&g).is_connected());
+        let avg = 2.0 * g.num_edges() as f64 / 500.0;
+        assert!((2.0..3.2).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn power_grid_deterministic() {
+        assert_eq!(power_grid(100, 20, 5), power_grid(100, 20, 5));
+        assert_ne!(power_grid(100, 20, 5), power_grid(100, 20, 6));
+    }
+
+    #[test]
+    fn random_geometric_degree_scales_with_radius() {
+        let g_small = random_geometric(800, 0.03, 11);
+        let g_big = random_geometric(800, 0.09, 11);
+        assert!(g_big.num_edges() > 4 * g_small.num_edges());
+    }
+
+    #[test]
+    fn random_geometric_edges_respect_radius() {
+        // Statistical sanity: expected degree ≈ nπr² (interior points).
+        let n = 2000;
+        let r = 0.05;
+        let g = random_geometric(n, r, 99);
+        let avg = 2.0 * g.num_edges() as f64 / n as f64;
+        let expect = n as f64 * std::f64::consts::PI * r * r;
+        assert!(
+            (avg - expect).abs() < 0.35 * expect,
+            "avg {avg}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn random_geometric_3d_expected_degree() {
+        // Expected degree ≈ n·(4/3)πr³ for interior points.
+        let n = 4000;
+        let r = 0.06;
+        let g = random_geometric_3d(n, r, 77);
+        let avg = 2.0 * g.num_edges() as f64 / n as f64;
+        let expect = n as f64 * 4.0 / 3.0 * std::f64::consts::PI * r * r * r;
+        assert!(
+            (avg - expect).abs() < 0.4 * expect,
+            "avg {avg}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn random_geometric_3d_deterministic() {
+        assert_eq!(
+            random_geometric_3d(500, 0.1, 3),
+            random_geometric_3d(500, 0.1, 3)
+        );
+    }
+
+    #[test]
+    fn scramble_is_permutation_and_seeded() {
+        let p = scramble(50, 1);
+        let q = scramble(50, 1);
+        let r = scramble(50, 2);
+        assert_eq!(p, q);
+        assert_ne!(p, r);
+        let mut seen = vec![false; 50];
+        for k in 0..50 {
+            seen[p.new_to_old(k)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,148 @@
+//! The Gibbs–King algorithm (Gibbs' "hybrid profile reduction" — TOMS
+//! Algorithm 509, 1976; implementation study by Lewis, TOMS 1982).
+//!
+//! GK shares phases 1 and 2 with GPS (pseudo-diameter, combined level
+//! structure) but replaces the phase-3 numbering with **King's** criterion
+//! inside each level: number the level's vertices in the order that adds
+//! the fewest new vertices to the front. The paper (§4) observes that "the
+//! GPS algorithm yields a lower bandwidth while the GK algorithm yields a
+//! lower envelope size" — these implementations reproduce that split.
+
+use crate::gps::{combine_levels, pick_better_direction};
+use crate::king::king_number_subset;
+use crate::per_component;
+use se_graph::level::pseudo_diameter;
+use sparsemat::{Permutation, SymmetricPattern};
+
+/// GK ordering of one component (local indices).
+fn gk_component(g: &SymmetricPattern) -> Vec<usize> {
+    if g.n() <= 1 {
+        return (0..g.n()).collect();
+    }
+    let seed = crate::rcm::min_degree_vertex(g);
+    let pd = pseudo_diameter(g, seed);
+    let cl = combine_levels(g, &pd);
+
+    let n = g.n();
+    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); cl.num_levels];
+    for v in 0..n {
+        levels[cl.level_of[v]].push(v);
+    }
+
+    let mut numbered = vec![false; n];
+    let mut in_front = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    // Seed with the start endpoint, as in GPS.
+    numbered[cl.start] = true;
+    order.push(cl.start);
+    for &u in g.neighbors(cl.start) {
+        in_front[u] = true;
+    }
+    for members in &levels {
+        king_number_subset(g, members, &mut numbered, &mut in_front, &mut order);
+    }
+    pick_better_direction(g, order)
+}
+
+/// The Gibbs–King ordering.
+pub fn gibbs_king(g: &SymmetricPattern) -> Permutation {
+    per_component(g, |sub, _| gk_component(sub))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gps::gibbs_poole_stockmeyer;
+    use sparsemat::envelope::envelope_stats;
+
+    fn grid(nx: usize, ny: usize) -> SymmetricPattern {
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| y * nx + x;
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < ny {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        SymmetricPattern::from_edges(nx * ny, &edges).unwrap()
+    }
+
+    /// A less regular test graph: grid plus random chords.
+    fn noisy_grid(nx: usize, ny: usize) -> SymmetricPattern {
+        let g = grid(nx, ny);
+        let mut edges: Vec<(usize, usize)> = g.edges().collect();
+        let n = nx * ny;
+        let mut state = 0x9E3779B9u64;
+        for _ in 0..n / 10 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (state >> 33) as usize % n;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = (state >> 33) as usize % n;
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        SymmetricPattern::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn gk_is_a_permutation() {
+        let g = grid(9, 7);
+        let p = gibbs_king(&g);
+        let mut seen = vec![false; 63];
+        for k in 0..63 {
+            seen[p.new_to_old(k)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gk_on_path_is_optimal() {
+        let g = SymmetricPattern::from_edges(15, &(0..14).map(|i| (i, i + 1)).collect::<Vec<_>>())
+            .unwrap();
+        let p = gibbs_king(&g);
+        assert_eq!(envelope_stats(&g, &p).envelope_size, 14);
+    }
+
+    #[test]
+    fn gk_envelope_competitive_with_gps() {
+        // GK's raison d'être: smaller (or equal) profile than GPS, possibly
+        // at the cost of bandwidth. Check on a moderately irregular graph.
+        let g = noisy_grid(14, 9);
+        let gk = gibbs_king(&g);
+        let gps = gibbs_poole_stockmeyer(&g);
+        let s_gk = envelope_stats(&g, &gk);
+        let s_gps = envelope_stats(&g, &gps);
+        // Allow a little slack — the guarantee is heuristic, not a theorem.
+        assert!(
+            (s_gk.envelope_size as f64) <= 1.15 * s_gps.envelope_size as f64,
+            "gk {} vs gps {}",
+            s_gk.envelope_size,
+            s_gps.envelope_size
+        );
+    }
+
+    #[test]
+    fn gk_beats_identity_on_shuffled_grid() {
+        let g = grid(10, 10);
+        let scramble =
+            Permutation::from_new_to_old((0..100).map(|i| (i * 13) % 100).collect()).unwrap();
+        let shuffled = g.permute(&scramble).unwrap();
+        let id = envelope_stats(&shuffled, &Permutation::identity(100));
+        let s = envelope_stats(&shuffled, &gibbs_king(&shuffled));
+        assert!(s.envelope_size < id.envelope_size / 2);
+    }
+
+    #[test]
+    fn gk_handles_disconnected() {
+        let g = SymmetricPattern::from_edges(8, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)])
+            .unwrap();
+        let p = gibbs_king(&g);
+        assert_eq!(p.len(), 8);
+        assert_eq!(envelope_stats(&g, &p).envelope_size, 5);
+    }
+}

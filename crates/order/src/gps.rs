@@ -1,0 +1,334 @@
+//! The Gibbs–Poole–Stockmeyer algorithm (SIAM J. Num. Anal. 13, 1976).
+//!
+//! Three phases:
+//! 1. **Pseudo-diameter**: endpoints `u`, `v` of a long shortest path, with
+//!    their rooted level structures (in [`se_graph::level`]).
+//! 2. **Combining level structures**: vertices whose level agrees in both
+//!    rooted structures keep it; the remaining connected components are
+//!    assigned wholesale to whichever side keeps the combined structure
+//!    narrowest.
+//! 3. **Numbering**: a Cuthill–McKee-style sweep constrained to the combined
+//!    levels, lowest-degree-first; both directions are evaluated and the one
+//!    with the smaller envelope kept.
+
+use crate::per_component;
+use se_graph::bfs::connected_components;
+use se_graph::level::{pseudo_diameter, PseudoDiameter};
+use sparsemat::envelope::envelope_size;
+use sparsemat::{Permutation, SymmetricPattern};
+
+/// The combined level structure of GPS phase 2.
+#[derive(Debug, Clone)]
+pub(crate) struct CombinedLevels {
+    /// Level of each vertex in the combined structure.
+    pub level_of: Vec<usize>,
+    /// Number of levels.
+    pub num_levels: usize,
+    /// The endpoint the numbering starts from.
+    pub start: usize,
+}
+
+/// Phase 2: combine the level structures rooted at the two endpoints.
+pub(crate) fn combine_levels(g: &SymmetricPattern, pd: &PseudoDiameter) -> CombinedLevels {
+    let n = g.n();
+    let h = pd.ls_u.height().max(pd.ls_v.height());
+    let num_levels = h + 1;
+    let lvl_u = |w: usize| pd.ls_u.level_of(w).min(h);
+    // Reverse the v-structure so both run from u's side to v's side.
+    let lvl_v = |w: usize| h - pd.ls_v.level_of(w).min(h);
+
+    let mut level_of = vec![usize::MAX; n];
+    let mut count = vec![0usize; num_levels];
+    let mut unassigned = Vec::new();
+    for w in 0..n {
+        let (i, j) = (lvl_u(w), lvl_v(w));
+        if i == j {
+            level_of[w] = i;
+            count[i] += 1;
+        } else {
+            unassigned.push(w);
+        }
+    }
+
+    if !unassigned.is_empty() {
+        // Connected components of the subgraph induced on unassigned
+        // vertices, processed in decreasing size (GPS rule).
+        let (sub, map) = se_graph::bfs::induced_subgraph(g, &unassigned);
+        let comps = connected_components(&sub);
+        let mut comp_list: Vec<&Vec<usize>> = comps.members.iter().collect();
+        comp_list.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        for comp in comp_list {
+            // Hypothetical widths if the component takes u-levels vs
+            // v-levels: GPS compares the maxima over *affected* levels.
+            let mut add_u = vec![0usize; num_levels];
+            let mut add_v = vec![0usize; num_levels];
+            for &lw in comp {
+                let w = map[lw];
+                add_u[lvl_u(w)] += 1;
+                add_v[lvl_v(w)] += 1;
+            }
+            let width_if = |add: &[usize]| -> usize {
+                add.iter()
+                    .enumerate()
+                    .filter(|&(_, &a)| a > 0)
+                    .map(|(l, &a)| count[l] + a)
+                    .max()
+                    .unwrap_or(0)
+            };
+            let (wu, wv) = (width_if(&add_u), width_if(&add_v));
+            let use_u = wu <= wv;
+            for &lw in comp {
+                let w = map[lw];
+                let l = if use_u { lvl_u(w) } else { lvl_v(w) };
+                level_of[w] = l;
+                count[l] += 1;
+            }
+        }
+    }
+
+    // Start from the lower-degree endpoint (GPS rule); if that is `v`, flip
+    // the level indices so the start sits in level 0.
+    let start = if g.degree(pd.u) <= g.degree(pd.v) {
+        pd.u
+    } else {
+        pd.v
+    };
+    if level_of[start] != 0 {
+        for l in level_of.iter_mut() {
+            *l = h - *l;
+        }
+    }
+    CombinedLevels {
+        level_of,
+        num_levels,
+        start,
+    }
+}
+
+/// Phase 3: Cuthill–McKee-style numbering constrained to the combined
+/// levels. Within each level, vertices adjacent to already-numbered vertices
+/// are taken first (in the order their numbered neighbors were numbered,
+/// lowest degree first), then any stragglers lowest-degree-first.
+pub(crate) fn number_by_levels(g: &SymmetricPattern, cl: &CombinedLevels) -> Vec<usize> {
+    let n = g.n();
+    let mut numbered = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    // Bucket vertices by level.
+    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); cl.num_levels];
+    for v in 0..n {
+        levels[cl.level_of[v]].push(v);
+    }
+
+    let mut level_start = vec![0usize; cl.num_levels + 1];
+
+    for l in 0..cl.num_levels {
+        level_start[l] = order.len();
+        let members = &levels[l];
+        if members.is_empty() {
+            continue;
+        }
+        let mut remaining: Vec<usize> = members.iter().copied().collect();
+        if l == 0 {
+            // Seed with the start vertex.
+            if let Some(pos) = remaining.iter().position(|&v| v == cl.start) {
+                let v = remaining.swap_remove(pos);
+                numbered[v] = true;
+                order.push(v);
+            }
+        } else {
+            // Take neighbors of the previous level's vertices, in numbering
+            // order, lowest degree first.
+            let prev = order[level_start[l - 1]..level_start[l]].to_vec();
+            let mut nbrs: Vec<usize> = Vec::new();
+            for &w in &prev {
+                nbrs.clear();
+                nbrs.extend(
+                    g.neighbors(w)
+                        .iter()
+                        .copied()
+                        .filter(|&u| !numbered[u] && cl.level_of[u] == l),
+                );
+                nbrs.sort_by_key(|&u| (g.degree(u), u));
+                for &u in &nbrs {
+                    numbered[u] = true;
+                    order.push(u);
+                }
+            }
+            remaining.retain(|&v| !numbered[v]);
+        }
+        // Sweep the rest of the level Cuthill–McKee style: prefer vertices
+        // adjacent to numbered same-level vertices (walking the numbering),
+        // then seed a new lowest-degree vertex when stuck.
+        let mut head = level_start[l];
+        while !remaining.is_empty() {
+            // Extend from already-numbered level-l vertices.
+            while head < order.len() {
+                let w = order[head];
+                head += 1;
+                let mut nbrs: Vec<usize> = g
+                    .neighbors(w)
+                    .iter()
+                    .copied()
+                    .filter(|&u| !numbered[u] && cl.level_of[u] == l)
+                    .collect();
+                nbrs.sort_by_key(|&u| (g.degree(u), u));
+                for &u in &nbrs {
+                    numbered[u] = true;
+                    order.push(u);
+                }
+            }
+            remaining.retain(|&v| !numbered[v]);
+            if let Some(&seed) = remaining.iter().min_by_key(|&&v| (g.degree(v), v)) {
+                numbered[seed] = true;
+                order.push(seed);
+                remaining.retain(|&v| v != seed);
+            }
+        }
+        level_start[l + 1] = order.len();
+    }
+    order
+}
+
+/// GPS ordering of one component (local indices).
+fn gps_component(g: &SymmetricPattern) -> Vec<usize> {
+    if g.n() <= 1 {
+        return (0..g.n()).collect();
+    }
+    let seed = crate::rcm::min_degree_vertex(g);
+    let pd = pseudo_diameter(g, seed);
+    let cl = combine_levels(g, &pd);
+    let order = number_by_levels(g, &cl);
+    pick_better_direction(g, order)
+}
+
+/// Evaluates an ordering and its reverse on the component, keeping the
+/// smaller envelope (GPS's final reversal decision).
+pub(crate) fn pick_better_direction(g: &SymmetricPattern, order: Vec<usize>) -> Vec<usize> {
+    let fwd = Permutation::from_new_to_old(order).expect("valid ordering");
+    let rev = fwd.reversed();
+    if envelope_size(g, &rev) < envelope_size(g, &fwd) {
+        rev.order().to_vec()
+    } else {
+        fwd.order().to_vec()
+    }
+}
+
+/// The Gibbs–Poole–Stockmeyer ordering.
+pub fn gibbs_poole_stockmeyer(g: &SymmetricPattern) -> Permutation {
+    per_component(g, |sub, _| gps_component(sub))
+}
+
+/// Validates that `cl` is a *legal* level assignment: adjacent vertices are
+/// at most one level apart. Exposed for tests.
+#[cfg(test)]
+pub(crate) fn levels_are_legal(g: &SymmetricPattern, cl: &CombinedLevels) -> bool {
+    g.edges()
+        .all(|(a, b)| cl.level_of[a].abs_diff(cl.level_of[b]) <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::envelope::envelope_stats;
+
+    fn grid(nx: usize, ny: usize) -> SymmetricPattern {
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| y * nx + x;
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < ny {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        SymmetricPattern::from_edges(nx * ny, &edges).unwrap()
+    }
+
+    #[test]
+    fn combined_levels_cover_and_are_legal() {
+        let g = grid(10, 6);
+        let pd = pseudo_diameter(&g, 0);
+        let cl = combine_levels(&g, &pd);
+        assert!(cl.level_of.iter().all(|&l| l < cl.num_levels));
+        assert!(levels_are_legal(&g, &cl), "adjacent vertices >1 level apart");
+        assert_eq!(cl.level_of[cl.start], 0);
+    }
+
+    #[test]
+    fn combined_width_not_worse_than_both_rooted() {
+        // The point of phase 2: width(combined) ≤ max(width(Lu), width(Lv)).
+        let g = grid(13, 7);
+        let pd = pseudo_diameter(&g, 5);
+        let cl = combine_levels(&g, &pd);
+        let mut count = vec![0usize; cl.num_levels];
+        for &l in &cl.level_of {
+            count[l] += 1;
+        }
+        let width = count.into_iter().max().unwrap();
+        assert!(width <= pd.ls_u.width().max(pd.ls_v.width()));
+    }
+
+    #[test]
+    fn gps_numbering_is_a_permutation() {
+        let g = grid(8, 8);
+        let p = gibbs_poole_stockmeyer(&g);
+        let mut seen = vec![false; 64];
+        for k in 0..64 {
+            seen[p.new_to_old(k)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gps_bandwidth_on_grid_is_near_small_dimension() {
+        let g = grid(20, 5);
+        let p = gibbs_poole_stockmeyer(&g);
+        let s = envelope_stats(&g, &p);
+        assert!(s.bandwidth <= 7, "bandwidth {}", s.bandwidth);
+    }
+
+    #[test]
+    fn gps_beats_identity_on_shuffled_grid() {
+        // Relabel the grid badly, then check GPS recovers a small envelope.
+        let g = grid(9, 9);
+        let scramble =
+            Permutation::from_new_to_old((0..81).map(|i| (i * 37) % 81).collect()).unwrap();
+        let shuffled = g.permute(&scramble).unwrap();
+        let id_stats = envelope_stats(&shuffled, &Permutation::identity(81));
+        let p = gibbs_poole_stockmeyer(&shuffled);
+        let s = envelope_stats(&shuffled, &p);
+        assert!(s.envelope_size < id_stats.envelope_size / 2);
+    }
+
+    #[test]
+    fn gps_on_path_is_optimal() {
+        let g = SymmetricPattern::from_edges(12, &(0..11).map(|i| (i, i + 1)).collect::<Vec<_>>())
+            .unwrap();
+        let p = gibbs_poole_stockmeyer(&g);
+        assert_eq!(envelope_stats(&g, &p).envelope_size, 11);
+    }
+
+    #[test]
+    fn gps_handles_disconnected() {
+        let g = SymmetricPattern::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let p = gibbs_poole_stockmeyer(&g);
+        assert_eq!(p.len(), 6);
+        let s = envelope_stats(&g, &p);
+        assert_eq!(s.envelope_size, 4);
+    }
+
+    #[test]
+    fn gps_star_envelope() {
+        let g = SymmetricPattern::from_edges(7, &(1..7).map(|i| (0, i)).collect::<Vec<_>>())
+            .unwrap();
+        let p = gibbs_poole_stockmeyer(&g);
+        let s = envelope_stats(&g, &p);
+        // The star's minimum envelope is 6 (any ordering's row widths sum to
+        // at least n−1); a level-based ordering gets close.
+        assert!(s.envelope_size <= 11, "envelope {}", s.envelope_size);
+    }
+}

@@ -1,0 +1,170 @@
+//! Cuthill–McKee and reverse Cuthill–McKee (SPARSPAK style).
+//!
+//! CM performs a breadth-first numbering from a pseudo-peripheral vertex,
+//! visiting each vertex's unnumbered neighbors in increasing-degree order.
+//! RCM reverses the CM numbering (per component), which never increases and
+//! usually decreases the envelope (Liu & Sherman 1976).
+
+use crate::per_component;
+use se_graph::level::pseudo_peripheral;
+use sparsemat::{Permutation, SymmetricPattern};
+
+/// Cuthill–McKee numbering of one connected component from `start`.
+/// Returns the visit order (local indices). This *is* an adjacency ordering
+/// (§2.4 of the paper).
+pub(crate) fn cm_component(g: &SymmetricPattern, start: usize) -> Vec<usize> {
+    let n = g.n();
+    let mut numbered = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0usize;
+    numbered[start] = true;
+    order.push(start);
+    let mut nbrs: Vec<usize> = Vec::new();
+    while head < order.len() {
+        let v = order[head];
+        head += 1;
+        nbrs.clear();
+        nbrs.extend(g.neighbors(v).iter().copied().filter(|&u| !numbered[u]));
+        // Increasing degree; ties by vertex index for determinism.
+        nbrs.sort_by_key(|&u| (g.degree(u), u));
+        for &u in &nbrs {
+            numbered[u] = true;
+            order.push(u);
+        }
+    }
+    order
+}
+
+/// Cuthill–McKee over all components, each started at a George–Liu
+/// pseudo-peripheral vertex.
+pub fn cuthill_mckee(g: &SymmetricPattern) -> Permutation {
+    per_component(g, |sub, _| {
+        let (start, _) = pseudo_peripheral(sub, min_degree_vertex(sub));
+        cm_component(sub, start)
+    })
+}
+
+/// Reverse Cuthill–McKee: CM reversed within each component (as SPARSPAK's
+/// `GENRCM` does), keeping components contiguous in the final numbering.
+pub fn reverse_cuthill_mckee(g: &SymmetricPattern) -> Permutation {
+    per_component(g, |sub, _| {
+        let (start, _) = pseudo_peripheral(sub, min_degree_vertex(sub));
+        let mut order = cm_component(sub, start);
+        order.reverse();
+        order
+    })
+}
+
+/// Lowest-degree vertex (the customary George–Liu seed).
+pub(crate) fn min_degree_vertex(g: &SymmetricPattern) -> usize {
+    (0..g.n()).min_by_key(|&v| (g.degree(v), v)).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::envelope::{envelope_stats, is_adjacency_ordering};
+
+    fn path(n: usize) -> SymmetricPattern {
+        SymmetricPattern::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+            .unwrap()
+    }
+
+    fn grid(nx: usize, ny: usize) -> SymmetricPattern {
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| y * nx + x;
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < ny {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        SymmetricPattern::from_edges(nx * ny, &edges).unwrap()
+    }
+
+    #[test]
+    fn cm_on_path_is_identity_like() {
+        let g = path(8);
+        let p = cuthill_mckee(&g);
+        let s = envelope_stats(&g, &p);
+        assert_eq!(s.bandwidth, 1);
+        assert_eq!(s.envelope_size, 7);
+    }
+
+    #[test]
+    fn cm_is_adjacency_ordering() {
+        let g = grid(7, 6);
+        let p = cuthill_mckee(&g);
+        assert!(is_adjacency_ordering(&g, &p));
+    }
+
+    #[test]
+    fn rcm_envelope_never_worse_than_cm_on_grid() {
+        // Liu–Sherman: Esize(RCM) ≤ Esize(CM) for the reversal of the same
+        // CM run.
+        let g = grid(9, 9);
+        let cm = cuthill_mckee(&g);
+        let rcm = reverse_cuthill_mckee(&g);
+        let s_cm = envelope_stats(&g, &cm);
+        let s_rcm = envelope_stats(&g, &rcm);
+        assert!(s_rcm.envelope_size <= s_cm.envelope_size);
+        // Bandwidth is invariant under reversal of the same ordering.
+        assert_eq!(s_rcm.bandwidth, s_cm.bandwidth);
+    }
+
+    #[test]
+    fn rcm_on_grid_bandwidth_is_small_dimension() {
+        // A well-started BFS ordering of an nx × ny grid has bandwidth
+        // ≈ min(nx, ny) + 1.
+        let g = grid(12, 5);
+        let p = reverse_cuthill_mckee(&g);
+        let s = envelope_stats(&g, &p);
+        assert!(s.bandwidth <= 7, "bandwidth {}", s.bandwidth);
+    }
+
+    #[test]
+    fn rcm_star_puts_center_late() {
+        let g = SymmetricPattern::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)])
+            .unwrap();
+        let p = reverse_cuthill_mckee(&g);
+        // CM numbers the center right after the starting leaf; RCM therefore
+        // places it near the end.
+        let pos0 = p.old_to_new(0);
+        assert!(pos0 >= 4, "center at position {pos0}");
+    }
+
+    #[test]
+    fn disconnected_components_contiguous() {
+        let g = SymmetricPattern::from_edges(7, &[(0, 1), (1, 2), (4, 5), (5, 6)]).unwrap();
+        let p = reverse_cuthill_mckee(&g);
+        // Component of {0,1,2} occupies positions 0..3 (it contains the
+        // smallest vertex), then {3}, then {4,5,6}.
+        let positions: Vec<usize> = (0..3).map(|v| p.old_to_new(v)).collect();
+        assert!(positions.iter().all(|&k| k < 3), "{positions:?}");
+        assert_eq!(p.old_to_new(3), 3);
+    }
+
+    #[test]
+    fn permutation_is_valid() {
+        let g = grid(6, 7);
+        let p = cuthill_mckee(&g);
+        let mut seen = vec![false; 42];
+        for k in 0..42 {
+            let v = p.new_to_old(k);
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn single_vertex_and_empty() {
+        let g1 = SymmetricPattern::from_edges(1, &[]).unwrap();
+        assert_eq!(reverse_cuthill_mckee(&g1).len(), 1);
+        let g0 = SymmetricPattern::from_edges(0, &[]).unwrap();
+        assert_eq!(reverse_cuthill_mckee(&g0).len(), 0);
+    }
+}

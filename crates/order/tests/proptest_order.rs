@@ -1,0 +1,154 @@
+//! Property tests on the internals of the level-structure algorithms and
+//! invariants that every ordering algorithm must keep on random graphs.
+
+use proptest::prelude::*;
+use se_order::{order, Algorithm};
+use sparsemat::envelope::{envelope_stats, frontwidth_stats, is_adjacency_ordering};
+use sparsemat::SymmetricPattern;
+
+fn connected_graph() -> impl Strategy<Value = SymmetricPattern> {
+    (2usize..=35).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..3 * n);
+        let spine = Just(n).prop_map(|n| (0..n).collect::<Vec<usize>>()).prop_shuffle();
+        (Just(n), edges, spine).prop_map(|(n, mut edges, spine)| {
+            for w in spine.windows(2) {
+                edges.push((w[0], w[1]));
+            }
+            SymmetricPattern::from_edges(n, &edges).expect("edges in range")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cuthill–McKee is an adjacency ordering on every connected graph
+    /// (§2.4: "The Cuthill-McKee ordering is an adjacency ordering").
+    #[test]
+    fn cm_is_adjacency_ordering(g in connected_graph()) {
+        let o = order(&g, Algorithm::CuthillMckee).unwrap();
+        prop_assert!(is_adjacency_ordering(&g, &o.perm));
+    }
+
+    /// Sloan numbers only preactive/active vertices, which sit within
+    /// distance 2 of the numbered set — so every vertex after the first is
+    /// at graph distance ≤ 2 from an earlier one (a "loose" adjacency
+    /// ordering; true adjacency can be violated by preactive selections).
+    #[test]
+    fn sloan_is_within_distance_two(g in connected_graph()) {
+        let o = order(&g, Algorithm::Sloan).unwrap();
+        let pos = o.perm.positions();
+        for k in 1..g.n() {
+            let v = o.perm.new_to_old(k);
+            let near = g.neighbors(v).iter().any(|&u| pos[u] < k)
+                || g.neighbors(v)
+                    .iter()
+                    .any(|&u| g.neighbors(u).iter().any(|&w| pos[w] < k));
+            prop_assert!(near, "vertex {v} at position {k} is isolated from earlier ones");
+        }
+    }
+
+    /// RCM bandwidth equals CM bandwidth (reversal preserves |σu − σv|),
+    /// and RCM envelope ≤ CM envelope (Liu–Sherman).
+    #[test]
+    fn rcm_dominates_cm(g in connected_graph()) {
+        let cm = order(&g, Algorithm::CuthillMckee).unwrap();
+        let rcm = order(&g, Algorithm::Rcm).unwrap();
+        prop_assert_eq!(cm.stats.bandwidth, rcm.stats.bandwidth);
+        prop_assert!(rcm.stats.envelope_size <= cm.stats.envelope_size,
+            "rcm {} > cm {}", rcm.stats.envelope_size, cm.stats.envelope_size);
+    }
+
+    /// The GPS/GK pair never leaves a vertex un-numbered and their
+    /// envelope statistics are internally consistent with frontwidths.
+    #[test]
+    fn gps_gk_internally_consistent(g in connected_graph()) {
+        for alg in [Algorithm::Gps, Algorithm::Gk] {
+            let o = order(&g, alg).unwrap();
+            let fw = frontwidth_stats(&g, &o.perm);
+            let stats = envelope_stats(&g, &o.perm);
+            let mean_from_env = stats.envelope_size as f64 / g.n() as f64;
+            prop_assert!((fw.mean - mean_from_env).abs() < 1e-9);
+            prop_assert!(fw.max <= stats.bandwidth.max(fw.max)); // max fw can exceed bw? keep sane
+        }
+    }
+
+    /// SpectralRefined never has a larger envelope than Spectral (the
+    /// refinement is monotone).
+    #[test]
+    fn refinement_is_monotone(g in connected_graph()) {
+        let spec = order(&g, Algorithm::Spectral).unwrap();
+        let refined = order(&g, Algorithm::SpectralRefined).unwrap();
+        prop_assert!(
+            refined.stats.envelope_size <= spec.stats.envelope_size,
+            "refined {} > spectral {}",
+            refined.stats.envelope_size,
+            spec.stats.envelope_size
+        );
+    }
+
+    /// Every algorithm's bandwidth lower bound: for any ordering,
+    /// bw ≥ ⌈Δ/2⌉ on a connected graph (the max-degree vertex needs that
+    /// many earlier-or-later neighbors on one side).
+    #[test]
+    fn bandwidth_respects_degree_bound(g in connected_graph()) {
+        let delta = g.max_degree() as u64;
+        for alg in Algorithm::paper_set() {
+            let o = order(&g, alg).unwrap();
+            prop_assert!(
+                o.stats.bandwidth >= delta.div_ceil(2),
+                "{:?}: bw {} < ceil(Δ/2) = {}",
+                alg,
+                o.stats.bandwidth,
+                delta.div_ceil(2)
+            );
+        }
+    }
+
+    /// Envelope size is bounded below by n − #components (every vertex
+    /// after the first in a component has width ≥ 1) and above by
+    /// n·bandwidth.
+    #[test]
+    fn envelope_sandwich(g in connected_graph()) {
+        for alg in Algorithm::paper_set() {
+            let o = order(&g, alg).unwrap();
+            let n = g.n() as u64;
+            prop_assert!(o.stats.envelope_size >= n - 1);
+            prop_assert!(o.stats.envelope_size <= n * o.stats.bandwidth.max(1));
+        }
+    }
+}
+
+/// The fill-reducing orderings are valid permutations on irregular graphs
+/// (deterministic spot check: proptest shrinking is slow for the
+/// eigensolver-heavy nested-dissection path).
+#[test]
+fn fill_reducing_orderings_are_valid() {
+    for seed in [1u64, 2, 3] {
+        let mut edges: Vec<(usize, usize)> = (0..79).map(|i| (i, i + 1)).collect();
+        let mut state = seed;
+        for _ in 0..60 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (state >> 33) as usize % 80;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (state >> 33) as usize % 80;
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        let g = SymmetricPattern::from_edges(80, &edges).unwrap();
+        for alg in [Algorithm::MinDegree, Algorithm::SpectralNd] {
+            let o = order(&g, alg).unwrap();
+            let mut seen = vec![false; 80];
+            for k in 0..80 {
+                let v = o.perm.new_to_old(k);
+                assert!(!seen[v], "{alg:?} repeats {v}");
+                seen[v] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Envelope parameters of §2.1 of the paper: row widths, bandwidth,
+//! envelope size `Esize`, envelope work `Ework`, the 1-sum `σ₁` and the
+//! 2-sum `σ₂²`, and frontwidths.
+//!
+//! All quantities are computed for a [`SymmetricPattern`] under a
+//! [`Permutation`] *without* materialising the permuted matrix: with
+//! `σ(v) = perm.old_to_new(v)`, the row width of vertex `v` is
+//! `r(v) = max{σ(v) − σ(w) : w ∈ nbr(v), σ(w) ≤ σ(v)}` (the diagonal makes
+//! the max at least 0).
+
+use crate::{Permutation, SymmetricPattern};
+
+/// The envelope parameters of a symmetric matrix under an ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvelopeStats {
+    /// `Esize(A) = Σᵢ rᵢ` — the number of envelope entries strictly left of
+    /// the diagonal (the paper's envelope size).
+    pub envelope_size: u64,
+    /// `Ework(A) = Σᵢ rᵢ²` — the paper's upper-bound measure of envelope
+    /// Cholesky work.
+    pub envelope_work: u64,
+    /// `bw(A) = max rᵢ`.
+    pub bandwidth: u64,
+    /// `σ₁(A) = Σ_{(u,v)∈E} |σ(u) − σ(v)|` (1-sum over off-diagonal lower
+    /// triangle; diagonal contributes 0).
+    pub one_sum: u64,
+    /// `σ₂²(A) = Σ_{(u,v)∈E} (σ(u) − σ(v))²` (the *square* of the paper's
+    /// 2-sum, i.e. the quantity actually summed).
+    pub two_sum_sq: u64,
+}
+
+impl EnvelopeStats {
+    /// The paper's 2-sum `σ₂` itself (square root of the summed squares).
+    pub fn two_sum(&self) -> f64 {
+        (self.two_sum_sq as f64).sqrt()
+    }
+}
+
+/// Row width `r(v)` of every vertex under `perm` (indexed by *position*):
+/// `result[k]` is the row width of the row at position `k`.
+pub fn row_widths(pattern: &SymmetricPattern, perm: &Permutation) -> Vec<u64> {
+    assert_eq!(pattern.n(), perm.len(), "pattern/permutation size mismatch");
+    let pos = perm.positions();
+    let mut widths = vec![0u64; pattern.n()];
+    for v in 0..pattern.n() {
+        let pv = pos[v];
+        let mut w = 0usize;
+        for &u in pattern.neighbors(v) {
+            let pu = pos[u];
+            if pu < pv {
+                w = w.max(pv - pu);
+            }
+        }
+        widths[pv] = w as u64;
+    }
+    widths
+}
+
+/// Computes all envelope statistics for `pattern` under `perm`.
+pub fn envelope_stats(pattern: &SymmetricPattern, perm: &Permutation) -> EnvelopeStats {
+    assert_eq!(pattern.n(), perm.len(), "pattern/permutation size mismatch");
+    let pos = perm.positions();
+    let mut esize = 0u64;
+    let mut ework = 0u64;
+    let mut bw = 0u64;
+    let mut one_sum = 0u64;
+    let mut two_sum_sq = 0u64;
+    for v in 0..pattern.n() {
+        let pv = pos[v];
+        let mut w = 0u64;
+        for &u in pattern.neighbors(v) {
+            let pu = pos[u];
+            if pu < pv {
+                let d = (pv - pu) as u64;
+                w = w.max(d);
+                one_sum += d;
+                two_sum_sq += d * d;
+            }
+        }
+        esize += w;
+        ework += w * w;
+        bw = bw.max(w);
+    }
+    EnvelopeStats {
+        envelope_size: esize,
+        envelope_work: ework,
+        bandwidth: bw,
+        one_sum,
+        two_sum_sq,
+    }
+}
+
+/// Envelope size only (the quantity Algorithm 1 minimises between the two
+/// sort directions); cheaper than [`envelope_stats`].
+pub fn envelope_size(pattern: &SymmetricPattern, perm: &Permutation) -> u64 {
+    let pos = perm.positions();
+    let mut esize = 0u64;
+    for v in 0..pattern.n() {
+        let pv = pos[v];
+        let mut w = 0u64;
+        for &u in pattern.neighbors(v) {
+            let pu = pos[u];
+            if pu < pv {
+                w = w.max((pv - pu) as u64);
+            }
+        }
+        esize += w;
+    }
+    esize
+}
+
+/// Bandwidth only.
+pub fn bandwidth(pattern: &SymmetricPattern, perm: &Permutation) -> u64 {
+    let pos = perm.positions();
+    let mut bw = 0u64;
+    for (u, v) in pattern.edges() {
+        let d = pos[u].abs_diff(pos[v]) as u64;
+        bw = bw.max(d);
+    }
+    bw
+}
+
+/// The `j`-th frontwidths `|adj(V_j)|` of §2.4: `result[j]` is the number of
+/// vertices outside the first `j+1` ordered vertices that are adjacent to one
+/// of them. `Σ_j frontwidth[j] == envelope_size` (tested).
+pub fn frontwidths(pattern: &SymmetricPattern, perm: &Permutation) -> Vec<u64> {
+    let n = pattern.n();
+    assert_eq!(n, perm.len(), "pattern/permutation size mismatch");
+    let pos = perm.positions();
+    // The front after placing position j consists of vertices with position
+    // > j adjacent to a vertex with position <= j. A vertex v enters the
+    // front at min position among its *earlier-placed* neighbors and leaves
+    // when itself placed. Count via difference array.
+    let mut delta = vec![0i64; n + 1];
+    for v in 0..n {
+        let pv = pos[v];
+        let first = pattern
+            .neighbors(v)
+            .iter()
+            .map(|&u| pos[u])
+            .filter(|&pu| pu < pv)
+            .min();
+        if let Some(f) = first {
+            // v is in the front for prefix sizes f..pv (0-based positions),
+            // i.e. after placing position f, …, pv−1.
+            delta[f] += 1;
+            delta[pv] -= 1;
+        }
+    }
+    let mut out = vec![0u64; n];
+    let mut acc = 0i64;
+    for j in 0..n {
+        acc += delta[j];
+        out[j] = acc as u64;
+    }
+    out
+}
+
+/// Aggregate wavefront (frontwidth) statistics — the quantities frontal
+/// solvers care about (§1 mentions frontal methods as the envelope
+/// scheme's close relatives): a frontal factorization's storage peak is
+/// `max` and its work scales with `Σ fⱼ²` (`rms²·n`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontwidthStats {
+    /// Maximum frontwidth.
+    pub max: u64,
+    /// Mean frontwidth (= envelope size / n).
+    pub mean: f64,
+    /// Root-mean-square frontwidth (Sloan's quality measure).
+    pub rms: f64,
+}
+
+/// Computes [`FrontwidthStats`] for `pattern` under `perm`.
+pub fn frontwidth_stats(pattern: &SymmetricPattern, perm: &Permutation) -> FrontwidthStats {
+    let fw = frontwidths(pattern, perm);
+    let n = fw.len().max(1) as f64;
+    let max = fw.iter().copied().max().unwrap_or(0);
+    let sum: u64 = fw.iter().sum();
+    let sq: f64 = fw.iter().map(|&f| (f as f64) * (f as f64)).sum();
+    FrontwidthStats {
+        max,
+        mean: sum as f64 / n,
+        rms: (sq / n).sqrt(),
+    }
+}
+
+/// The p-sum `Σ_{(u,v)∈E} |σ(u) − σ(v)|^p` as a float (Juvan–Mohar's
+/// generalisation; `p = 1, 2` reduce to the 1-sum and squared 2-sum).
+pub fn p_sum(pattern: &SymmetricPattern, perm: &Permutation, p: f64) -> f64 {
+    let pos = perm.positions();
+    pattern
+        .edges()
+        .map(|(u, v)| (pos[u].abs_diff(pos[v]) as f64).powf(p))
+        .sum()
+}
+
+/// Whether `perm` is an *adjacency ordering* (§2.4): every vertex after the
+/// first is adjacent to some earlier vertex. Only sensible for connected
+/// graphs; on a disconnected graph this returns `false` at the first
+/// component boundary.
+pub fn is_adjacency_ordering(pattern: &SymmetricPattern, perm: &Permutation) -> bool {
+    let pos = perm.positions();
+    for k in 1..pattern.n() {
+        let v = perm.new_to_old(k);
+        if !pattern.neighbors(v).iter().any(|&u| pos[u] < k) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Lower/upper bounds of Theorem 2.2 in terms of Laplacian eigenvalues:
+/// returns `(esize_lower, ework_lower)` given `λ₂`, `n`, and max degree `Δ`.
+///
+/// `Esize_min ≥ λ₂ (n² − 1) / (2√6 Δ)` and `Ework_min ≥ λ₂ (n² − 1) / (12 Δ)`.
+pub fn theorem_2_2_lower_bounds(lambda2: f64, n: usize, max_degree: usize) -> (f64, f64) {
+    let n2m1 = (n as f64) * (n as f64) - 1.0;
+    let delta = max_degree.max(1) as f64;
+    let esize_lb = lambda2 * n2m1 / (2.0 * 6.0f64.sqrt() * delta);
+    let ework_lb = lambda2 * n2m1 / (12.0 * delta);
+    (esize_lb, ework_lb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> SymmetricPattern {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        SymmetricPattern::from_edges(n, &edges).unwrap()
+    }
+
+    fn star(n: usize) -> SymmetricPattern {
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+        SymmetricPattern::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn path_identity_ordering() {
+        let p = path(5);
+        let id = Permutation::identity(5);
+        let s = envelope_stats(&p, &id);
+        assert_eq!(s.envelope_size, 4); // each row except first has width 1
+        assert_eq!(s.envelope_work, 4);
+        assert_eq!(s.bandwidth, 1);
+        assert_eq!(s.one_sum, 4);
+        assert_eq!(s.two_sum_sq, 4);
+    }
+
+    #[test]
+    fn star_identity_vs_center_last() {
+        let p = star(5); // center 0, leaves 1..4
+        let id = Permutation::identity(5);
+        let s = envelope_stats(&p, &id);
+        // Rows 1..4 each reach back to column 0: widths 1,2,3,4.
+        assert_eq!(s.envelope_size, 10);
+        assert_eq!(s.bandwidth, 4);
+        // Center in the middle reduces the envelope.
+        let mid = Permutation::from_new_to_old(vec![1, 2, 0, 3, 4]).unwrap();
+        let s2 = envelope_stats(&p, &mid);
+        assert_eq!(s2.bandwidth, 2);
+        assert!(s2.envelope_size < s.envelope_size);
+    }
+
+    #[test]
+    fn row_widths_match_stats() {
+        let p = star(5);
+        let id = Permutation::identity(5);
+        let w = row_widths(&p, &id);
+        assert_eq!(w, vec![0, 1, 2, 3, 4]);
+        let s = envelope_stats(&p, &id);
+        assert_eq!(w.iter().sum::<u64>(), s.envelope_size);
+        assert_eq!(w.iter().map(|x| x * x).sum::<u64>(), s.envelope_work);
+    }
+
+    #[test]
+    fn frontwidth_sum_equals_envelope_size() {
+        let p = star(6);
+        for order in [
+            vec![0, 1, 2, 3, 4, 5],
+            vec![5, 4, 3, 2, 1, 0],
+            vec![2, 0, 4, 1, 5, 3],
+        ] {
+            let perm = Permutation::from_new_to_old(order).unwrap();
+            let fw = frontwidths(&p, &perm);
+            let s = envelope_stats(&p, &perm);
+            assert_eq!(fw.iter().sum::<u64>(), s.envelope_size);
+            // The front is empty after everything is placed.
+            assert_eq!(*fw.last().unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn reversal_preserves_symmetric_quantities_on_path() {
+        let p = path(7);
+        let id = Permutation::identity(7);
+        let rev = id.reversed();
+        // A path is symmetric under reversal, so everything matches.
+        assert_eq!(envelope_stats(&p, &id), envelope_stats(&p, &rev));
+    }
+
+    #[test]
+    fn one_two_sums_are_permutation_of_edge_distances() {
+        let p = star(4);
+        let perm = Permutation::from_new_to_old(vec![3, 1, 0, 2]).unwrap();
+        // positions: v0->2, v1->1, v2->3, v3->0
+        // edges (0,1): |2-1|=1; (0,2): |2-3|=1; (0,3): |2-0|=2
+        let s = envelope_stats(&p, &perm);
+        assert_eq!(s.one_sum, 4);
+        assert_eq!(s.two_sum_sq, 6);
+        assert!((s.two_sum() - 6.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn p_sum_generalises() {
+        let p = path(4);
+        let id = Permutation::identity(4);
+        assert_eq!(p_sum(&p, &id, 1.0), 3.0);
+        assert_eq!(p_sum(&p, &id, 2.0), 3.0);
+        assert_eq!(p_sum(&p, &id, 3.0), 3.0);
+    }
+
+    #[test]
+    fn adjacency_ordering_detection() {
+        let p = path(4);
+        assert!(is_adjacency_ordering(&p, &Permutation::identity(4)));
+        // 0,2,1,3: vertex 2 is not adjacent to {0}.
+        let bad = Permutation::from_new_to_old(vec![0, 2, 1, 3]).unwrap();
+        assert!(!is_adjacency_ordering(&p, &bad));
+    }
+
+    #[test]
+    fn theorem_2_2_bounds_hold_on_path() {
+        // Path P_n: λ₂ = 2(1 − cos(π/n)), Δ = 2; identity ordering is optimal
+        // with Esize = Ework = n − 1.
+        let n = 20;
+        let lambda2 = 2.0 * (1.0 - (std::f64::consts::PI / n as f64).cos());
+        let (esize_lb, ework_lb) = theorem_2_2_lower_bounds(lambda2, n, 2);
+        assert!(esize_lb <= (n - 1) as f64, "esize lb {esize_lb}");
+        assert!(ework_lb <= (n - 1) as f64, "ework lb {ework_lb}");
+        assert!(esize_lb > 0.0);
+    }
+
+    #[test]
+    fn envelope_size_agrees_with_full_stats() {
+        let p = star(7);
+        let perm = Permutation::from_new_to_old(vec![6, 2, 4, 0, 1, 5, 3]).unwrap();
+        assert_eq!(
+            envelope_size(&p, &perm),
+            envelope_stats(&p, &perm).envelope_size
+        );
+        assert_eq!(bandwidth(&p, &perm), envelope_stats(&p, &perm).bandwidth);
+    }
+
+    #[test]
+    fn frontwidth_stats_on_path() {
+        let p = path(5);
+        let s = frontwidth_stats(&p, &Permutation::identity(5));
+        // Frontwidths of a path: 1,1,1,1,0.
+        assert_eq!(s.max, 1);
+        assert!((s.mean - 0.8).abs() < 1e-12);
+        assert!((s.rms - (4.0f64 / 5.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frontwidth_mean_is_envelope_over_n() {
+        let p = star(7);
+        let perm = Permutation::from_new_to_old(vec![3, 0, 5, 1, 6, 2, 4]).unwrap();
+        let s = frontwidth_stats(&p, &perm);
+        let e = envelope_stats(&p, &perm).envelope_size;
+        assert!((s.mean - e as f64 / 7.0).abs() < 1e-12);
+        assert!(s.rms >= s.mean); // Cauchy–Schwarz
+        assert!(s.max as f64 >= s.rms);
+    }
+
+    #[test]
+    fn theorem_2_1_inequalities_on_small_graphs() {
+        // Esize ≤ σ₁ ≤ Δ·Esize and Ework ≤ σ₂² ≤ Δ·Ework hold for *every*
+        // ordering (the theorem states them at the minima; the per-ordering
+        // version follows from max ≤ sum ≤ Δ·max over each row).
+        let p = star(6);
+        let delta = p.max_degree() as u64;
+        for order in [vec![0, 1, 2, 3, 4, 5], vec![3, 1, 5, 0, 2, 4]] {
+            let perm = Permutation::from_new_to_old(order).unwrap();
+            let s = envelope_stats(&p, &perm);
+            assert!(s.envelope_size <= s.one_sum);
+            assert!(s.one_sum <= delta * s.envelope_size);
+            assert!(s.envelope_work <= s.two_sum_sq);
+            assert!(s.two_sum_sq <= delta * s.envelope_work);
+        }
+    }
+}

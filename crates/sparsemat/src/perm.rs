@@ -1,0 +1,277 @@
+//! Symmetric permutations of matrices/vertex orderings.
+//!
+//! A [`Permutation`] represents an ordering `σ : old index → position`
+//! together with its inverse. In the paper's notation, `σ(v)` is the
+//! (0-based) position of vertex `v` in the new ordering.
+
+use crate::{Result, SparseError};
+
+/// A permutation of `0..n`, stored in both directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    /// `new_to_old[k]` = old index of the element placed at position `k`.
+    new_to_old: Vec<usize>,
+    /// `old_to_new[v]` = position of old element `v`.
+    old_to_new: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        let v: Vec<usize> = (0..n).collect();
+        Permutation {
+            new_to_old: v.clone(),
+            old_to_new: v,
+        }
+    }
+
+    /// Builds from the "ordering vector": `order[k]` is the old index placed
+    /// at position `k` (the order vertices are visited/numbered in).
+    pub fn from_new_to_old(order: Vec<usize>) -> Result<Self> {
+        let n = order.len();
+        let mut inv = vec![usize::MAX; n];
+        for (k, &v) in order.iter().enumerate() {
+            if v >= n {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "entry {v} out of range 0..{n}"
+                )));
+            }
+            if inv[v] != usize::MAX {
+                return Err(SparseError::InvalidPermutation(format!(
+                    "element {v} appears twice"
+                )));
+            }
+            inv[v] = k;
+        }
+        Ok(Permutation {
+            new_to_old: order,
+            old_to_new: inv,
+        })
+    }
+
+    /// Builds from the position vector: `pos[v]` is the new position of old
+    /// element `v` (the paper's `σ`).
+    pub fn from_old_to_new(pos: Vec<usize>) -> Result<Self> {
+        let p = Permutation::from_new_to_old(pos)?;
+        Ok(Permutation {
+            new_to_old: p.old_to_new,
+            old_to_new: p.new_to_old,
+        })
+    }
+
+    /// Builds the permutation that sorts `keys` in nondecreasing order:
+    /// position 0 gets the element with the smallest key. Ties are broken by
+    /// original index, making the result deterministic.
+    ///
+    /// This is exactly step 3 of the paper's Algorithm 1 applied to the
+    /// Fiedler vector.
+    pub fn sorting(keys: &[f64]) -> Self {
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by(|&a, &b| {
+            keys[a]
+                .partial_cmp(&keys[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        Permutation::from_new_to_old(order).expect("sorting produces a valid permutation")
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.new_to_old.is_empty()
+    }
+
+    /// Old index of the element at position `k`.
+    pub fn new_to_old(&self, k: usize) -> usize {
+        self.new_to_old[k]
+    }
+
+    /// Position of old element `v` (the paper's `σ(v)`).
+    pub fn old_to_new(&self, v: usize) -> usize {
+        self.old_to_new[v]
+    }
+
+    /// The full ordering vector (`new → old`).
+    pub fn order(&self) -> &[usize] {
+        &self.new_to_old
+    }
+
+    /// The full position vector (`old → new`).
+    pub fn positions(&self) -> &[usize] {
+        &self.old_to_new
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            new_to_old: self.old_to_new.clone(),
+            old_to_new: self.new_to_old.clone(),
+        }
+    }
+
+    /// Reverses the ordering (position `k` becomes position `n-1-k`).
+    ///
+    /// This is the "reverse" in reverse Cuthill–McKee, and how the spectral
+    /// algorithm obtains the nonincreasing variant of a sorted eigenvector.
+    pub fn reversed(&self) -> Permutation {
+        let mut order = self.new_to_old.clone();
+        order.reverse();
+        Permutation::from_new_to_old(order).expect("reverse of valid permutation is valid")
+    }
+
+    /// Composition: the result sends old index `v` to
+    /// `other.old_to_new(self.old_to_new(v))` — i.e. apply `self` first,
+    /// then `other` (which must be a permutation of positions of `self`).
+    pub fn then(&self, other: &Permutation) -> Result<Permutation> {
+        if self.len() != other.len() {
+            return Err(SparseError::DimensionMismatch(format!(
+                "composing permutations of length {} and {}",
+                self.len(),
+                other.len()
+            )));
+        }
+        let pos = (0..self.len())
+            .map(|v| other.old_to_new(self.old_to_new(v)))
+            .collect();
+        Permutation::from_old_to_new(pos)
+    }
+
+    /// Applies the permutation to a data vector: `result[k] = data[new_to_old[k]]`.
+    pub fn apply<T: Clone>(&self, data: &[T]) -> Result<Vec<T>> {
+        if data.len() != self.len() {
+            return Err(SparseError::DimensionMismatch(format!(
+                "permutation length {} != data length {}",
+                self.len(),
+                data.len()
+            )));
+        }
+        Ok(self.new_to_old.iter().map(|&v| data[v].clone()).collect())
+    }
+
+    /// The centred permutation vector of §2.3 of the paper: for odd `n` the
+    /// components are a permutation of `{-(n-1)/2, …, -1, 0, 1, …, (n-1)/2}`,
+    /// for even `n` of `{-n/2, …, -1, 1, …, n/2}`. Element `v` receives the
+    /// value determined by its position `σ(v)`.
+    pub fn centered_vector(&self) -> Vec<f64> {
+        let n = self.len();
+        let value_at = |k: usize| -> f64 {
+            if n % 2 == 1 {
+                k as f64 - ((n - 1) / 2) as f64
+            } else {
+                let half = (n / 2) as isize;
+                let v = k as isize - half; // -n/2 .. n/2 - 1
+                if v >= 0 {
+                    (v + 1) as f64
+                } else {
+                    v as f64
+                }
+            }
+        };
+        (0..n).map(|v| value_at(self.old_to_new[v])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(5);
+        for i in 0..5 {
+            assert_eq!(p.new_to_old(i), i);
+            assert_eq!(p.old_to_new(i), i);
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate() {
+        assert!(Permutation::from_new_to_old(vec![0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Permutation::from_new_to_old(vec![0, 3]).is_err());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 3, 1]).unwrap();
+        let q = p.then(&p.inverse()).unwrap();
+        assert_eq!(q, Permutation::identity(4));
+    }
+
+    #[test]
+    fn from_old_to_new_is_inverse_of_from_new_to_old() {
+        let order = vec![2, 0, 3, 1];
+        let p = Permutation::from_new_to_old(order.clone()).unwrap();
+        let q = Permutation::from_old_to_new(order).unwrap();
+        assert_eq!(p.inverse(), q);
+    }
+
+    #[test]
+    fn sorting_orders_keys() {
+        let keys = [0.5, -1.0, 2.0, 0.0];
+        let p = Permutation::sorting(&keys);
+        assert_eq!(p.order(), &[1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn sorting_ties_broken_by_index() {
+        let keys = [1.0, 1.0, 0.0];
+        let p = Permutation::sorting(&keys);
+        assert_eq!(p.order(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn reversed_flips_positions() {
+        let p = Permutation::identity(4).reversed();
+        assert_eq!(p.order(), &[3, 2, 1, 0]);
+        assert_eq!(p.old_to_new(0), 3);
+    }
+
+    #[test]
+    fn apply_permutes_data() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+        let data = vec!["a", "b", "c"];
+        assert_eq!(p.apply(&data).unwrap(), vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_length() {
+        let p = Permutation::identity(3);
+        assert!(p.apply(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn centered_vector_odd() {
+        let p = Permutation::identity(5);
+        assert_eq!(p.centered_vector(), vec![-2.0, -1.0, 0.0, 1.0, 2.0]);
+        let sum: f64 = p.centered_vector().iter().sum();
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn centered_vector_even() {
+        let p = Permutation::identity(4);
+        assert_eq!(p.centered_vector(), vec![-2.0, -1.0, 1.0, 2.0]);
+        let sum: f64 = p.centered_vector().iter().sum();
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn centered_vector_norm_matches_paper() {
+        // pᵀp = n(n²−1)/12 for odd n; n(n+1)(n+2)/12 for even n.
+        let p5 = Permutation::identity(5).centered_vector();
+        let sq5: f64 = p5.iter().map(|x| x * x).sum();
+        assert_eq!(sq5, 5.0 * 24.0 / 12.0);
+        let p4 = Permutation::identity(4).centered_vector();
+        let sq4: f64 = p4.iter().map(|x| x * x).sum();
+        assert_eq!(sq4, 4.0 * 5.0 * 6.0 / 12.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the sparse-matrix substrate: CSR algebra,
+//! file-format round trips, and permutation laws.
+
+use proptest::prelude::*;
+use sparsemat::io::harwell_boeing::{read_harwell_boeing_str, write_harwell_boeing_string};
+use sparsemat::io::matrix_market::{read_matrix_market_str, write_matrix_market_string};
+use sparsemat::{CooMatrix, CsrMatrix, Permutation};
+
+/// Strategy: a random square CSR matrix with "nice" values (exact in
+/// decimal round trips).
+fn square_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..=12).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, -8i32..=8), 0..3 * n).prop_map(move |tri| {
+            let mut coo = CooMatrix::new(n, n);
+            for (r, c, v) in tri {
+                coo.push(r, c, v as f64 / 4.0).unwrap();
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// Strategy: a random symmetric CSR matrix.
+fn symmetric_matrix() -> impl Strategy<Value = CsrMatrix> {
+    square_matrix().prop_map(|a| a.symmetrize().expect("square"))
+}
+
+fn random_perm(n: usize) -> impl Strategy<Value = Permutation> {
+    Just(n)
+        .prop_map(|n| (0..n).collect::<Vec<usize>>())
+        .prop_shuffle()
+        .prop_map(|v| Permutation::from_new_to_old(v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transpose_is_involutive(a in square_matrix()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_matvec(a in square_matrix()) {
+        // yᵀ(Ax) == (Aᵀy)ᵀx for random-ish x, y.
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) % 5) as f64 - 2.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 3 + 2) % 7) as f64 - 3.0).collect();
+        let ax = a.matvec_alloc(&x);
+        let aty = a.transpose().matvec_alloc(&y);
+        let lhs: f64 = y.iter().zip(&ax).map(|(p, q)| p * q).sum();
+        let rhs: f64 = aty.iter().zip(&x).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetrize_is_symmetric_and_idempotent(a in square_matrix()) {
+        let s = a.symmetrize().unwrap();
+        prop_assert!(s.is_symmetric(1e-12));
+        let s2 = s.symmetrize().unwrap();
+        prop_assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn matvec_matches_dense(a in square_matrix()) {
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) - n as f64 / 2.0).collect();
+        let y = a.matvec_alloc(&x);
+        let d = a.to_dense();
+        for i in 0..n {
+            let yi: f64 = (0..n).map(|j| d[i][j] * x[j]).sum();
+            prop_assert!((y[i] - yi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(a in square_matrix()) {
+        let s = write_matrix_market_string(&a);
+        let b = read_matrix_market_str(&s).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn harwell_boeing_roundtrip(a in square_matrix()) {
+        prop_assume!(a.nnz() > 0); // HB needs at least one entry per the format
+        let s = write_harwell_boeing_string(&a, "PROP");
+        let b = read_harwell_boeing_str(&s).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_permute_roundtrip(a in symmetric_matrix(), seed in 0u64..100) {
+        let n = a.nrows();
+        let perm = {
+            // Deterministic scramble from the seed.
+            let mut order: Vec<usize> = (0..n).collect();
+            let mut state = seed.wrapping_add(1);
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                order.swap(i, j);
+            }
+            Permutation::from_new_to_old(order).unwrap()
+        };
+        let p = a.permute_symmetric(&perm).unwrap();
+        let back = p.permute_symmetric(&perm.inverse()).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn permutation_composition_associative(n in 1usize..=16, s1 in 0u64..50, s2 in 0u64..50) {
+        let _ = (s1, s2);
+        let ps = (random_perm(n), random_perm(n), random_perm(n));
+        // Use prop_flat_map-free check: draw three perms via strategies is
+        // complex here; instead compose identity laws.
+        let _ = ps;
+        let id = Permutation::identity(n);
+        prop_assert_eq!(id.then(&id).unwrap(), Permutation::identity(n));
+    }
+
+    #[test]
+    fn sorting_permutation_sorts(keys in proptest::collection::vec(-100.0f64..100.0, 1..30)) {
+        let p = Permutation::sorting(&keys);
+        let sorted = p.apply(&keys).unwrap();
+        for w in sorted.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn centered_vector_sums_to_zero(n in 1usize..=40) {
+        let v = Permutation::identity(n).centered_vector();
+        let s: f64 = v.iter().sum();
+        prop_assert!(s.abs() < 1e-9);
+        // And its norm² matches the paper's ℓ.
+        let ell: f64 = v.iter().map(|x| x * x).sum();
+        let expect = if n % 2 == 1 {
+            n as f64 * (n as f64 * n as f64 - 1.0) / 12.0
+        } else {
+            n as f64 * (n as f64 + 1.0) * (n as f64 + 2.0) / 12.0
+        };
+        prop_assert!((ell - expect).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Three-way composition associativity with independent permutations.
+    #[test]
+    fn composition_associativity(
+        (p, q, r) in (2usize..=12).prop_flat_map(|n| (random_perm(n), random_perm(n), random_perm(n)))
+    ) {
+        let lhs = p.then(&q).unwrap().then(&r).unwrap();
+        let rhs = p.then(&q.then(&r).unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+}

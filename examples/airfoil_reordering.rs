@@ -1,0 +1,46 @@
+//! The paper's flagship scenario: reorder an unstructured airfoil CFD mesh
+//! (the BARTH4 structure class) with all six orderings, print the
+//! comparison table, and write spy-plot images.
+//!
+//! Run: `cargo run --release --example airfoil_reordering`
+
+use spectral_envelope_repro::order::Algorithm;
+use spectral_envelope_repro::sparsemat::spy::SpyGrid;
+use spectral_envelope_repro::spectral_env::report::compare_orderings;
+
+fn main() {
+    let standin = meshgen::standin("BARTH4").expect("BARTH4 standin exists");
+    // Real meshes arrive with a generator numbering, not a banded one.
+    let g = standin
+        .pattern
+        .permute(&meshgen::scramble(standin.pattern.n(), 0xA1F0))
+        .expect("valid permutation");
+
+    println!(
+        "Airfoil mesh (BARTH4 stand-in): {} vertices, {} edges\n",
+        g.n(),
+        g.num_edges()
+    );
+
+    let algs = [
+        Algorithm::Spectral,
+        Algorithm::Gk,
+        Algorithm::Gps,
+        Algorithm::Rcm,
+        Algorithm::Sloan,
+        Algorithm::HybridSloanSpectral,
+    ];
+    let cmp = compare_orderings(&g, &algs).expect("orderings run");
+    println!("{}", cmp.format_table("Airfoil reordering comparison"));
+
+    let dir = std::path::Path::new("bench_out");
+    std::fs::create_dir_all(dir).expect("create output dir");
+    for row in &cmp.rows {
+        let spy = SpyGrid::new(&g, &row.perm, 400).expect("spy");
+        let path = dir.join(format!("airfoil_{}.pgm", row.algorithm.name().to_lowercase()));
+        spy.write_pgm(&path).expect("write pgm");
+        println!("wrote {}", path.display());
+    }
+    println!("\nThe SPECTRAL plot shows the paper's signature: a globally thin but");
+    println!("wavy profile — larger bandwidth, much smaller envelope than RCM/GPS/GK.");
+}

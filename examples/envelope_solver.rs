@@ -1,0 +1,60 @@
+//! A structural-analysis-style direct solve: assemble an SPD system on a
+//! shell mesh, reorder, envelope-factorize and solve — then show how the
+//! choice of ordering changes storage and factorization work (the paper's
+//! Table 4.4 story, as an application).
+//!
+//! Run: `cargo run --release --example envelope_solver`
+
+use spectral_envelope_repro::envelope::EnvelopeMatrix;
+use spectral_envelope_repro::order::Algorithm;
+use spectral_envelope_repro::spectral_env::{reorder_factor_solve, reorder_pattern};
+use std::time::Instant;
+
+fn main() {
+    // A cylindrical shell with bilinear elements: 60 x 40 nodes.
+    let g = meshgen::cylinder_shell_9point(60, 40);
+    let a = g.spd_matrix(0.8);
+    let n = a.nrows();
+    println!("Shell model: n = {n}, nonzeros = {}\n", a.nnz());
+
+    // A manufactured solution to verify against.
+    let x_true: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) / 8.0 - 1.0).collect();
+    let b = a.matvec_alloc(&x_true);
+
+    println!(
+        "  {:<9} {:>12} {:>14} {:>12} {:>12}",
+        "Ordering", "Envelope", "Factor flops", "Factor (s)", "max |err|"
+    );
+    for alg in [
+        Algorithm::Spectral,
+        Algorithm::HybridSloanSpectral,
+        Algorithm::Sloan,
+        Algorithm::Gk,
+        Algorithm::Gps,
+        Algorithm::Rcm,
+    ] {
+        let ordering = reorder_pattern(&g, alg).expect("ordering runs");
+        let mut env =
+            EnvelopeMatrix::from_csr_permuted(&a, &ordering.perm).expect("symmetric matrix");
+        let t0 = Instant::now();
+        let flops = env.factorize().expect("SPD");
+        let secs = t0.elapsed().as_secs_f64();
+        // Solve through the façade to exercise the full path.
+        let (x, _) = reorder_factor_solve(&a, &b, alg).expect("solve");
+        let err = x
+            .iter()
+            .zip(&x_true)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "  {:<9} {:>12} {:>14} {:>12.4} {:>12.2e}",
+            alg.name(),
+            ordering.stats.envelope_size,
+            flops,
+            secs,
+            err
+        );
+    }
+    println!("\nSmaller envelope -> fewer flops -> faster factorization, at identical");
+    println!("solution accuracy: exactly the trade Table 4.4 of the paper reports.");
+}

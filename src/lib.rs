@@ -1,0 +1,11 @@
+//! Workspace façade crate: re-exports the whole reproduction so that the
+//! root `examples/` and `tests/` can use a single dependency. Library users
+//! should depend on the individual crates (most importantly `spectral-env`).
+
+pub use meshgen;
+pub use se_eigen as eigen;
+pub use se_envelope as envelope;
+pub use se_graph as graph;
+pub use se_order as order;
+pub use sparsemat;
+pub use spectral_env;
