@@ -1,58 +1,51 @@
-//! Criterion bench: the multilevel Fiedler solver of §3 versus plain
-//! Lanczos — the speedup that makes the spectral ordering practical.
+//! Bench: the multilevel Fiedler solver of §3 versus plain Lanczos — the
+//! speedup that makes the spectral ordering practical.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meshgen::grid2d;
+use se_bench::harness::Runner;
 use se_eigen::lanczos::LanczosOptions;
 use se_eigen::lobpcg::{lobpcg_smallest, LobpcgOptions};
 use se_eigen::multilevel::{fiedler, fiedler_lanczos, FiedlerOptions};
 use se_eigen::op::{constant_unit_vector, LaplacianOp};
 
-fn bench_fiedler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fiedler");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    for (label, nx, ny) in [("n=1024", 32, 32), ("n=4096", 64, 64), ("n=16384", 128, 128)] {
+fn main() {
+    let runner = Runner::new("fiedler");
+    for (label, nx, ny) in [
+        ("n=1024", 32, 32),
+        ("n=4096", 64, 64),
+        ("n=16384", 128, 128),
+    ] {
         let g = grid2d(nx, ny);
-        group.bench_with_input(BenchmarkId::new("multilevel", label), &g, |b, g| {
-            b.iter(|| fiedler(g, &FiedlerOptions::default()).expect("connected"))
+        runner.bench(&format!("multilevel/{label}"), || {
+            fiedler(&g, &FiedlerOptions::default()).expect("connected")
         });
-        group.bench_with_input(BenchmarkId::new("lobpcg", label), &g, |b, g| {
-            b.iter(|| {
-                let lop = LaplacianOp::new(g);
-                let deflate = vec![constant_unit_vector(g.n())];
-                lobpcg_smallest(
-                    &lop,
-                    &deflate,
-                    None,
-                    &LobpcgOptions {
-                        max_iter: 3000,
-                        tol: 1e-7,
+        runner.bench(&format!("lobpcg/{label}"), || {
+            let lop = LaplacianOp::new(&g);
+            let deflate = vec![constant_unit_vector(g.n())];
+            lobpcg_smallest(
+                &lop,
+                &deflate,
+                None,
+                &LobpcgOptions {
+                    max_iter: 3000,
+                    tol: 1e-7,
+                    ..Default::default()
+                },
+            )
+            .expect("connected")
+        });
+        // Plain Lanczos gets slow quickly; skip the largest size.
+        if nx <= 64 {
+            runner.bench(&format!("lanczos/{label}"), || {
+                fiedler_lanczos(
+                    &g,
+                    &LanczosOptions {
+                        max_iter: 600,
                         ..Default::default()
                     },
                 )
                 .expect("connected")
-            })
-        });
-        // Plain Lanczos gets slow quickly; skip the largest size.
-        if nx <= 64 {
-            group.bench_with_input(BenchmarkId::new("lanczos", label), &g, |b, g| {
-                b.iter(|| {
-                    fiedler_lanczos(
-                        g,
-                        &LanczosOptions {
-                            max_iter: 600,
-                            ..Default::default()
-                        },
-                    )
-                    .expect("connected")
-                })
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fiedler);
-criterion_main!(benches);

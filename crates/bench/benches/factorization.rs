@@ -1,34 +1,27 @@
-//! Criterion bench: envelope Cholesky under SPECTRAL vs RCM orderings —
-//! Table 4.4's claim that smaller envelopes buy factorization time.
+//! Bench: envelope Cholesky under SPECTRAL vs RCM orderings — Table 4.4's
+//! claim that smaller envelopes buy factorization time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meshgen::annulus_tri;
+use se_bench::harness::Runner;
 use se_envelope::EnvelopeMatrix;
 use spectral_env::{reorder_pattern, Algorithm};
 
-fn bench_factorization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("envelope_cholesky");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let runner = Runner::new("envelope_cholesky");
     let g = annulus_tri(24, 100, 0xFAC7); // n = 2400, BARTH4-class mesh
     let a = g.spd_matrix(1.0);
-    for alg in [Algorithm::Spectral, Algorithm::Rcm, Algorithm::Gps, Algorithm::Gk] {
+    for alg in [
+        Algorithm::Spectral,
+        Algorithm::Rcm,
+        Algorithm::Gps,
+        Algorithm::Gk,
+    ] {
         let ordering = reorder_pattern(&g, alg).expect("ordering succeeds");
         let pa = a.permute_symmetric(&ordering.perm).expect("permutable");
-        group.bench_with_input(
-            BenchmarkId::new(alg.name(), format!("env={}", ordering.stats.envelope_size)),
-            &pa,
-            |b, pa| {
-                b.iter(|| {
-                    let mut env = EnvelopeMatrix::from_csr(pa).expect("symmetric");
-                    env.factorize().expect("SPD")
-                })
-            },
-        );
+        let name = format!("{}/env={}", alg.name(), ordering.stats.envelope_size);
+        runner.bench(&name, || {
+            let mut env = EnvelopeMatrix::from_csr(&pa).expect("symmetric");
+            env.factorize().expect("SPD")
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_factorization);
-criterion_main!(benches);

@@ -1,36 +1,26 @@
-//! Criterion bench: the floating-point kernels the paper argues make the
-//! spectral method vectorizable/parallelizable — sparse matvec and the
-//! matrix-free Laplacian apply.
+//! Bench: the floating-point kernels the paper argues make the spectral
+//! method vectorizable/parallelizable — sparse matvec and the matrix-free
+//! Laplacian apply.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meshgen::grid2d;
+use se_bench::harness::Runner;
 use se_eigen::op::{LaplacianOp, SymOp};
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let runner = Runner::new("kernels");
     for (label, nx) in [("n=10k", 100), ("n=90k", 300)] {
         let g = grid2d(nx, nx);
         let a = g.laplacian();
         let x: Vec<f64> = (0..g.n()).map(|i| (i as f64).sin()).collect();
         let mut y = vec![0.0; g.n()];
-        group.bench_with_input(BenchmarkId::new("csr_matvec", label), &a, |b, a| {
-            b.iter(|| a.matvec(&x, &mut y))
-        });
+        runner.bench(&format!("csr_matvec/{label}"), || a.matvec(&x, &mut y));
         let lop = LaplacianOp::new(&g);
-        group.bench_with_input(BenchmarkId::new("laplacian_apply", label), &lop, |b, lop| {
-            b.iter(|| lop.apply(&x, &mut y))
+        let mut y2 = vec![0.0; g.n()];
+        runner.bench(&format!("laplacian_apply/{label}"), || {
+            lop.apply(&x, &mut y2)
         });
-        group.bench_with_input(
-            BenchmarkId::new("rayleigh_quotient", label),
-            &lop,
-            |b, lop| b.iter(|| lop.rayleigh_quotient(&x)),
-        );
+        runner.bench(&format!("rayleigh_quotient/{label}"), || {
+            lop.rayleigh_quotient(&x)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

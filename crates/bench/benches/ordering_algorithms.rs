@@ -1,17 +1,14 @@
-//! Criterion bench: ordering time per algorithm across mesh sizes — the
-//! "Run time" column of Tables 4.1–4.3 in micro-benchmark form, including
-//! the paper's observation that the spectral ordering costs more to compute
-//! than the local-search algorithms.
+//! Bench: ordering time per algorithm across mesh sizes — the "Run time"
+//! column of Tables 4.1–4.3 in micro-benchmark form, including the paper's
+//! observation that the spectral ordering costs more to compute than the
+//! local-search algorithms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meshgen::annulus_tri;
+use se_bench::harness::Runner;
 use spectral_env::{reorder_pattern, Algorithm};
 
-fn bench_orderings(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ordering");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let runner = Runner::new("ordering");
     for (label, rings, per_ring) in [("n~1.2k", 16, 75), ("n~4.8k", 32, 150)] {
         let g = annulus_tri(rings, per_ring, 0xBEEF);
         for alg in [
@@ -22,13 +19,9 @@ fn bench_orderings(c: &mut Criterion) {
             Algorithm::Spectral,
             Algorithm::HybridSloanSpectral,
         ] {
-            group.bench_with_input(BenchmarkId::new(alg.name(), label), &g, |b, g| {
-                b.iter(|| reorder_pattern(g, alg).expect("ordering succeeds"))
+            runner.bench(&format!("{}/{label}", alg.name()), || {
+                reorder_pattern(&g, alg).expect("ordering succeeds")
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_orderings);
-criterion_main!(benches);

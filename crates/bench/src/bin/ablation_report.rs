@@ -60,7 +60,10 @@ fn main() {
     }
 
     println!("\n--- 2. smoothing passes after interpolation ---");
-    println!("  {:>6} {:>12} {:>10} {:>12}", "steps", "λ₂", "|Δλ₂|/λ₂", "time (s)");
+    println!(
+        "  {:>6} {:>12} {:>10} {:>12}",
+        "steps", "λ₂", "|Δλ₂|/λ₂", "time (s)"
+    );
     for steps in [0, 1, 2, 4] {
         let opts = FiedlerOptions {
             smooth_steps: steps,
@@ -101,7 +104,10 @@ fn main() {
     let asc = Permutation::sorting(&f.vector);
     let desc = asc.reversed();
     let (e_asc, e_desc) = (envelope_size(&g, &asc), envelope_size(&g, &desc));
-    println!("  ascending: {e_asc}   nonincreasing: {e_desc}   best-of-both: {}", e_asc.min(e_desc));
+    println!(
+        "  ascending: {e_asc}   nonincreasing: {e_desc}   best-of-both: {}",
+        e_asc.min(e_desc)
+    );
     println!("  (the paper's step 3 evaluates both and keeps the smaller)");
 
     println!("\n--- 5. local refinement on top of the spectral order (§4 future work) ---");

@@ -17,7 +17,9 @@ fn main() {
         "Matrix", "lambda2", "maxD", "Esize bound", "best Esize", "ratio", "Ework bound", "ratio"
     );
     let cap = se_bench::max_n().unwrap_or(20_000);
-    for name in ["POW9", "CAN1072", "BLKHOLE", "DWT2680", "SSTMODEL", "BARTH4", "SHUTTLE"] {
+    for name in [
+        "POW9", "CAN1072", "BLKHOLE", "DWT2680", "SSTMODEL", "BARTH4", "SHUTTLE",
+    ] {
         let s = meshgen::standin(name).expect("standin exists");
         if s.pattern.n() > cap {
             println!("  {name}: skipped (SE_MAX_N)");
@@ -34,8 +36,7 @@ fn main() {
         let n = s.pattern.n();
         let delta = s.pattern.max_degree();
         let (esize_lb, ework_lb) = theorem_2_2_lower_bounds(fr.lambda2, n, delta);
-        let c = compare_orderings(&s.pattern, &Algorithm::paper_set())
-            .expect("orderings succeed");
+        let c = compare_orderings(&s.pattern, &Algorithm::paper_set()).expect("orderings succeed");
         let best = c.best();
         let esize = best.stats.envelope_size as f64;
         let ework = best.stats.envelope_work as f64;

@@ -24,8 +24,7 @@ fn main() {
             let direct = reorder_pattern(&s.pattern, alg).expect("ordering runs");
             let t_direct = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            let (comp, ratio) =
-                reorder_pattern_compressed(&s.pattern, alg).expect("ordering runs");
+            let (comp, ratio) = reorder_pattern_compressed(&s.pattern, alg).expect("ordering runs");
             let t_comp = t1.elapsed().as_secs_f64();
             println!(
                 "  {:<9} {:>7} {:>6.2} | {:>12} {:>9.3} | {:>12} {:>9.3} {:>6.1}x  ({})",

@@ -12,11 +12,15 @@ use spectral_env::report::compare_orderings;
 use spectral_env::{reorder_pattern, Algorithm};
 
 fn check(name: &str, ok: bool, detail: String) -> bool {
-    println!("  [{}] {name}{}", if ok { "ok" } else { "FAIL" }, if detail.is_empty() {
-        String::new()
-    } else {
-        format!(" — {detail}")
-    });
+    println!(
+        "  [{}] {name}{}",
+        if ok { "ok" } else { "FAIL" },
+        if detail.is_empty() {
+            String::new()
+        } else {
+            format!(" — {detail}")
+        }
+    );
     ok
 }
 
@@ -43,7 +47,10 @@ fn main() -> std::process::ExitCode {
         spectral_best,
         format!(
             "ranks: {:?}",
-            cmp.rows.iter().map(|r| (r.algorithm.name(), r.rank)).collect::<Vec<_>>()
+            cmp.rows
+                .iter()
+                .map(|r| (r.algorithm.name(), r.rank))
+                .collect::<Vec<_>>()
         ),
     );
 

@@ -6,8 +6,8 @@ use spectral_env::report::group_digits;
 fn main() {
     println!("==== Stand-in fidelity: synthetic vs paper matrices ====\n");
     println!(
-        "  {:<9} {:>9} {:>9} {:>7} {:>11} {:>11} {:>7}  {}",
-        "Matrix", "n", "paper n", "dn%", "nnz", "paper nnz", "dnnz%", "structure class"
+        "  {:<9} {:>9} {:>9} {:>7} {:>11} {:>11} {:>7}  structure class",
+        "Matrix", "n", "paper n", "dn%", "nnz", "paper nnz", "dnnz%"
     );
     for name in meshgen::standins::ALL_NAMES {
         let s = meshgen::standin(name).expect("standin exists");

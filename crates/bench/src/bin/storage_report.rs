@@ -19,7 +19,9 @@ fn main() {
         "Matrix", "ordering", "envelope sto.", "|L| (sparse)", "ratio"
     );
     let cap = se_bench::max_n().unwrap_or(10_000);
-    for name in ["POW9", "CAN1072", "BLKHOLE", "DWT2680", "SSTMODEL", "BARTH4"] {
+    for name in [
+        "POW9", "CAN1072", "BLKHOLE", "DWT2680", "SSTMODEL", "BARTH4",
+    ] {
         let s = meshgen::standin(name).expect("standin exists");
         if s.pattern.n() > cap {
             println!("  {name}: skipped (SE_MAX_N)");

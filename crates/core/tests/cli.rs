@@ -25,11 +25,12 @@ fn tmpdir(tag: &str) -> std::path::PathBuf {
 fn orders_a_matrix_market_file() {
     let dir = tmpdir("basic");
     let mtx = write_test_matrix(&dir);
-    let out = Command::new(bin())
-        .arg(&mtx)
-        .output()
-        .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = Command::new(bin()).arg(&mtx).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("SPECTRAL"), "{stdout}");
     assert!(stdout.contains("envelope ="), "{stdout}");
@@ -69,7 +70,11 @@ fn writes_permutation_and_matrix_and_spy() {
         .arg(&spy)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // The permutation file is n lines of 1-based indices.
     let ptxt = std::fs::read_to_string(&perm).unwrap();
     let ids: Vec<usize> = ptxt.lines().map(|l| l.parse().unwrap()).collect();
@@ -130,7 +135,11 @@ fn chaco_input_is_accepted() {
         .args(["--alg", "gps"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("GPS: envelope ="), "{stdout}");
 }

@@ -226,8 +226,7 @@ mod tests {
 
     #[test]
     fn diagonal_matrix() {
-        let a = DenseSym::new(3, vec![5.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 2.0], 0.0)
-            .unwrap();
+        let a = DenseSym::new(3, vec![5.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 2.0], 0.0).unwrap();
         let eig = a.eigh().unwrap();
         assert_eq!(
             eig.values
@@ -292,8 +291,21 @@ mod tests {
         let g = sparsemat::SymmetricPattern::from_edges(
             12,
             &[
-                (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8),
-                (8, 9), (9, 10), (10, 11), (0, 4), (2, 9), (5, 11), (1, 7),
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (0, 4),
+                (2, 9),
+                (5, 11),
+                (1, 7),
             ],
         )
         .unwrap();

@@ -10,8 +10,7 @@
 use crate::op::SymOp;
 use crate::tridiag::eigh_tridiag;
 use crate::{EigenError, Result};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use se_prng::SmallRng;
 
 /// Options controlling the Lanczos iteration.
 #[derive(Debug, Clone)]
@@ -257,11 +256,8 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_smallest() {
-        let a = CsrMatrix::from_entries(
-            4,
-            &[(0, 0, 4.0), (1, 1, 1.0), (2, 2, 3.0), (3, 3, 2.0)],
-        )
-        .unwrap();
+        let a = CsrMatrix::from_entries(4, &[(0, 0, 4.0), (1, 1, 1.0), (2, 2, 3.0), (3, 3, 2.0)])
+            .unwrap();
         let op = CsrOp::new(&a);
         let r = lanczos_smallest(&op, &[], 2, &LanczosOptions::default()).unwrap();
         assert!((r.values[0] - 1.0).abs() < 1e-9);
@@ -276,12 +272,19 @@ mod tests {
         let lop = LaplacianOp::new(&g);
         let deflate = vec![constant_unit_vector(n)];
         let r = lanczos_smallest(&lop, &deflate, 1, &LanczosOptions::default()).unwrap();
-        assert!((r.values[0] - path_lambda2(n)).abs() < 1e-8, "{}", r.values[0]);
+        assert!(
+            (r.values[0] - path_lambda2(n)).abs() < 1e-8,
+            "{}",
+            r.values[0]
+        );
         // The Fiedler vector of a path is monotone: cos(kπ(i+1/2)/n).
         let v = &r.vectors[0];
         let increasing = v.windows(2).all(|w| w[1] >= w[0]);
         let decreasing = v.windows(2).all(|w| w[1] <= w[0]);
-        assert!(increasing || decreasing, "path Fiedler vector must be monotone");
+        assert!(
+            increasing || decreasing,
+            "path Fiedler vector must be monotone"
+        );
     }
 
     #[test]

@@ -13,8 +13,7 @@
 
 use crate::op::SymOp;
 use crate::{EigenError, Result};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use se_prng::SmallRng;
 
 /// Options for [`lobpcg_smallest`].
 #[derive(Debug, Clone)]
@@ -69,13 +68,16 @@ fn project_out(x: &mut [f64], basis: &[Vec<f64>]) {
     }
 }
 
+/// An approximate inverse applied to residuals — e.g. Jacobi `r / diag`.
+pub type Preconditioner = dyn Fn(&[f64]) -> Vec<f64>;
+
 /// Computes the smallest eigenpair of `op` orthogonal to the (orthonormal)
 /// `deflate` basis, optionally preconditioned by `precond` (an approximate
 /// inverse applied to residuals — e.g. Jacobi `r / diag`).
 pub fn lobpcg_smallest<Op: SymOp>(
     op: &Op,
     deflate: &[Vec<f64>],
-    precond: Option<&dyn Fn(&[f64]) -> Vec<f64>>,
+    precond: Option<&Preconditioner>,
     opts: &LobpcgOptions,
 ) -> Result<LobpcgResult> {
     let n = op.n();
@@ -278,9 +280,8 @@ mod tests {
         let n = g.n();
         let deflate = vec![constant_unit_vector(n)];
         let degs: Vec<f64> = (0..n).map(|v| g.degree(v).max(1) as f64).collect();
-        let precond = move |r: &[f64]| -> Vec<f64> {
-            r.iter().zip(&degs).map(|(x, d)| x / d).collect()
-        };
+        let precond =
+            move |r: &[f64]| -> Vec<f64> { r.iter().zip(&degs).map(|(x, d)| x / d).collect() };
         let opts = LobpcgOptions {
             tol: 1e-9,
             ..Default::default()
@@ -325,7 +326,10 @@ mod tests {
     fn too_small_is_error() {
         let g = path(2);
         let lop = LaplacianOp::new(&g);
-        let deflate = vec![constant_unit_vector(2), vec![1.0 / 2f64.sqrt(), -(1.0 / 2f64.sqrt())]];
+        let deflate = vec![
+            constant_unit_vector(2),
+            vec![1.0 / 2f64.sqrt(), -(1.0 / 2f64.sqrt())],
+        ];
         assert!(matches!(
             lobpcg_smallest(&lop, &deflate, None, &LobpcgOptions::default()),
             Err(EigenError::TooSmall { .. })

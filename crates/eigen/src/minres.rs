@@ -203,11 +203,8 @@ mod tests {
     #[test]
     fn indefinite_system() {
         // diag(2, -1, 3, -4): symmetric indefinite — CG would fail, MINRES not.
-        let a = CsrMatrix::from_entries(
-            4,
-            &[(0, 0, 2.0), (1, 1, -1.0), (2, 2, 3.0), (3, 3, -4.0)],
-        )
-        .unwrap();
+        let a = CsrMatrix::from_entries(4, &[(0, 0, 2.0), (1, 1, -1.0), (2, 2, 3.0), (3, 3, -4.0)])
+            .unwrap();
         let op = CsrOp::new(&a);
         let b = vec![2.0, 1.0, -3.0, 8.0];
         let out = minres(&op, &b, &MinresOptions::default());
@@ -236,11 +233,9 @@ mod tests {
         // (L − ρI) y = x with ρ near λ₂ — the RQI inner system. MINRES must
         // not blow up; the solution should be rich in the Fiedler direction.
         let n = 16;
-        let g = SymmetricPattern::from_edges(
-            n,
-            &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let g =
+            SymmetricPattern::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+                .unwrap();
         let lop = LaplacianOp::new(&g);
         let deflate = vec![constant_unit_vector(n)];
         let dop = DeflatedOp::new(&lop, &deflate);
@@ -277,11 +272,9 @@ mod tests {
     #[test]
     fn iteration_cap_respected() {
         let n = 64;
-        let g = SymmetricPattern::from_edges(
-            n,
-            &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let g =
+            SymmetricPattern::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+                .unwrap();
         let lop = LaplacianOp::new(&g);
         let a = lop.pattern().spd_matrix(1e-6);
         let op = CsrOp::new(&a);

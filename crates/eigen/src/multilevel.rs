@@ -222,10 +222,7 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
 /// matrix (edge weights `|a_uv|`), by Lanczos with deflation. The adjacency
 /// structure must be connected. Useful when the matrix's magnitudes carry
 /// geometric information the structural ordering should respect.
-pub fn fiedler_weighted(
-    a: &sparsemat::CsrMatrix,
-    opts: &LanczosOptions,
-) -> Result<FiedlerResult> {
+pub fn fiedler_weighted(a: &sparsemat::CsrMatrix, opts: &LanczosOptions) -> Result<FiedlerResult> {
     let g = a
         .pattern()
         .map_err(|e| EigenError::Numerical(format!("matrix not symmetric: {e}")))?;
@@ -364,7 +361,7 @@ mod tests {
         let inc = v.windows(2).filter(|w| w[1] >= w[0]).count();
         let frac = inc as f64 / (n - 1) as f64;
         assert!(
-            frac > 0.99 || frac < 0.01,
+            !(0.01..=0.99).contains(&frac),
             "path Fiedler vector should be monotone, frac = {frac}"
         );
     }
@@ -459,7 +456,12 @@ mod tests {
         let a = g.to_csr_with(|v| g.degree(v) as f64, -1.0);
         let w = fiedler_weighted(&a, &Default::default()).unwrap();
         let s = fiedler_lanczos(&g, &Default::default()).unwrap();
-        assert!((w.lambda2 - s.lambda2).abs() < 1e-7, "{} vs {}", w.lambda2, s.lambda2);
+        assert!(
+            (w.lambda2 - s.lambda2).abs() < 1e-7,
+            "{} vs {}",
+            w.lambda2,
+            s.lambda2
+        );
     }
 
     #[test]
@@ -485,7 +487,10 @@ mod tests {
         // The vector separates the halves by sign.
         let left: f64 = w.vector[..6].iter().sum::<f64>() / 6.0;
         let right: f64 = w.vector[6..].iter().sum::<f64>() / 6.0;
-        assert!(left * right < 0.0, "halves not separated: {left} vs {right}");
+        assert!(
+            left * right < 0.0,
+            "halves not separated: {left} vs {right}"
+        );
     }
 
     #[test]

@@ -102,19 +102,22 @@ impl<'a> LaplacianOp<'a> {
 }
 
 impl LaplacianOp<'_> {
-    /// Row-parallel `y = Qx` (rayon). This kernel demonstrates §1's claim
-    /// that the spectral method is built from trivially parallel operations.
+    /// Row-parallel `y = Qx` over scoped std threads. This kernel
+    /// demonstrates §1's claim that the spectral method is built from
+    /// trivially parallel operations.
     #[cfg(feature = "parallel")]
     pub fn apply_par(&self, x: &[f64], y: &mut [f64]) {
-        use rayon::prelude::*;
         assert_eq!(x.len(), self.g.n());
         assert_eq!(y.len(), self.g.n());
-        y.par_iter_mut().enumerate().for_each(|(v, yv)| {
-            let mut acc = self.degree[v] * x[v];
-            for &u in self.g.neighbors(v) {
-                acc -= x[u];
+        sparsemat::par::for_each_row_block(y, |v0, yb| {
+            for (i, yv) in yb.iter_mut().enumerate() {
+                let v = v0 + i;
+                let mut acc = self.degree[v] * x[v];
+                for &u in self.g.neighbors(v) {
+                    acc -= x[u];
+                }
+                *yv = acc;
             }
-            *yv = acc;
         });
     }
 }
@@ -159,19 +162,23 @@ impl WeightedLaplacianOp {
     /// become edge weights (diagonal values are ignored; zero off-diagonals
     /// contribute nothing).
     pub fn from_matrix(a: &CsrMatrix) -> Self {
-        assert_eq!(a.nrows(), a.ncols(), "weighted Laplacian needs square matrix");
+        assert_eq!(
+            a.nrows(),
+            a.ncols(),
+            "weighted Laplacian needs square matrix"
+        );
         let n = a.nrows();
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut col_idx = Vec::new();
         let mut weights = Vec::new();
         let mut wdeg = vec![0.0f64; n];
         row_ptr.push(0);
-        for r in 0..n {
+        for (r, wd) in wdeg.iter_mut().enumerate() {
             for (&c, &v) in a.row_cols(r).iter().zip(a.row_vals(r)) {
                 if c != r && v != 0.0 {
                     col_idx.push(c);
                     weights.push(v.abs());
-                    wdeg[r] += v.abs();
+                    *wd += v.abs();
                 }
             }
             row_ptr.push(col_idx.len());

@@ -200,7 +200,7 @@ mod tests {
         assert!(r.converged, "residual {}", r.residual);
         let exact = 2.0 - 2.0 * (std::f64::consts::PI / n as f64).cos();
         assert!((r.lambda - exact).abs() < 1e-8, "{} vs {exact}", r.lambda);
-        assert_eq!(r.outer_iterations <= 6, true);
+        assert!(r.outer_iterations <= 6);
     }
 
     #[test]
@@ -263,7 +263,9 @@ mod tests {
         let g = path(n);
         let lap = LaplacianOp::new(&g);
         // Highly oscillatory start ~ the largest eigenvector.
-        let x0: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x0: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r = rayleigh_quotient_iteration(&lap, &x0, &RqiOptions::default());
         assert!(r.converged);
         // The limit is an eigenvalue of the path Laplacian.

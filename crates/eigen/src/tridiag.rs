@@ -45,11 +45,7 @@ pub fn eigvals_tridiag(d: &[f64], e: &[f64]) -> Result<Vec<f64>> {
 /// `n x n` row-major basis `z0` instead of the identity. If `T = Q₀ᵀ A Q₀`
 /// (e.g. from Householder reduction), passing `z0 = Q₀` yields the
 /// eigenvectors of the *original* `A`. Used by [`crate::dense`].
-pub(crate) fn eigh_tridiag_with_basis(
-    d: &[f64],
-    e: &[f64],
-    z0: Vec<f64>,
-) -> Result<TridiagEigen> {
+pub(crate) fn eigh_tridiag_with_basis(d: &[f64], e: &[f64], z0: Vec<f64>) -> Result<TridiagEigen> {
     let (values, vectors) = ql_implicit(d, e, VectorMode::Basis(z0))?;
     Ok(TridiagEigen {
         values,
@@ -63,11 +59,10 @@ enum VectorMode {
     Basis(Vec<f64>),
 }
 
-fn ql_implicit(
-    d_in: &[f64],
-    e_in: &[f64],
-    mode: VectorMode,
-) -> Result<(Vec<f64>, Option<Vec<Vec<f64>>>)> {
+/// Eigenvalues plus (optionally) the eigenvector rows requested by the mode.
+type QlOutput = (Vec<f64>, Option<Vec<Vec<f64>>>);
+
+fn ql_implicit(d_in: &[f64], e_in: &[f64], mode: VectorMode) -> Result<QlOutput> {
     let n = d_in.len();
     let want_vectors = !matches!(mode, VectorMode::None);
     if n == 0 {
@@ -81,7 +76,7 @@ fn ql_implicit(
     let mut d = d_in.to_vec();
     let mut e = e_in.to_vec();
     e.push(0.0); // workspace convention: e[n-1] unused sentinel
-    // z: row-major n x n; eigenvector j will be column j.
+                 // z: row-major n x n; eigenvector j will be column j.
     let mut z: Vec<f64> = match mode {
         VectorMode::None => Vec::new(),
         VectorMode::Identity => {
@@ -187,7 +182,11 @@ fn ql_implicit(
 /// verifying that a computed eigenvalue really is the k-th smallest.
 pub fn sturm_count(d: &[f64], e: &[f64], x: f64) -> usize {
     let n = d.len();
-    assert_eq!(e.len(), n.saturating_sub(1), "subdiagonal must have length n-1");
+    assert_eq!(
+        e.len(),
+        n.saturating_sub(1),
+        "subdiagonal must have length n-1"
+    );
     let mut count = 0usize;
     let mut q = 1.0f64; // ratio p_i / p_{i-1}
     for i in 0..n {
@@ -293,7 +292,9 @@ mod tests {
         let n = 25;
         // A pseudo-random but deterministic tridiagonal matrix.
         let d: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
-        let e: Vec<f64> = (0..n - 1).map(|i| ((i * 5 + 1) % 7) as f64 / 3.0 - 1.0).collect();
+        let e: Vec<f64> = (0..n - 1)
+            .map(|i| ((i * 5 + 1) % 7) as f64 / 3.0 - 1.0)
+            .collect();
         let r = eigh_tridiag(&d, &e).unwrap();
         for j in 0..n {
             let v = &r.vectors[j];

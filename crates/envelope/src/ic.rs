@@ -61,10 +61,7 @@ impl IncompleteCholesky {
                 }
             }
             row_ptr.push(col_idx.len());
-            let a_ii = a_ii.ok_or(EnvelopeError::NotPositiveDefinite {
-                row: i,
-                pivot: 0.0,
-            })?;
+            let a_ii = a_ii.ok_or(EnvelopeError::NotPositiveDefinite { row: i, pivot: 0.0 })?;
 
             // L(i, j) = (A(i,j) − Σ_k L(i,k)·L(j,k)) / L(j,j), k restricted
             // to the common pattern of rows i and j.
@@ -90,8 +87,8 @@ impl IncompleteCholesky {
             }
             // Diagonal pivot.
             let mut d = a_ii * (1.0 + shift);
-            for idx in ri0..ri1 {
-                d -= values[idx] * values[idx];
+            for v in &values[ri0..ri1] {
+                d -= v * v;
             }
             if d <= 0.0 || !d.is_finite() {
                 return Err(EnvelopeError::NotPositiveDefinite { row: i, pivot: d });
@@ -211,9 +208,22 @@ mod tests {
         let x: Vec<f64> = (0..100).map(|i| ((i % 9) as f64 - 4.0) / 4.0).collect();
         let ax = a.matvec_alloc(&x);
         let max = ic.apply(&ax);
-        let err_m: f64 = max.iter().zip(&x).map(|(u, v)| (u - v).powi(2)).sum::<f64>().sqrt();
-        let err_a: f64 = ax.iter().zip(&x).map(|(u, v)| (u - v).powi(2)).sum::<f64>().sqrt();
-        assert!(err_m < 0.5 * err_a, "IC(0) barely helps: {err_m} vs {err_a}");
+        let err_m: f64 = max
+            .iter()
+            .zip(&x)
+            .map(|(u, v)| (u - v).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let err_a: f64 = ax
+            .iter()
+            .zip(&x)
+            .map(|(u, v)| (u - v).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            err_m < 0.5 * err_a,
+            "IC(0) barely helps: {err_m} vs {err_a}"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl std::fmt::Display for EnvelopeError {
         match self {
             EnvelopeError::Sparse(e) => write!(f, "{e}"),
             EnvelopeError::NotPositiveDefinite { row, pivot } => {
-                write!(f, "matrix not positive definite (pivot {pivot} at row {row})")
+                write!(
+                    f,
+                    "matrix not positive definite (pivot {pivot} at row {row})"
+                )
             }
             EnvelopeError::NotFactorized => write!(f, "matrix not in factorizable/solvable state"),
             EnvelopeError::DimensionMismatch { expected, got } => {
@@ -333,6 +336,7 @@ impl EnvelopeMatrix {
         x
     }
 
+    #[allow(clippy::needless_range_loop)] // skyline sweeps index x, first and row_start together
     fn solve_ldlt(&self, b: &[f64]) -> Vec<f64> {
         let mut x = b.to_vec();
         // Forward: L y = b (unit diagonal).
@@ -364,6 +368,7 @@ impl EnvelopeMatrix {
 
     /// Reconstructs the dense `L Lᵀ` product (test/diagnostic helper; only
     /// sensible for small matrices).
+    #[allow(clippy::needless_range_loop)] // dense triangular accumulation
     pub fn reconstruct_dense(&self) -> Result<Vec<Vec<f64>>> {
         if self.state != FactorState::Cholesky {
             return Err(EnvelopeError::NotFactorized);
@@ -390,8 +395,9 @@ mod tests {
     use sparsemat::SymmetricPattern;
 
     fn spd_path(n: usize, shift: f64) -> CsrMatrix {
-        let g = SymmetricPattern::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
-            .unwrap();
+        let g =
+            SymmetricPattern::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+                .unwrap();
         g.spd_matrix(shift)
     }
 
@@ -486,7 +492,10 @@ mod tests {
     fn solve_before_factorize_is_error() {
         let a = spd_path(3, 1.0);
         let env = EnvelopeMatrix::from_csr(&a).unwrap();
-        assert!(matches!(env.solve(&[1.0; 3]), Err(EnvelopeError::NotFactorized)));
+        assert!(matches!(
+            env.solve(&[1.0; 3]),
+            Err(EnvelopeError::NotFactorized)
+        ));
     }
 
     #[test]
@@ -660,8 +669,7 @@ mod tests {
 
     #[test]
     fn rectangular_matrix_rejected() {
-        let a = sparsemat::CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![0], vec![1.0])
-            .unwrap();
+        let a = sparsemat::CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![0], vec![1.0]).unwrap();
         assert!(EnvelopeMatrix::from_csr(&a).is_err());
     }
 }

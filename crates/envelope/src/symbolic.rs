@@ -130,6 +130,7 @@ mod tests {
     }
 
     /// Brute-force symbolic factorization on a dense boolean matrix.
+    #[allow(clippy::needless_range_loop)] // triangular index sweeps
     fn brute_force_factor_size(g: &SymmetricPattern, perm: &Permutation) -> u64 {
         let n = g.n();
         let mut a = vec![vec![false; n]; n];
@@ -200,7 +201,16 @@ mod tests {
             (
                 SymmetricPattern::from_edges(
                     8,
-                    &[(0, 3), (1, 4), (2, 5), (3, 6), (4, 7), (0, 7), (2, 6), (1, 3)],
+                    &[
+                        (0, 3),
+                        (1, 4),
+                        (2, 5),
+                        (3, 6),
+                        (4, 7),
+                        (0, 7),
+                        (2, 6),
+                        (1, 3),
+                    ],
                 )
                 .unwrap(),
                 8,

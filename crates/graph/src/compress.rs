@@ -190,7 +190,7 @@ mod tests {
         let c = compress(&big);
         let qp = Permutation::from_new_to_old(vec![4, 2, 0, 1, 3]).unwrap();
         let p = c.expand_ordering(&qp);
-        let mut seen = vec![false; 15];
+        let mut seen = [false; 15];
         for k in 0..15 {
             let v = p.new_to_old(k);
             assert!(!seen[v]);
@@ -220,10 +220,8 @@ mod tests {
         // row widths: block k row j has width j + 4 (except first block).
         assert!(e <= 8 * 4 * 8, "envelope {e}");
         // And it must beat a scrambled ordering by a lot.
-        let scramble = Permutation::from_new_to_old(
-            (0..32).map(|i| (i * 13) % 32).collect(),
-        )
-        .unwrap();
+        let scramble =
+            Permutation::from_new_to_old((0..32).map(|i| (i * 13) % 32).collect()).unwrap();
         assert!(e < envelope_size(&big, &scramble));
     }
 }

@@ -290,7 +290,7 @@ mod tests {
     fn levels_partition_vertices_exactly_once() {
         let g = grid(5, 5);
         let ls = rooted_level_structure(&g, 12);
-        let mut seen = vec![false; 25];
+        let mut seen = [false; 25];
         for l in 0..ls.num_levels() {
             for &v in ls.level(l) {
                 assert!(!seen[v], "vertex {v} in two levels");

@@ -151,8 +151,7 @@ mod tests {
         let (nx, ny, nz) = (4, 3, 5);
         let g = grid3d(nx, ny, nz);
         assert_eq!(g.n(), 60);
-        let expect =
-            (nx - 1) * ny * nz + nx * (ny - 1) * nz + nx * ny * (nz - 1);
+        let expect = (nx - 1) * ny * nz + nx * (ny - 1) * nz + nx * ny * (nz - 1);
         assert_eq!(g.num_edges(), expect);
         assert!(connected_components(&g).is_connected());
         assert_eq!(g.max_degree(), 6);

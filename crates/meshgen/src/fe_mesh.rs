@@ -7,8 +7,7 @@
 //! stiffness/mass assembly producing the same sparsity class as the test
 //! matrices, with physically meaningful values.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use se_prng::SmallRng;
 use sparsemat::{CooMatrix, CsrMatrix, SymmetricPattern};
 
 /// A 2-D triangle mesh with vertex coordinates.
@@ -184,7 +183,11 @@ mod tests {
         let m = mesh();
         let k = m.stiffness();
         let (alpha, beta) = (2.0, -1.5);
-        let u: Vec<f64> = m.coords.iter().map(|&(x, y)| alpha * x + beta * y).collect();
+        let u: Vec<f64> = m
+            .coords
+            .iter()
+            .map(|&(x, y)| alpha * x + beta * y)
+            .collect();
         let ku = k.matvec_alloc(&u);
         let energy: f64 = u.iter().zip(&ku).map(|(a, b)| a * b).sum();
         let total_area: f64 = m.triangles.iter().map(|t| m.area(t).abs()).sum();

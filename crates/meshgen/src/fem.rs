@@ -2,8 +2,7 @@
 //! O-meshes), cylindrical shells, prismatic 3-D layers, and the multi-DOF
 //! block expansion that turns a mesh into a structural stiffness pattern.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use se_prng::SmallRng;
 use sparsemat::SymmetricPattern;
 
 /// A triangulated annulus — the O-mesh a flow solver builds around an
@@ -12,7 +11,10 @@ use sparsemat::SymmetricPattern;
 /// triangles, with the split direction chosen pseudo-randomly (`seed`) so
 /// the mesh is irregular like a real unstructured triangulation.
 pub fn annulus_tri(rings: usize, per_ring: usize, seed: u64) -> SymmetricPattern {
-    assert!(rings >= 2 && per_ring >= 3, "annulus needs rings >= 2, per_ring >= 3");
+    assert!(
+        rings >= 2 && per_ring >= 3,
+        "annulus needs rings >= 2, per_ring >= 3"
+    );
     let id = |r: usize, t: usize| r * per_ring + (t % per_ring);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(3 * rings * per_ring);
@@ -115,7 +117,10 @@ pub fn graded_annulus_tri(
     let mut total = 0usize;
     let mut size = inner_count as f64;
     while total < target_n {
-        let s = (size.round() as usize).max(min_ring).min(target_n - total).max(3);
+        let s = (size.round() as usize)
+            .max(min_ring)
+            .min(target_n - total)
+            .max(3);
         ring_sizes.push(s);
         total += s;
         size *= decay;

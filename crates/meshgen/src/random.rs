@@ -1,8 +1,7 @@
 //! Randomised (but seeded, hence reproducible) graph generators: power
 //! networks, random geometric graphs, and ordering scramblers.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use se_prng::SmallRng;
 use sparsemat::{Permutation, SymmetricPattern};
 
 /// A power-network-like graph: a random tree (each vertex attaches to a
@@ -41,7 +40,9 @@ pub fn power_grid(n: usize, extra: usize, seed: u64) -> SymmetricPattern {
 pub fn random_geometric(n: usize, radius: f64, seed: u64) -> SymmetricPattern {
     assert!(n >= 1 && radius > 0.0);
     let mut rng = SmallRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let cells = ((1.0 / radius).floor() as usize).max(1);
     let cell_of = |p: (f64, f64)| -> (usize, usize) {
         (
@@ -125,9 +126,8 @@ pub fn random_geometric_3d(n: usize, radius: f64, seed: u64) -> SymmetricPattern
                             continue;
                         }
                         let q = &pts[j];
-                        let d2 = (p[0] - q[0]).powi(2)
-                            + (p[1] - q[1]).powi(2)
-                            + (p[2] - q[2]).powi(2);
+                        let d2 =
+                            (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2);
                         if d2 <= r2 {
                             edges.push((i, j));
                         }
@@ -226,7 +226,7 @@ mod tests {
         let r = scramble(50, 2);
         assert_eq!(p, q);
         assert_ne!(p, r);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for k in 0..50 {
             seen[p.new_to_old(k)] = true;
         }

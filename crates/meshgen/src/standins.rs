@@ -264,7 +264,9 @@ mod tests {
         // exact replication). Only the small/medium ones here to keep test
         // time down; the large ones are checked by `size_report` in the
         // bench harness.
-        for name in ["BCSSTK13", "CAN1072", "POW9", "BLKHOLE", "DWT2680", "SSTMODEL", "BARTH4"] {
+        for name in [
+            "BCSSTK13", "CAN1072", "POW9", "BLKHOLE", "DWT2680", "SSTMODEL", "BARTH4",
+        ] {
             let s = standin(name).unwrap();
             let n = s.pattern.n() as f64;
             let pn = s.paper_n as f64;

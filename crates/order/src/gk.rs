@@ -78,9 +78,13 @@ mod tests {
         let n = nx * ny;
         let mut state = 0x9E3779B9u64;
         for _ in 0..n / 10 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (state >> 33) as usize % n;
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = (state >> 33) as usize % n;
             if a != b {
                 edges.push((a.min(b), a.max(b)));
@@ -93,7 +97,7 @@ mod tests {
     fn gk_is_a_permutation() {
         let g = grid(9, 7);
         let p = gibbs_king(&g);
-        let mut seen = vec![false; 63];
+        let mut seen = [false; 63];
         for k in 0..63 {
             seen[p.new_to_old(k)] = true;
         }
@@ -139,8 +143,7 @@ mod tests {
 
     #[test]
     fn gk_handles_disconnected() {
-        let g = SymmetricPattern::from_edges(8, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)])
-            .unwrap();
+        let g = SymmetricPattern::from_edges(8, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)]).unwrap();
         let p = gibbs_king(&g);
         assert_eq!(p.len(), 8);
         assert_eq!(envelope_stats(&g, &p).envelope_size, 5);

@@ -40,10 +40,10 @@ pub(crate) fn combine_levels(g: &SymmetricPattern, pd: &PseudoDiameter) -> Combi
     let mut level_of = vec![usize::MAX; n];
     let mut count = vec![0usize; num_levels];
     let mut unassigned = Vec::new();
-    for w in 0..n {
+    for (w, lw) in level_of.iter_mut().enumerate() {
         let (i, j) = (lvl_u(w), lvl_v(w));
         if i == j {
-            level_of[w] = i;
+            *lw = i;
             count[i] += 1;
         } else {
             unassigned.push(w);
@@ -128,7 +128,7 @@ pub(crate) fn number_by_levels(g: &SymmetricPattern, cl: &CombinedLevels) -> Vec
         if members.is_empty() {
             continue;
         }
-        let mut remaining: Vec<usize> = members.iter().copied().collect();
+        let mut remaining: Vec<usize> = members.to_vec();
         if l == 0 {
             // Seed with the start vertex.
             if let Some(pos) = remaining.iter().position(|&v| v == cl.start) {
@@ -254,7 +254,10 @@ mod tests {
         let pd = pseudo_diameter(&g, 0);
         let cl = combine_levels(&g, &pd);
         assert!(cl.level_of.iter().all(|&l| l < cl.num_levels));
-        assert!(levels_are_legal(&g, &cl), "adjacent vertices >1 level apart");
+        assert!(
+            levels_are_legal(&g, &cl),
+            "adjacent vertices >1 level apart"
+        );
         assert_eq!(cl.level_of[cl.start], 0);
     }
 
@@ -276,7 +279,7 @@ mod tests {
     fn gps_numbering_is_a_permutation() {
         let g = grid(8, 8);
         let p = gibbs_poole_stockmeyer(&g);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for k in 0..64 {
             seen[p.new_to_old(k)] = true;
         }
@@ -323,8 +326,8 @@ mod tests {
 
     #[test]
     fn gps_star_envelope() {
-        let g = SymmetricPattern::from_edges(7, &(1..7).map(|i| (0, i)).collect::<Vec<_>>())
-            .unwrap();
+        let g =
+            SymmetricPattern::from_edges(7, &(1..7).map(|i| (0, i)).collect::<Vec<_>>()).unwrap();
         let p = gibbs_poole_stockmeyer(&g);
         let s = envelope_stats(&g, &p);
         // The star's minimum envelope is 6 (any ordering's row widths sum to

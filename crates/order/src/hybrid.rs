@@ -17,10 +17,7 @@ use se_graph::bfs::{bfs, connected_components, induced_subgraph};
 use sparsemat::{Permutation, SymmetricPattern};
 
 /// Fiedler-guided Sloan ordering.
-pub fn hybrid_sloan_spectral(
-    g: &SymmetricPattern,
-    opts: &SpectralOptions,
-) -> Result<Permutation> {
+pub fn hybrid_sloan_spectral(g: &SymmetricPattern, opts: &SpectralOptions) -> Result<Permutation> {
     let comps = connected_components(g);
     let mut order = Vec::with_capacity(g.n());
     for members in &comps.members {
@@ -97,7 +94,7 @@ mod tests {
     fn hybrid_is_valid_permutation() {
         let g = grid(12, 7);
         let p = hybrid_sloan_spectral(&g, &SpectralOptions::default()).unwrap();
-        let mut seen = vec![false; 84];
+        let mut seen = [false; 84];
         for k in 0..84 {
             seen[p.new_to_old(k)] = true;
         }
@@ -122,8 +119,7 @@ mod tests {
 
     #[test]
     fn hybrid_handles_disconnected() {
-        let g = SymmetricPattern::from_edges(8, &[(0, 1), (1, 2), (4, 5), (5, 6), (6, 7)])
-            .unwrap();
+        let g = SymmetricPattern::from_edges(8, &[(0, 1), (1, 2), (4, 5), (5, 6), (6, 7)]).unwrap();
         let p = hybrid_sloan_spectral(&g, &SpectralOptions::default()).unwrap();
         assert_eq!(p.len(), 8);
     }

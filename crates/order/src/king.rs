@@ -26,8 +26,11 @@ pub(crate) fn king_number_subset(
     in_front: &mut [bool],
     order: &mut Vec<usize>,
 ) {
-    let mut remaining: Vec<usize> =
-        candidates.iter().copied().filter(|&v| !numbered[v]).collect();
+    let mut remaining: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&v| !numbered[v])
+        .collect();
     if remaining.is_empty() {
         return;
     }
@@ -54,12 +57,7 @@ pub(crate) fn king_number_subset(
         let mut best_i = 0usize;
         let mut best_key = (true, usize::MAX, usize::MAX, usize::MAX);
         for (i, &v) in remaining.iter().enumerate() {
-            let key = (
-                !in_front[v] && !order.is_empty(),
-                incr[v],
-                g.degree(v),
-                v,
-            );
+            let key = (!in_front[v] && !order.is_empty(), incr[v], g.degree(v), v);
             if key < best_key {
                 best_key = key;
                 best_i = i;
@@ -147,8 +145,7 @@ mod tests {
             in_front[u] = true;
         }
         let comp: Vec<usize> = se_graph::bfs::bfs(g, start).order;
-        let mut remaining: Vec<usize> =
-            comp.iter().copied().filter(|&v| !numbered[v]).collect();
+        let mut remaining: Vec<usize> = comp.iter().copied().filter(|&v| !numbered[v]).collect();
         while !remaining.is_empty() {
             let incr = |v: usize, numbered: &[bool], in_front: &[bool]| {
                 g.neighbors(v)
@@ -208,7 +205,7 @@ mod tests {
     fn king_order_is_complete_permutation() {
         let g = grid(6, 5);
         let order = king_component(&g, 0);
-        let mut seen = vec![false; 30];
+        let mut seen = [false; 30];
         for &v in &order {
             assert!(!seen[v]);
             seen[v] = true;

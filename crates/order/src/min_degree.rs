@@ -77,7 +77,16 @@ mod tests {
         // and minimum degree finds one.
         let g = SymmetricPattern::from_edges(
             9,
-            &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (5, 7), (5, 8)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 5),
+                (2, 6),
+                (5, 7),
+                (5, 8),
+            ],
         )
         .unwrap();
         let p = min_degree_ordering(&g);
@@ -88,7 +97,7 @@ mod tests {
     fn md_is_valid_permutation() {
         let g = grid(7, 5);
         let p = min_degree_ordering(&g);
-        let mut seen = vec![false; 35];
+        let mut seen = [false; 35];
         for k in 0..35 {
             seen[p.new_to_old(k)] = true;
         }
@@ -122,8 +131,8 @@ mod tests {
         // On a star the leaves (degree 1) are eliminated first; once only
         // one leaf remains the center ties it at degree 1, so the center
         // lands in one of the last two positions.
-        let g = SymmetricPattern::from_edges(6, &(1..6).map(|i| (0, i)).collect::<Vec<_>>())
-            .unwrap();
+        let g =
+            SymmetricPattern::from_edges(6, &(1..6).map(|i| (0, i)).collect::<Vec<_>>()).unwrap();
         let p = min_degree_ordering(&g);
         assert!(p.old_to_new(0) >= 4, "center at {}", p.old_to_new(0));
     }

@@ -109,7 +109,10 @@ fn dissect(
         .filter(|&v| !side_a[v] && !in_sep[v])
         .map(|v| map[v])
         .collect();
-    let sep: Vec<usize> = (0..sub.n()).filter(|&v| in_sep[v]).map(|v| map[v]).collect();
+    let sep: Vec<usize> = (0..sub.n())
+        .filter(|&v| in_sep[v])
+        .map(|v| map[v])
+        .collect();
 
     // Degenerate split (e.g. a complete graph): stop recursing.
     if part_a.is_empty() || part_b.is_empty() {

@@ -128,8 +128,7 @@ mod tests {
 
     #[test]
     fn rcm_star_puts_center_late() {
-        let g = SymmetricPattern::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)])
-            .unwrap();
+        let g = SymmetricPattern::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
         let p = reverse_cuthill_mckee(&g);
         // CM numbers the center right after the starting leaf; RCM therefore
         // places it near the end.
@@ -152,7 +151,7 @@ mod tests {
     fn permutation_is_valid() {
         let g = grid(6, 7);
         let p = cuthill_mckee(&g);
-        let mut seen = vec![false; 42];
+        let mut seen = [false; 42];
         for k in 0..42 {
             let v = p.new_to_old(k);
             assert!(!seen[v]);

@@ -164,7 +164,7 @@ mod tests {
         let g = grid(6, 6);
         let p0 = meshgen_scramble(36, 3);
         let (p, _) = exchange_refine(&g, &p0, 8);
-        let mut seen = vec![false; 36];
+        let mut seen = [false; 36];
         for k in 0..36 {
             let v = p.new_to_old(k);
             assert!(!seen[v]);

@@ -157,7 +157,7 @@ mod tests {
     fn sloan_produces_valid_permutation() {
         let g = grid(11, 6);
         let p = sloan(&g, &SloanWeights::default());
-        let mut seen = vec![false; 66];
+        let mut seen = [false; 66];
         for k in 0..66 {
             seen[p.new_to_old(k)] = true;
         }
@@ -178,8 +178,7 @@ mod tests {
         let g = grid(15, 15);
         let p = sloan(&g, &SloanWeights::default());
         let s = envelope_stats(&g, &p);
-        let bfs_perm =
-            Permutation::from_new_to_old(se_graph::bfs::bfs(&g, 0).order).unwrap();
+        let bfs_perm = Permutation::from_new_to_old(se_graph::bfs::bfs(&g, 0).order).unwrap();
         let s_bfs = envelope_stats(&g, &bfs_perm);
         assert!(s.envelope_size <= s_bfs.envelope_size);
         // On a square grid the optimal profile ordering is diagonal-ish;
@@ -212,7 +211,7 @@ mod tests {
         ] {
             let p = sloan(&g, &w);
             assert_eq!(p.len(), 45);
-            let mut seen = vec![false; 45];
+            let mut seen = [false; 45];
             for k in 0..45 {
                 seen[p.new_to_old(k)] = true;
             }

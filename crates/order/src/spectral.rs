@@ -272,8 +272,7 @@ mod tests {
 
     #[test]
     fn weighted_spectral_handles_disconnected() {
-        let g = SymmetricPattern::from_edges(8, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)])
-            .unwrap();
+        let g = SymmetricPattern::from_edges(8, &[(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)]).unwrap();
         let a = g.spd_matrix(1.0);
         let p = spectral_ordering_weighted(&a, &Default::default()).unwrap();
         assert_eq!(p.len(), 8);

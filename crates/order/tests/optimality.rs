@@ -48,11 +48,8 @@ fn tiny_graphs() -> Vec<(&'static str, SymmetricPattern)> {
         ),
         (
             "cycle8",
-            SymmetricPattern::from_edges(
-                8,
-                &(0..8).map(|i| (i, (i + 1) % 8)).collect::<Vec<_>>(),
-            )
-            .unwrap(),
+            SymmetricPattern::from_edges(8, &(0..8).map(|i| (i, (i + 1) % 8)).collect::<Vec<_>>())
+                .unwrap(),
         ),
         (
             "star8",
@@ -63,8 +60,18 @@ fn tiny_graphs() -> Vec<(&'static str, SymmetricPattern)> {
             SymmetricPattern::from_edges(
                 9,
                 &[
-                    (0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8),
-                    (0, 3), (3, 6), (1, 4), (4, 7), (2, 5), (5, 8),
+                    (0, 1),
+                    (1, 2),
+                    (3, 4),
+                    (4, 5),
+                    (6, 7),
+                    (7, 8),
+                    (0, 3),
+                    (3, 6),
+                    (1, 4),
+                    (4, 7),
+                    (2, 5),
+                    (5, 8),
                 ],
             )
             .unwrap(),
@@ -89,7 +96,18 @@ fn tiny_graphs() -> Vec<(&'static str, SymmetricPattern)> {
             "irregular8",
             SymmetricPattern::from_edges(
                 8,
-                &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 4), (2, 6), (1, 5)],
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 6),
+                    (6, 7),
+                    (0, 4),
+                    (2, 6),
+                    (1, 5),
+                ],
             )
             .unwrap(),
         ),

@@ -1,0 +1,77 @@
+//! `spectral-orderd` — the persistent ordering daemon.
+//!
+//! ```text
+//! spectral-orderd [options]
+//!   --addr HOST:PORT    bind address (default 127.0.0.1:7654; port 0 = ephemeral)
+//!   --workers N         worker threads (default: min(cores, 8))
+//!   --queue N           bounded job-queue capacity (default 64)
+//!   --cache-mb N        ordering-cache budget in MiB (default 32, 0 disables)
+//!   --timeout-ms N      default per-request wall-clock timeout (default 30000)
+//! ```
+//!
+//! The daemon prints `listening on ADDR` once ready and exits after a
+//! client sends `SHUTDOWN` (in-flight and queued work finishes first).
+
+use se_service::Config;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: spectral-orderd [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--cache-mb N] [--timeout-ms N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = Config {
+        addr: "127.0.0.1:7654".to_string(),
+        ..Config::default()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let num = |it: &mut dyn Iterator<Item = String>| -> Option<usize> {
+            it.next().and_then(|v| v.parse().ok())
+        };
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => cfg.addr = v,
+                None => return usage(),
+            },
+            "--workers" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.workers = v,
+                _ => return usage(),
+            },
+            "--queue" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.queue_capacity = v,
+                _ => return usage(),
+            },
+            "--cache-mb" => match num(&mut it) {
+                Some(v) => cfg.cache_budget_bytes = v << 20,
+                None => return usage(),
+            },
+            "--timeout-ms" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.default_timeout_ms = v as u64,
+                _ => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let workers = cfg.workers;
+    let handle = match se_service::serve(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("spectral-orderd: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {} ({} workers)", handle.local_addr(), workers);
+    handle.join();
+    eprintln!("spectral-orderd: drained and stopped");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,270 @@
+//! Content-addressed ordering cache.
+//!
+//! Orderings are pure functions of the sparsity pattern and the algorithm,
+//! so the cache key is an FNV-1a hash of `(n, xadj, adjncy, algorithm)`.
+//! Entries are evicted least-recently-used under a byte budget that counts
+//! the dominant allocations (the two permutation arrays).
+
+use se_order::{Algorithm, Ordering};
+use sparsemat::pattern::SymmetricPattern;
+use std::collections::{BTreeMap, HashMap};
+
+/// 64-bit FNV-1a over a stream of `u64` words.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Absorbs one word, byte by byte (little-endian).
+    pub fn write_u64(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hashes a pattern + algorithm into a cache key.
+pub fn pattern_key(g: &SymmetricPattern, alg: Algorithm) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(g.n() as u64);
+    for &x in g.xadj() {
+        h.write_u64(x as u64);
+    }
+    for &a in g.adjncy() {
+        h.write_u64(a as u64);
+    }
+    h.write_u64(alg as u64);
+    h.finish()
+}
+
+struct Entry {
+    ordering: Ordering,
+    /// Collision guard: a hit must also match the pattern's coarse shape.
+    n: usize,
+    adjacency_len: usize,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Bounded LRU cache mapping pattern hashes to orderings.
+///
+/// Not internally synchronized — the server wraps it in a `Mutex`.
+pub struct OrderingCache {
+    entries: HashMap<u64, Entry>,
+    /// tick → key, oldest first; drives LRU eviction.
+    lru: BTreeMap<u64, u64>,
+    budget_bytes: usize,
+    used_bytes: usize,
+    next_tick: u64,
+}
+
+impl OrderingCache {
+    /// A cache that holds at most `budget_bytes` of permutation data.
+    /// A budget of 0 disables caching entirely.
+    pub fn new(budget_bytes: usize) -> Self {
+        OrderingCache {
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            budget_bytes,
+            used_bytes: 0,
+            next_tick: 0,
+        }
+    }
+
+    fn cost(ordering: &Ordering) -> usize {
+        // new_to_old + old_to_new, plus fixed per-entry overhead.
+        2 * ordering.perm.order().len() * std::mem::size_of::<usize>() + 128
+    }
+
+    /// Looks up the ordering for `(g, alg)`, refreshing its recency.
+    pub fn get(&mut self, g: &SymmetricPattern, alg: Algorithm) -> Option<Ordering> {
+        let key = pattern_key(g, alg);
+        let tick = self.next_tick;
+        let entry = self.entries.get_mut(&key)?;
+        if entry.n != g.n() || entry.adjacency_len != g.adjacency_len() {
+            return None; // hash collision — treat as a miss
+        }
+        self.lru.remove(&entry.tick);
+        entry.tick = tick;
+        self.lru.insert(tick, key);
+        self.next_tick += 1;
+        Some(entry.ordering.clone())
+    }
+
+    /// Inserts an ordering, evicting LRU entries to respect the budget.
+    /// Orderings bigger than the whole budget are not cached.
+    pub fn insert(&mut self, g: &SymmetricPattern, alg: Algorithm, ordering: &Ordering) {
+        let bytes = Self::cost(ordering);
+        if bytes > self.budget_bytes {
+            return;
+        }
+        let key = pattern_key(g, alg);
+        if let Some(old) = self.entries.remove(&key) {
+            self.lru.remove(&old.tick);
+            self.used_bytes -= old.bytes;
+        }
+        while self.used_bytes + bytes > self.budget_bytes {
+            let (&oldest_tick, &oldest_key) = self
+                .lru
+                .iter()
+                .next()
+                .expect("used_bytes > 0 implies entries");
+            self.lru.remove(&oldest_tick);
+            let evicted = self
+                .entries
+                .remove(&oldest_key)
+                .expect("lru and entries agree");
+            self.used_bytes -= evicted.bytes;
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.lru.insert(tick, key);
+        self.used_bytes += bytes;
+        self.entries.insert(
+            key,
+            Entry {
+                ordering: ordering.clone(),
+                n: g.n(),
+                adjacency_len: g.adjacency_len(),
+                bytes,
+                tick,
+            },
+        );
+    }
+
+    /// Number of cached orderings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> SymmetricPattern {
+        SymmetricPattern::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+            .unwrap()
+    }
+
+    #[test]
+    fn fnv_reference_vector() {
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(Fnv1a::new().finish(), 0xcbf29ce484222325);
+        let mut h = Fnv1a::new();
+        h.write_u64(0);
+        assert_ne!(h.finish(), 0xcbf29ce484222325);
+    }
+
+    #[test]
+    fn key_distinguishes_pattern_and_algorithm() {
+        let a = path(10);
+        let b = path(11);
+        assert_ne!(
+            pattern_key(&a, Algorithm::Rcm),
+            pattern_key(&b, Algorithm::Rcm)
+        );
+        assert_ne!(
+            pattern_key(&a, Algorithm::Rcm),
+            pattern_key(&a, Algorithm::Spectral)
+        );
+        assert_eq!(
+            pattern_key(&a, Algorithm::Rcm),
+            pattern_key(&path(10), Algorithm::Rcm)
+        );
+    }
+
+    #[test]
+    fn hit_returns_identical_ordering() {
+        let g = path(40);
+        let ordering = se_order::order(&g, Algorithm::Rcm).unwrap();
+        let mut cache = OrderingCache::new(1 << 20);
+        assert!(cache.get(&g, Algorithm::Rcm).is_none());
+        cache.insert(&g, Algorithm::Rcm, &ordering);
+        let hit = cache.get(&g, Algorithm::Rcm).expect("hit");
+        assert_eq!(hit.perm.order(), ordering.perm.order());
+        assert_eq!(hit.stats, ordering.stats);
+        assert!(cache.get(&g, Algorithm::Spectral).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget() {
+        let ordering = se_order::order(&path(10), Algorithm::Rcm).unwrap();
+        let per_entry = OrderingCache::cost(&ordering);
+        let mut cache = OrderingCache::new(3 * per_entry);
+        let graphs: Vec<_> = (20..30).map(path).collect();
+        for g in &graphs {
+            let o = se_order::order(g, Algorithm::Rcm).unwrap();
+            cache.insert(g, Algorithm::Rcm, &o);
+        }
+        assert!(
+            cache.len() <= 3,
+            "budget holds 3 entries, kept {}",
+            cache.len()
+        );
+        assert!(cache.used_bytes() <= 3 * per_entry);
+        // The newest survive, the oldest are gone.
+        assert!(cache.get(&graphs[9], Algorithm::Rcm).is_some());
+        assert!(cache.get(&graphs[0], Algorithm::Rcm).is_none());
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let ordering = se_order::order(&path(10), Algorithm::Rcm).unwrap();
+        let per_entry = OrderingCache::cost(&ordering);
+        let mut cache = OrderingCache::new(2 * per_entry + per_entry / 2);
+        let a = path(12);
+        let b = path(13);
+        let c = path(14);
+        for g in [&a, &b] {
+            let o = se_order::order(g, Algorithm::Rcm).unwrap();
+            cache.insert(g, Algorithm::Rcm, &o);
+        }
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.get(&a, Algorithm::Rcm).is_some());
+        let o = se_order::order(&c, Algorithm::Rcm).unwrap();
+        cache.insert(&c, Algorithm::Rcm, &o);
+        assert!(cache.get(&a, Algorithm::Rcm).is_some());
+        assert!(cache.get(&b, Algorithm::Rcm).is_none());
+        assert!(cache.get(&c, Algorithm::Rcm).is_some());
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let g = path(10);
+        let o = se_order::order(&g, Algorithm::Rcm).unwrap();
+        let mut cache = OrderingCache::new(0);
+        cache.insert(&g, Algorithm::Rcm, &o);
+        assert!(cache.is_empty());
+        assert!(cache.get(&g, Algorithm::Rcm).is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Blocking TCP client for `spectral-orderd`.
+
+use crate::json::Json;
+use crate::proto::{
+    decode_response, encode_request, ErrorResponse, OrderRequest, OrderResponse, ProtoError,
+    Request, Response,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's reply did not parse.
+    Proto(ProtoError),
+    /// The server replied, but with an error outcome.
+    Server(ErrorResponse),
+    /// The server replied with a response of the wrong kind.
+    UnexpectedResponse(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Proto(e) => write!(f, "bad server reply: {e}"),
+            ClientError::Server(e) => {
+                let kind = if e.retriable { "retriable" } else { "fatal" };
+                write!(f, "server error ({kind}): {}", e.error)
+            }
+            ClientError::UnexpectedResponse(want) => {
+                write!(f, "unexpected server reply, wanted {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connection to a running `spectral-orderd`.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to the daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        writeln!(self.writer, "{}", encode_request(req))?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let resp = decode_response(line.trim_end()).map_err(ClientError::Proto)?;
+        if let Response::Error(e) = resp {
+            return Err(ClientError::Server(e));
+        }
+        Ok(resp)
+    }
+
+    /// Orders one matrix.
+    pub fn order(&mut self, req: OrderRequest) -> Result<OrderResponse, ClientError> {
+        match self.roundtrip(&Request::Order(req))? {
+            Response::Order(r) => Ok(r),
+            _ => Err(ClientError::UnexpectedResponse("an ORDER response")),
+        }
+    }
+
+    /// Orders a batch of matrices in one pipelined roundtrip. Each slot
+    /// succeeds or fails independently.
+    pub fn order_batch(
+        &mut self,
+        reqs: Vec<OrderRequest>,
+    ) -> Result<Vec<Result<OrderResponse, ErrorResponse>>, ClientError> {
+        match self.roundtrip(&Request::Batch(reqs))? {
+            Response::Batch(rs) => Ok(rs),
+            _ => Err(ClientError::UnexpectedResponse("a BATCH response")),
+        }
+    }
+
+    /// Fetches the live metrics snapshot.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ClientError::UnexpectedResponse("a STATS response")),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns the drained-job count.
+    pub fn shutdown(&mut self) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShutdownOk { drained } => Ok(drained),
+            _ => Err(ClientError::UnexpectedResponse("a SHUTDOWN ack")),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! `se-service` — `spectral-orderd`, a persistent ordering service.
+//!
+//! Computing an envelope-reducing ordering is expensive relative to using
+//! one, and in iterative workflows (mesh refinement loops, repeated solves,
+//! parameter sweeps) the same sparsity pattern is ordered again and again.
+//! This crate turns the ordering pipeline into a small daemon:
+//!
+//! * **std-only TCP server** ([`server::serve`]) speaking newline-delimited
+//!   JSON ([`proto`]) — commands `ORDER`, `BATCH`, `STATS`, `SHUTDOWN`;
+//! * **content-addressed cache** ([`cache`]): orderings are pure functions
+//!   of the sparsity pattern + algorithm, so results are keyed by an FNV-1a
+//!   hash of the CSR structure and reused across requests (bounded LRU);
+//! * **bounded worker pool** ([`pool`]) with explicit backpressure — when
+//!   the queue is full the client gets a retriable `queue full` error
+//!   instead of unbounded latency — and graceful drain on shutdown;
+//! * **live metrics** ([`metrics`]): atomic counters and per-algorithm
+//!   power-of-two latency histograms, exposed via `STATS`;
+//! * **blocking client** ([`client::Client`]) used by `spectral-order
+//!   client` and the test harness.
+//!
+//! Everything is built on `std` alone (`std::net`, threads, channels); the
+//! JSON layer ([`json`]) is hand-rolled so the service adds no external
+//! dependencies to the workspace.
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use server::{serve, Config, ServerHandle};

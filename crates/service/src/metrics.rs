@@ -1,0 +1,217 @@
+//! Live service metrics: atomic counters plus per-algorithm latency
+//! histograms, snapshotted as JSON by the STATS command.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of power-of-two microsecond buckets: bucket `i` counts latencies
+/// in `[2^i, 2^(i+1))` µs, with bucket 0 covering `[0, 2)` and the last
+/// bucket open-ended. 30 buckets reach ~18 minutes.
+pub const HISTOGRAM_BUCKETS: usize = 30;
+
+/// A latency histogram with power-of-two µs buckets.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum_micros: u64,
+    max_micros: u64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, micros: u64) {
+        let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_micros += micros;
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0 < q <= 1) in µs: the
+    /// upper edge of the bucket containing the quantile rank.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max_micros
+    }
+
+    fn to_json(&self) -> Json {
+        let mean = if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        };
+        Json::obj(vec![
+            ("count", Json::Num(self.count as f64)),
+            ("mean_us", Json::Num(mean)),
+            ("p50_us", Json::Num(self.quantile_micros(0.50) as f64)),
+            ("p99_us", Json::Num(self.quantile_micros(0.99) as f64)),
+            ("max_us", Json::Num(self.max_micros as f64)),
+        ])
+    }
+}
+
+/// All counters the service exposes through STATS.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Request lines received (any command).
+    pub requests: AtomicU64,
+    /// Individual ORDER executions (batch members count individually).
+    pub orders: AtomicU64,
+    /// BATCH commands received.
+    pub batches: AtomicU64,
+    /// Orderings served from the cache.
+    pub cache_hits: AtomicU64,
+    /// Orderings computed because the cache missed.
+    pub cache_misses: AtomicU64,
+    /// Submissions rejected with queue-full backpressure.
+    pub queue_rejections: AtomicU64,
+    /// Requests that exceeded their wall-clock timeout.
+    pub timeouts: AtomicU64,
+    /// Requests that failed (parse errors, bad input, I/O).
+    pub errors: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// name() → latency histogram, one per algorithm seen.
+    latency: Mutex<Vec<(String, Histogram)>>,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Bumps a counter by one.
+    pub fn inc(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed ordering's latency under its algorithm name.
+    pub fn record_latency(&self, alg_name: &str, micros: u64) {
+        let mut table = self.latency.lock().unwrap();
+        match table.iter_mut().find(|(name, _)| name == alg_name) {
+            Some((_, h)) => h.record(micros),
+            None => {
+                let mut h = Histogram::default();
+                h.record(micros);
+                table.push((alg_name.to_string(), h));
+            }
+        }
+    }
+
+    /// Total recorded latency observations for `alg_name`.
+    pub fn latency_count(&self, alg_name: &str) -> u64 {
+        self.latency
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(name, _)| name == alg_name)
+            .map_or(0, |(_, h)| h.count())
+    }
+
+    /// Snapshot as the STATS JSON object. `queue_depth`/`active`/`cached`
+    /// come from the caller because they live in the pool and cache.
+    pub fn snapshot(&self, queue_depth: usize, active: usize, cached_entries: usize) -> Json {
+        let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+        let table = self.latency.lock().unwrap();
+        let mut latency: Vec<(String, Json)> = table
+            .iter()
+            .map(|(name, h)| (name.clone(), h.to_json()))
+            .collect();
+        latency.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::obj(vec![
+            ("requests", load(&self.requests)),
+            ("orders", load(&self.orders)),
+            ("batches", load(&self.batches)),
+            ("cache_hits", load(&self.cache_hits)),
+            ("cache_misses", load(&self.cache_misses)),
+            ("queue_rejections", load(&self.queue_rejections)),
+            ("timeouts", load(&self.timeouts)),
+            ("errors", load(&self.errors)),
+            ("connections", load(&self.connections)),
+            ("queue_depth", Json::Num(queue_depth as f64)),
+            ("active_jobs", Json::Num(active as f64)),
+            ("cached_orderings", Json::Num(cached_entries as f64)),
+            ("latency_us_by_algorithm", Json::Obj(latency)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::default();
+        for micros in [0, 1, 2, 3, 4, 1000, 1_000_000] {
+            h.record(micros);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.buckets[0], 2); // 0 and 1
+        assert_eq!(h.buckets[1], 2); // 2 and 3
+        assert_eq!(h.buckets[2], 1); // 4
+        assert_eq!(h.buckets[9], 1); // 1000 in [512, 1024)
+        assert_eq!(h.buckets[19], 1); // 1e6 in [2^19, 2^20)
+    }
+
+    #[test]
+    fn quantile_is_monotone_upper_bound() {
+        let mut h = Histogram::default();
+        for i in 0..100 {
+            h.record(i * 10);
+        }
+        let p50 = h.quantile_micros(0.5);
+        let p99 = h.quantile_micros(0.99);
+        assert!(p50 <= p99);
+        assert!(
+            p50 >= 495,
+            "upper bound must not undershoot the median: {p50}"
+        );
+        assert_eq!(Histogram::default().quantile_micros(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_contains_every_counter() {
+        let m = Metrics::new();
+        m.inc(&m.requests);
+        m.inc(&m.cache_hits);
+        m.record_latency("RCM", 100);
+        m.record_latency("RCM", 200);
+        m.record_latency("SPECTRAL", 5000);
+        let snap = m.snapshot(3, 2, 1);
+        assert_eq!(snap.get("requests").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("queue_depth").and_then(Json::as_u64), Some(3));
+        assert_eq!(snap.get("active_jobs").and_then(Json::as_u64), Some(2));
+        assert_eq!(snap.get("cached_orderings").and_then(Json::as_u64), Some(1));
+        let by_alg = snap.get("latency_us_by_algorithm").expect("latency table");
+        let rcm = by_alg.get("RCM").expect("RCM histogram");
+        assert_eq!(rcm.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            by_alg
+                .get("SPECTRAL")
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(m.latency_count("RCM"), 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! Fixed worker pool with a bounded queue and explicit backpressure.
+//!
+//! Submission never blocks: when the queue is full, [`WorkerPool::try_submit`]
+//! returns [`SubmitError::QueueFull`] and the caller reports a retriable
+//! error to the client instead of stalling the accept loop. Shutdown drains:
+//! already-queued jobs run to completion before the workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — retriable.
+    QueueFull,
+    /// The pool is draining for shutdown — not retriable.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "queue full"),
+            SubmitError::ShuttingDown => write!(f, "shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    active: usize,
+    shutting_down: bool,
+    completed: u64,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Wakes workers when a job arrives or shutdown starts.
+    job_ready: Condvar,
+    /// Wakes the drainer when the queue empties and workers go idle.
+    idle: Condvar,
+    capacity: usize,
+}
+
+/// A fixed-size worker pool over a bounded job queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads sharing a queue of at most `capacity` jobs.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::with_capacity(capacity),
+                active: 0,
+                shutting_down: false,
+                completed: 0,
+            }),
+            job_ready: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("orderd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues `job` without blocking, or rejects it.
+    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queue.len() >= self.shared.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        st.queue.push_back(job);
+        drop(st);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Jobs waiting in the queue (excluding ones being executed).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// Jobs currently being executed.
+    pub fn active(&self) -> usize {
+        self.shared.state.lock().unwrap().active
+    }
+
+    /// Maximum queue length.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Stops accepting work, waits for the queue to drain and all in-flight
+    /// jobs to finish, then joins the workers. Returns the total number of
+    /// jobs the pool completed over its lifetime.
+    pub fn shutdown_drain(mut self) -> u64 {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutting_down = true;
+            // Wait until nothing is queued and nothing is running.
+            while !st.queue.is_empty() || st.active > 0 {
+                st = self.shared.idle.wait(st).unwrap();
+            }
+        }
+        self.shared.job_ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.state.lock().unwrap().completed
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.active += 1;
+                    break job;
+                }
+                if st.shutting_down {
+                    return;
+                }
+                st = shared.job_ready.wait(st).unwrap();
+            }
+        };
+        // Run outside the lock; a panicking job must not kill the worker.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        let mut st = shared.state.lock().unwrap();
+        st.active -= 1;
+        st.completed += 1;
+        let quiet = st.queue.is_empty() && st.active == 0;
+        drop(st);
+        if quiet {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(4, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let c = Arc::clone(&counter);
+            pool.try_submit(Box::new(move || {
+                c.fetch_add(1, AtOrd::SeqCst);
+            }))
+            .unwrap();
+        }
+        let drained = pool.shutdown_drain();
+        assert_eq!(counter.load(AtOrd::SeqCst), 16);
+        assert_eq!(drained, 16);
+    }
+
+    #[test]
+    fn queue_full_is_reported_not_blocked() {
+        let pool = WorkerPool::new(1, 2);
+        // Block the single worker so queued jobs cannot advance.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }))
+        .unwrap();
+        started_rx.recv().unwrap(); // worker is now busy
+        pool.try_submit(Box::new(|| {})).unwrap();
+        pool.try_submit(Box::new(|| {})).unwrap();
+        // Queue (capacity 2) is now full.
+        assert_eq!(pool.queue_depth(), 2);
+        let err = pool.try_submit(Box::new(|| {})).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull);
+        release_tx.send(()).unwrap();
+        assert_eq!(pool.shutdown_drain(), 3);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let pool = WorkerPool::new(2, 32);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let c = Arc::clone(&counter);
+            pool.try_submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                c.fetch_add(1, AtOrd::SeqCst);
+            }))
+            .unwrap();
+        }
+        let drained = pool.shutdown_drain();
+        assert_eq!(
+            counter.load(AtOrd::SeqCst),
+            20,
+            "drain finished every queued job"
+        );
+        assert_eq!(drained, 20);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(1, 8);
+        pool.try_submit(Box::new(|| panic!("job blew up"))).unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.try_submit(Box::new(move || {
+            c.fetch_add(1, AtOrd::SeqCst);
+        }))
+        .unwrap();
+        pool.shutdown_drain();
+        assert_eq!(counter.load(AtOrd::SeqCst), 1);
+    }
+}

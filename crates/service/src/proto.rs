@@ -1,0 +1,652 @@
+//! Wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request line. Commands:
+//!
+//! * `ORDER` — order one matrix (inline payload or server-side path),
+//! * `BATCH` — a pipelined vector of ORDER requests answered in one line,
+//! * `STATS` — live metrics snapshot,
+//! * `SHUTDOWN` — graceful drain; the server finishes queued work first.
+//!
+//! ```text
+//! → {"cmd":"ORDER","alg":"spectral","format":"mtx","payload":"%%MatrixMarket..."}
+//! ← {"ok":true,"alg":"SPECTRAL","n":24,"nnz":80,"stats":{...},"perm":[...],"cache_hit":false,"micros":412}
+//! ```
+//!
+//! The `stats` object serializes [`sparsemat::envelope::EnvelopeStats`] —
+//! the same record the `spectral-order` CLI prints with `--json`, so the
+//! service and the CLI emit identical stat records.
+
+use crate::json::{parse, Json, JsonError};
+use se_order::Algorithm;
+use sparsemat::envelope::EnvelopeStats;
+
+/// Where the matrix of an ORDER request comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixSource {
+    /// The file content travels inline in the request.
+    Inline {
+        /// Payload format.
+        format: MatrixFormat,
+        /// The complete file text.
+        payload: String,
+    },
+    /// A path readable by the *server* process.
+    Path(String),
+}
+
+/// Supported matrix file formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixFormat {
+    /// MatrixMarket coordinate format (`.mtx`).
+    MatrixMarket,
+    /// Chaco/METIS graph format (`.graph`; pattern only).
+    Chaco,
+    /// Harwell–Boeing (`.rsa`/`.rua`).
+    HarwellBoeing,
+}
+
+impl MatrixFormat {
+    /// The wire name (`"mtx"`, `"graph"`, `"hb"`).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            MatrixFormat::MatrixMarket => "mtx",
+            MatrixFormat::Chaco => "graph",
+            MatrixFormat::HarwellBoeing => "hb",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_wire(s: &str) -> Option<Self> {
+        Some(match s {
+            "mtx" | "matrixmarket" => MatrixFormat::MatrixMarket,
+            "graph" | "chaco" => MatrixFormat::Chaco,
+            "hb" | "rsa" | "rua" => MatrixFormat::HarwellBoeing,
+            _ => return None,
+        })
+    }
+
+    /// Guesses the format from a file path, the CLI's extension convention.
+    pub fn from_path(path: &str) -> Self {
+        if path.ends_with(".mtx") {
+            MatrixFormat::MatrixMarket
+        } else if path.ends_with(".graph") {
+            MatrixFormat::Chaco
+        } else {
+            MatrixFormat::HarwellBoeing
+        }
+    }
+}
+
+/// Parses the CLI/wire algorithm name (shared by `spectral-order` and the
+/// service so both accept the same vocabulary).
+pub fn parse_algorithm(s: &str) -> Option<Algorithm> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "spectral" => Algorithm::Spectral,
+        "rcm" => Algorithm::Rcm,
+        "cm" => Algorithm::CuthillMckee,
+        "gps" => Algorithm::Gps,
+        "gk" => Algorithm::Gk,
+        "sloan" => Algorithm::Sloan,
+        "hybrid" => Algorithm::HybridSloanSpectral,
+        "refined" => Algorithm::SpectralRefined,
+        "mindeg" => Algorithm::MinDegree,
+        "nd" => Algorithm::SpectralNd,
+        "identity" => Algorithm::Identity,
+        _ => return None,
+    })
+}
+
+/// One ordering request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderRequest {
+    /// Ordering algorithm.
+    pub alg: Algorithm,
+    /// Matrix source.
+    pub source: MatrixSource,
+    /// Per-request wall-clock timeout override (ms).
+    pub timeout_ms: Option<u64>,
+    /// Include the permutation vector in the response (default true).
+    pub include_perm: bool,
+}
+
+impl OrderRequest {
+    /// A request ordering an inline MatrixMarket payload.
+    pub fn inline_mtx(alg: Algorithm, payload: impl Into<String>) -> Self {
+        OrderRequest {
+            alg,
+            source: MatrixSource::Inline {
+                format: MatrixFormat::MatrixMarket,
+                payload: payload.into(),
+            },
+            timeout_ms: None,
+            include_perm: true,
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Order one matrix.
+    Order(OrderRequest),
+    /// Order several matrices, pipelined through the worker pool.
+    Batch(Vec<OrderRequest>),
+    /// Metrics snapshot.
+    Stats,
+    /// Graceful drain and exit.
+    Shutdown,
+}
+
+/// A successful ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderResponse {
+    /// Algorithm name (`Algorithm::name()` form, e.g. `"SPECTRAL"`).
+    pub alg: String,
+    /// Matrix order.
+    pub n: usize,
+    /// Nonzeros in the paper's convention (lower triangle + diagonal).
+    pub nnz: usize,
+    /// Envelope statistics of the ordering.
+    pub stats: EnvelopeStats,
+    /// The permutation, new position → old index (0-based); omitted when
+    /// the request set `include_perm: false`.
+    pub perm: Option<Vec<usize>>,
+    /// Whether the ordering came from the content-addressed cache.
+    pub cache_hit: bool,
+    /// Server-side wall-clock time for this request (µs).
+    pub micros: u64,
+}
+
+/// An error outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorResponse {
+    /// Human-readable description.
+    pub error: String,
+    /// Whether retrying later can succeed (queue-full / timeout).
+    pub retriable: bool,
+}
+
+impl ErrorResponse {
+    /// A non-retriable error.
+    pub fn fatal(msg: impl Into<String>) -> Self {
+        ErrorResponse {
+            error: msg.into(),
+            retriable: false,
+        }
+    }
+
+    /// A retriable error (backpressure, timeout).
+    pub fn retriable(msg: impl Into<String>) -> Self {
+        ErrorResponse {
+            error: msg.into(),
+            retriable: true,
+        }
+    }
+}
+
+/// Any response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// ORDER result.
+    Order(OrderResponse),
+    /// BATCH result, one slot per sub-request, order preserved.
+    Batch(Vec<Result<OrderResponse, ErrorResponse>>),
+    /// STATS snapshot (opaque JSON, schema documented in `metrics`).
+    Stats(Json),
+    /// SHUTDOWN acknowledged; `drained` jobs finished before the ack.
+    ShutdownOk {
+        /// Jobs completed during the drain.
+        drained: u64,
+    },
+    /// Request failed.
+    Error(ErrorResponse),
+}
+
+/// Errors turning a line into a [`Request`]/[`Response`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// Not valid JSON.
+    Json(JsonError),
+    /// Valid JSON, invalid protocol shape.
+    Shape(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Json(e) => write!(f, "{e}"),
+            ProtoError::Shape(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn shape(msg: impl Into<String>) -> ProtoError {
+    ProtoError::Shape(msg.into())
+}
+
+// ---------------------------------------------------------------- encoding
+
+/// Serializes [`EnvelopeStats`] — shared by service responses and the CLI's
+/// `--json` mode so both emit the identical record.
+pub fn stats_to_json(s: &EnvelopeStats) -> Json {
+    Json::obj(vec![
+        ("envelope", Json::Num(s.envelope_size as f64)),
+        ("bandwidth", Json::Num(s.bandwidth as f64)),
+        ("envelope_work", Json::Num(s.envelope_work as f64)),
+        ("one_sum", Json::Num(s.one_sum as f64)),
+        ("two_sum_sq", Json::Num(s.two_sum_sq as f64)),
+    ])
+}
+
+/// Parses the output of [`stats_to_json`].
+pub fn stats_from_json(v: &Json) -> Result<EnvelopeStats, ProtoError> {
+    let f = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| shape(format!("stats.{k}")))
+    };
+    Ok(EnvelopeStats {
+        envelope_size: f("envelope")?,
+        bandwidth: f("bandwidth")?,
+        envelope_work: f("envelope_work")?,
+        one_sum: f("one_sum")?,
+        two_sum_sq: f("two_sum_sq")?,
+    })
+}
+
+/// Serializes an [`OrderResponse`] body (without the `ok` flag).
+pub fn order_response_to_json(r: &OrderResponse) -> Json {
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("alg", Json::Str(r.alg.clone())),
+        ("n", Json::Num(r.n as f64)),
+        ("nnz", Json::Num(r.nnz as f64)),
+        ("stats", stats_to_json(&r.stats)),
+        ("cache_hit", Json::Bool(r.cache_hit)),
+        ("micros", Json::Num(r.micros as f64)),
+    ];
+    if let Some(p) = &r.perm {
+        pairs.push((
+            "perm",
+            Json::Arr(p.iter().map(|&v| Json::Num(v as f64)).collect()),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+fn order_response_from_json(v: &Json) -> Result<OrderResponse, ProtoError> {
+    let perm = match v.get("perm") {
+        None => None,
+        Some(arr) => {
+            let items = arr.as_arr().ok_or_else(|| shape("perm must be an array"))?;
+            Some(
+                items
+                    .iter()
+                    .map(|x| x.as_u64().map(|u| u as usize))
+                    .collect::<Option<Vec<usize>>>()
+                    .ok_or_else(|| shape("perm entries must be integers"))?,
+            )
+        }
+    };
+    Ok(OrderResponse {
+        alg: v
+            .get("alg")
+            .and_then(Json::as_str)
+            .ok_or_else(|| shape("missing alg"))?
+            .to_string(),
+        n: v.get("n")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| shape("missing n"))? as usize,
+        nnz: v
+            .get("nnz")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| shape("missing nnz"))? as usize,
+        stats: stats_from_json(v.get("stats").ok_or_else(|| shape("missing stats"))?)?,
+        perm,
+        cache_hit: v.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
+        micros: v.get("micros").and_then(Json::as_u64).unwrap_or(0),
+    })
+}
+
+fn error_to_json(e: &ErrorResponse) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(e.error.clone())),
+        ("retriable", Json::Bool(e.retriable)),
+    ])
+}
+
+/// Serializes a [`Response`] to its wire line (no trailing newline).
+pub fn encode_response(r: &Response) -> String {
+    let v = match r {
+        Response::Order(o) => order_response_to_json(o),
+        Response::Batch(items) => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            (
+                "responses",
+                Json::Arr(
+                    items
+                        .iter()
+                        .map(|item| match item {
+                            Ok(o) => order_response_to_json(o),
+                            Err(e) => error_to_json(e),
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Response::Stats(s) => Json::obj(vec![("ok", Json::Bool(true)), ("stats", s.clone())]),
+        Response::ShutdownOk { drained } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("shutdown", Json::Bool(true)),
+            ("drained", Json::Num(*drained as f64)),
+        ]),
+        Response::Error(e) => error_to_json(e),
+    };
+    v.to_string_compact()
+}
+
+/// Parses a response line.
+pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
+    let v = parse(line).map_err(ProtoError::Json)?;
+    let ok = v
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| shape("missing ok"))?;
+    if !ok {
+        return Ok(Response::Error(ErrorResponse {
+            error: v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string(),
+            retriable: v.get("retriable").and_then(Json::as_bool).unwrap_or(false),
+        }));
+    }
+    if let Some(items) = v.get("responses").and_then(Json::as_arr) {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            if item.get("ok").and_then(Json::as_bool) == Some(true) {
+                out.push(Ok(order_response_from_json(item)?));
+            } else {
+                out.push(Err(ErrorResponse {
+                    error: item
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown error")
+                        .to_string(),
+                    retriable: item
+                        .get("retriable")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                }));
+            }
+        }
+        return Ok(Response::Batch(out));
+    }
+    if v.get("shutdown").and_then(Json::as_bool) == Some(true) {
+        return Ok(Response::ShutdownOk {
+            drained: v.get("drained").and_then(Json::as_u64).unwrap_or(0),
+        });
+    }
+    if let Some(s) = v.get("stats") {
+        // An ORDER response also carries "stats"; disambiguate by "alg".
+        if v.get("alg").is_none() {
+            return Ok(Response::Stats(s.clone()));
+        }
+    }
+    Ok(Response::Order(order_response_from_json(&v)?))
+}
+
+/// Serializes a [`Request`] to its wire line (no trailing newline).
+pub fn encode_request(r: &Request) -> String {
+    fn order_fields(o: &OrderRequest) -> Vec<(String, Json)> {
+        let mut pairs = vec![
+            ("cmd".to_string(), Json::Str("ORDER".to_string())),
+            (
+                "alg".to_string(),
+                Json::Str(o.alg.name().to_ascii_lowercase()),
+            ),
+        ];
+        match &o.source {
+            MatrixSource::Inline { format, payload } => {
+                pairs.push((
+                    "format".to_string(),
+                    Json::Str(format.wire_name().to_string()),
+                ));
+                pairs.push(("payload".to_string(), Json::Str(payload.clone())));
+            }
+            MatrixSource::Path(p) => pairs.push(("path".to_string(), Json::Str(p.clone()))),
+        }
+        if let Some(t) = o.timeout_ms {
+            pairs.push(("timeout_ms".to_string(), Json::Num(t as f64)));
+        }
+        if !o.include_perm {
+            pairs.push(("include_perm".to_string(), Json::Bool(false)));
+        }
+        pairs
+    }
+    let v = match r {
+        Request::Order(o) => Json::Obj(order_fields(o)),
+        Request::Batch(items) => Json::obj(vec![
+            ("cmd", Json::Str("BATCH".to_string())),
+            (
+                "requests",
+                Json::Arr(items.iter().map(|o| Json::Obj(order_fields(o))).collect()),
+            ),
+        ]),
+        Request::Stats => Json::obj(vec![("cmd", Json::Str("STATS".to_string()))]),
+        Request::Shutdown => Json::obj(vec![("cmd", Json::Str("SHUTDOWN".to_string()))]),
+    };
+    v.to_string_compact()
+}
+
+fn order_request_from_json(v: &Json) -> Result<OrderRequest, ProtoError> {
+    let alg_name = v.get("alg").and_then(Json::as_str).unwrap_or("spectral");
+    let alg = parse_algorithm(alg_name)
+        .ok_or_else(|| shape(format!("unknown algorithm '{alg_name}'")))?;
+    let source = match (v.get("payload"), v.get("path")) {
+        (Some(payload), None) => {
+            let payload = payload
+                .as_str()
+                .ok_or_else(|| shape("payload must be a string"))?
+                .to_string();
+            let format = match v.get("format") {
+                Some(f) => {
+                    let name = f.as_str().ok_or_else(|| shape("format must be a string"))?;
+                    MatrixFormat::from_wire(name)
+                        .ok_or_else(|| shape(format!("unknown format '{name}'")))?
+                }
+                None => MatrixFormat::MatrixMarket,
+            };
+            MatrixSource::Inline { format, payload }
+        }
+        (None, Some(path)) => MatrixSource::Path(
+            path.as_str()
+                .ok_or_else(|| shape("path must be a string"))?
+                .to_string(),
+        ),
+        (Some(_), Some(_)) => return Err(shape("give either payload or path, not both")),
+        (None, None) => return Err(shape("ORDER needs a payload or a path")),
+    };
+    let timeout_ms = match v.get("timeout_ms") {
+        None => None,
+        Some(t) => Some(
+            t.as_u64()
+                .ok_or_else(|| shape("timeout_ms must be an integer"))?,
+        ),
+    };
+    Ok(OrderRequest {
+        alg,
+        source,
+        timeout_ms,
+        include_perm: v
+            .get("include_perm")
+            .and_then(Json::as_bool)
+            .unwrap_or(true),
+    })
+}
+
+/// Parses a request line.
+pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
+    let v = parse(line).map_err(ProtoError::Json)?;
+    let cmd = v
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| shape("missing cmd"))?;
+    match cmd.to_ascii_uppercase().as_str() {
+        "ORDER" => Ok(Request::Order(order_request_from_json(&v)?)),
+        "BATCH" => {
+            let items = v
+                .get("requests")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| shape("BATCH needs a requests array"))?;
+            if items.is_empty() {
+                return Err(shape("BATCH must contain at least one request"));
+            }
+            items
+                .iter()
+                .map(order_request_from_json)
+                .collect::<Result<Vec<_>, _>>()
+                .map(Request::Batch)
+        }
+        "STATS" => Ok(Request::Stats),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        other => Err(shape(format!("unknown cmd '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> EnvelopeStats {
+        EnvelopeStats {
+            envelope_size: 10,
+            envelope_work: 40,
+            bandwidth: 3,
+            one_sum: 15,
+            two_sum_sq: 55,
+        }
+    }
+
+    #[test]
+    fn order_request_roundtrip() {
+        let req = Request::Order(OrderRequest {
+            alg: Algorithm::Rcm,
+            source: MatrixSource::Inline {
+                format: MatrixFormat::MatrixMarket,
+                payload:
+                    "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 1.0\n2 2 1.0\n"
+                        .into(),
+            },
+            timeout_ms: Some(1500),
+            include_perm: false,
+        });
+        let line = encode_request(&req);
+        assert!(!line.contains('\n'));
+        assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn batch_request_roundtrip() {
+        let one = OrderRequest {
+            alg: Algorithm::Spectral,
+            source: MatrixSource::Path("/data/m.mtx".into()),
+            timeout_ms: None,
+            include_perm: true,
+        };
+        let req = Request::Batch(vec![one.clone(), one]);
+        let line = encode_request(&req);
+        assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn control_requests_roundtrip() {
+        for r in [Request::Stats, Request::Shutdown] {
+            assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn order_response_roundtrip() {
+        let resp = Response::Order(OrderResponse {
+            alg: "SPECTRAL".into(),
+            n: 4,
+            nnz: 10,
+            stats: sample_stats(),
+            perm: Some(vec![2, 0, 3, 1]),
+            cache_hit: true,
+            micros: 512,
+        });
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn batch_response_roundtrip_with_mixed_outcomes() {
+        let resp = Response::Batch(vec![
+            Ok(OrderResponse {
+                alg: "RCM".into(),
+                n: 3,
+                nnz: 5,
+                stats: sample_stats(),
+                perm: None,
+                cache_hit: false,
+                micros: 88,
+            }),
+            Err(ErrorResponse::retriable("queue full")),
+        ]);
+        assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn stats_and_shutdown_responses_roundtrip() {
+        let s = Response::Stats(Json::obj(vec![("requests", Json::Num(7.0))]));
+        assert_eq!(decode_response(&encode_response(&s)).unwrap(), s);
+        let d = Response::ShutdownOk { drained: 3 };
+        assert_eq!(decode_response(&encode_response(&d)).unwrap(), d);
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let e = Response::Error(ErrorResponse::fatal("parse error: bad header"));
+        assert_eq!(decode_response(&encode_response(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        for bad in [
+            "{}",
+            r#"{"cmd":"NOPE"}"#,
+            r#"{"cmd":"ORDER"}"#,
+            r#"{"cmd":"ORDER","alg":"wat","payload":"x"}"#,
+            r#"{"cmd":"ORDER","payload":"x","path":"y"}"#,
+            r#"{"cmd":"BATCH"}"#,
+            r#"{"cmd":"BATCH","requests":[]}"#,
+            "not json",
+        ] {
+            assert!(decode_request(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn algorithm_vocabulary_matches_cli() {
+        for (name, alg) in [
+            ("spectral", Algorithm::Spectral),
+            ("rcm", Algorithm::Rcm),
+            ("cm", Algorithm::CuthillMckee),
+            ("gps", Algorithm::Gps),
+            ("gk", Algorithm::Gk),
+            ("sloan", Algorithm::Sloan),
+            ("hybrid", Algorithm::HybridSloanSpectral),
+            ("refined", Algorithm::SpectralRefined),
+            ("mindeg", Algorithm::MinDegree),
+            ("nd", Algorithm::SpectralNd),
+        ] {
+            assert_eq!(parse_algorithm(name), Some(alg));
+        }
+        assert_eq!(parse_algorithm("bogus"), None);
+    }
+}

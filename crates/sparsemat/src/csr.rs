@@ -3,9 +3,6 @@
 
 use crate::{CooMatrix, Permutation, Result, SparseError, SymmetricPattern};
 
-#[cfg(feature = "parallel")]
-use rayon::prelude::*;
-
 /// A sparse matrix in compressed sparse row (CSR) format.
 ///
 /// Invariants (enforced by every constructor):
@@ -248,29 +245,34 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
         assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
-        for r in 0..self.nrows {
-            let mut acc = 0.0;
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                acc += self.values[k] * x[self.col_idx[k]];
-            }
-            y[r] = acc;
-        }
-    }
-
-    /// Dense `y = A x` using rayon row-parallelism.
-    ///
-    /// This kernel exists to demonstrate the paper's argument (§1) that the
-    /// spectral ordering is built from operations that parallelise trivially.
-    #[cfg(feature = "parallel")]
-    pub fn matvec_par(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
-        assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
-        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
             *yr = acc;
+        }
+    }
+
+    /// Dense `y = A x` using row-block parallelism over scoped std threads.
+    ///
+    /// This kernel exists to demonstrate the paper's argument (§1) that the
+    /// spectral ordering is built from operations that parallelise trivially.
+    /// Rows are split into one contiguous block per available core; each
+    /// thread owns a disjoint slice of `y`, so no synchronisation is needed.
+    #[cfg(feature = "parallel")]
+    pub fn matvec_par(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "matvec: y length mismatch");
+        crate::par::for_each_row_block(y, |r0, yb| {
+            for (i, yr) in yb.iter_mut().enumerate() {
+                let r = r0 + i;
+                let mut acc = 0.0;
+                for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                    acc += self.values[k] * x[self.col_idx[k]];
+                }
+                *yr = acc;
+            }
         });
     }
 

@@ -78,11 +78,10 @@ fn read_chaco_reader<R: Read>(reader: BufReader<R>) -> Result<SymmetricPattern> 
             toks.next()
                 .ok_or_else(|| SparseError::Parse(format!("vertex {v}: missing weight")))?;
         }
-        loop {
-            let Some(tok) = toks.next() else { break };
-            let u: usize = tok
-                .parse()
-                .map_err(|e| SparseError::Parse(format!("vertex {v}: bad neighbor '{tok}': {e}")))?;
+        while let Some(tok) = toks.next() {
+            let u: usize = tok.parse().map_err(|e| {
+                SparseError::Parse(format!("vertex {v}: bad neighbor '{tok}': {e}"))
+            })?;
             if u == 0 || u > n {
                 return Err(SparseError::Parse(format!(
                     "vertex {v}: neighbor {u} outside 1..{n}"

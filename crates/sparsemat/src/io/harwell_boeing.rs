@@ -37,7 +37,7 @@ impl FortranFormat {
         let rest = rest.trim();
         // rest should now be like "16I5" or "3E26.16" or "3E25.16E3".
         let letter_pos = rest
-            .find(|c: char| matches!(c, 'I' | 'i' | 'E' | 'e' | 'D' | 'd' | 'F' | 'f' | 'G' | 'g'))
+            .find(['I', 'i', 'E', 'e', 'D', 'd', 'F', 'f', 'G', 'g'])
             .ok_or_else(|| SparseError::Parse(format!("unrecognised Fortran format '{s}'")))?;
         let count_str = &rest[..letter_pos];
         let per_line: usize = if count_str.is_empty() {
@@ -144,7 +144,9 @@ fn read_harwell_boeing_reader<R: Read>(reader: BufReader<R>) -> Result<CsrMatrix
     let symmetry = mx[1]; // S / U / H / Z / R
     let assembled = mx[2]; // A / E
     if value_kind == b'C' {
-        return Err(SparseError::Parse("complex HB matrices not supported".into()));
+        return Err(SparseError::Parse(
+            "complex HB matrices not supported".into(),
+        ));
     }
     if assembled != b'A' {
         return Err(SparseError::Parse(
@@ -159,7 +161,9 @@ fn read_harwell_boeing_reader<R: Read>(reader: BufReader<R>) -> Result<CsrMatrix
         })
         .collect::<Result<_>>()?;
     if dims.len() < 3 {
-        return Err(SparseError::Parse("HB line 3 needs NROW NCOL NNZERO".into()));
+        return Err(SparseError::Parse(
+            "HB line 3 needs NROW NCOL NNZERO".into(),
+        ));
     }
     let (nrow, ncol, nnzero) = (dims[0], dims[1], dims[2]);
 
@@ -177,7 +181,9 @@ fn read_harwell_boeing_reader<R: Read>(reader: BufReader<R>) -> Result<CsrMatrix
     } else {
         let toks: Vec<&str> = fmt_line.split_whitespace().collect();
         if toks.len() < 2 {
-            return Err(SparseError::Parse("HB line 4 needs at least 2 formats".into()));
+            return Err(SparseError::Parse(
+                "HB line 4 needs at least 2 formats".into(),
+            ));
         }
         (
             toks[0].to_string(),
@@ -225,15 +231,11 @@ fn read_harwell_boeing_reader<R: Read>(reader: BufReader<R>) -> Result<CsrMatrix
             let (r, c, v) = (i - 1, j, values[k]);
             coo.push(r, c, v)?;
             match symmetry {
-                b'S' | b'H' => {
-                    if r != c {
-                        coo.push(c, r, v)?;
-                    }
+                b'S' | b'H' if r != c => {
+                    coo.push(c, r, v)?;
                 }
-                b'Z' => {
-                    if r != c {
-                        coo.push(c, r, -v)?;
-                    }
+                b'Z' if r != c => {
+                    coo.push(c, r, -v)?;
                 }
                 _ => {}
             }
@@ -427,7 +429,10 @@ mod tests {
             "{:<3}{:>11}{:>14}{:>14}{:>14}{:>14}\n",
             "PSA", "", 2, 2, 3, 0
         ));
-        s.push_str(&format!("{:<16}{:<16}{:<20}{:<20}\n", "(16I5)", "(16I5)", "", ""));
+        s.push_str(&format!(
+            "{:<16}{:<16}{:<20}{:<20}\n",
+            "(16I5)", "(16I5)", "", ""
+        ));
         s.push_str("    1    3    4\n");
         s.push_str("    1    2    2\n");
         let a = read_harwell_boeing_str(&s).unwrap();

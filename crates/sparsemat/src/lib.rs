@@ -33,6 +33,7 @@ pub mod coo;
 pub mod csr;
 pub mod envelope;
 pub mod io;
+pub mod par;
 pub mod pattern;
 pub mod perm;
 pub mod spy;

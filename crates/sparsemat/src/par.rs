@@ -1,0 +1,72 @@
+//! Minimal data-parallel helper built on `std::thread::scope`.
+//!
+//! The workspace deliberately carries no external dependencies, so the
+//! `parallel` feature's row-parallel kernels are expressed through this one
+//! primitive instead of rayon: split a mutable slice into one contiguous
+//! block per available core and run the body on each block from its own
+//! thread. Blocks are disjoint, so the body needs no synchronisation.
+
+/// Runs `body(block_start, block)` over disjoint contiguous blocks of
+/// `data`, one per available core (single-threaded for tiny inputs, where
+/// spawn overhead would dominate).
+pub fn for_each_row_block<T: Send, F>(data: &mut [T], body: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let threads = available_threads().min(n.max(1));
+    // Under ~64k elements of work a fork-join round trip costs more than it
+    // saves; matvec rows are cheap, so fall back to serial.
+    if threads <= 1 || n < 4096 {
+        body(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let b = &body;
+            s.spawn(move || b(start, head));
+            start += take;
+            rest = tail;
+        }
+    });
+}
+
+/// The number of worker threads to use (`std::thread::available_parallelism`,
+/// clamped so degenerate containers still report one).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_cover_slice_exactly_once() {
+        let mut v = vec![0u32; 10_000];
+        for_each_row_block(&mut v, |start, block| {
+            for (i, x) in block.iter_mut().enumerate() {
+                *x += (start + i) as u32;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+        }
+    }
+
+    #[test]
+    fn serial_fallback_on_small_input() {
+        let mut v = vec![1u8; 7];
+        for_each_row_block(&mut v, |_, block| {
+            for x in block {
+                *x *= 2;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+}

@@ -272,11 +272,8 @@ mod tests {
 
     #[test]
     fn from_csr_drops_diagonal() {
-        let a = CsrMatrix::from_entries(
-            2,
-            &[(0, 0, 1.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 1.0)],
-        )
-        .unwrap();
+        let a = CsrMatrix::from_entries(2, &[(0, 0, 1.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 1.0)])
+            .unwrap();
         let p = a.pattern().unwrap();
         assert_eq!(p.num_edges(), 1);
         assert_eq!(p.neighbors(0), &[1]);

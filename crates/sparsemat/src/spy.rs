@@ -149,7 +149,10 @@ mod tests {
     fn grid_counts_total() {
         let p = path(10);
         let g = SpyGrid::new(&p, &Permutation::identity(10), 5).unwrap();
-        let total: u32 = (0..5).flat_map(|r| (0..5).map(move |c| (r, c))).map(|(r, c)| g.count(r, c)).sum();
+        let total: u32 = (0..5)
+            .flat_map(|r| (0..5).map(move |c| (r, c)))
+            .map(|(r, c)| g.count(r, c))
+            .sum();
         // 10 diagonal + 18 off-diagonal entries.
         assert_eq!(total, 28);
         assert_eq!(g.nnz_plotted(), 28);

@@ -1,41 +1,59 @@
 //! Robustness fuzzing for the file-format parsers: arbitrary input must
 //! produce `Err(..)`, never a panic, and near-valid inputs with small
 //! corruptions must be rejected cleanly.
+//!
+//! Driven by the in-tree deterministic PRNG (seeded loops) so runs are
+//! reproducible and the workspace needs no registry access.
 
-use proptest::prelude::*;
+use se_prng::SmallRng;
+use sparsemat::io::chaco::read_chaco_str;
 use sparsemat::io::harwell_boeing::read_harwell_boeing_str;
 use sparsemat::io::matrix_market::{read_matrix_market_str, write_matrix_market_string};
-use sparsemat::io::chaco::read_chaco_str;
 use sparsemat::CsrMatrix;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random string of printable ASCII plus occasional newlines/controls.
+fn noise(rng: &mut SmallRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| match rng.gen_range(0..20u32) {
+            0 => '\n',
+            1 => '\t',
+            _ => char::from(rng.gen_range(0x20..=0x7Eu32) as u8),
+        })
+        .collect()
+}
 
-    /// Arbitrary text never panics any parser.
-    #[test]
-    fn arbitrary_text_never_panics(s in "\\PC{0,300}") {
+#[test]
+fn arbitrary_text_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0xF022);
+    for _ in 0..256 {
+        let s = noise(&mut rng, 300);
         let _ = read_matrix_market_str(&s);
         let _ = read_harwell_boeing_str(&s);
         let _ = read_chaco_str(&s);
     }
+}
 
-    /// Arbitrary *line-structured* text (more likely to get past headers).
-    #[test]
-    fn line_noise_never_panics(lines in proptest::collection::vec("[ -~]{0,40}", 0..20)) {
+#[test]
+fn line_noise_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0xF023);
+    for _ in 0..256 {
+        let lines: Vec<String> = (0..rng.gen_range(0..20usize))
+            .map(|_| noise(&mut rng, 40).replace('\n', " "))
+            .collect();
         let s = lines.join("\n");
         let _ = read_matrix_market_str(&s);
         let _ = read_harwell_boeing_str(&s);
         let _ = read_chaco_str(&s);
     }
+}
 
-    /// A valid MatrixMarket file with one corrupted byte is either parsed
-    /// (the corruption hit whitespace/comment) or cleanly rejected.
-    #[test]
-    fn corrupted_matrix_market_no_panic(
-        seed in 0u64..500,
-        pos_frac in 0.0f64..1.0,
-        byte in 0u8..=255,
-    ) {
+/// A valid MatrixMarket file with one corrupted byte is either parsed (the
+/// corruption hit whitespace/comment) or cleanly rejected.
+#[test]
+fn corrupted_matrix_market_no_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xF024);
+    for seed in 0..256u64 {
         // Build a small valid file deterministically from the seed.
         let n = 3 + (seed % 4) as usize;
         let mut entries = Vec::new();
@@ -46,40 +64,57 @@ proptest! {
         entries.push((n - 1, 0, -1.0));
         let a = CsrMatrix::from_entries(n, &entries).unwrap();
         let mut text = write_matrix_market_string(&a).into_bytes();
-        let pos = ((text.len() - 1) as f64 * pos_frac) as usize;
-        text[pos] = byte;
+        let pos = rng.gen_range(0..text.len());
+        text[pos] = (rng.gen::<u64>() & 0xFF) as u8;
         let corrupted = String::from_utf8_lossy(&text).to_string();
         let _ = read_matrix_market_str(&corrupted);
     }
+}
 
-    /// Truncations of a valid Harwell–Boeing file never panic.
-    #[test]
-    fn truncated_harwell_boeing_no_panic(frac in 0.0f64..1.0) {
-        use sparsemat::io::harwell_boeing::write_harwell_boeing_string;
-        let a = CsrMatrix::from_entries(
-            4,
-            &[(0, 0, 2.0), (1, 1, 2.0), (2, 2, 2.0), (3, 3, 2.0), (1, 0, -1.0), (0, 1, -1.0)],
-        )
-        .unwrap();
-        let s = write_harwell_boeing_string(&a, "TRNC");
-        let cut = (s.len() as f64 * frac) as usize;
+/// Truncations of a valid Harwell–Boeing file never panic.
+#[test]
+fn truncated_harwell_boeing_no_panic() {
+    use sparsemat::io::harwell_boeing::write_harwell_boeing_string;
+    let a = CsrMatrix::from_entries(
+        4,
+        &[
+            (0, 0, 2.0),
+            (1, 1, 2.0),
+            (2, 2, 2.0),
+            (3, 3, 2.0),
+            (1, 0, -1.0),
+            (0, 1, -1.0),
+        ],
+    )
+    .unwrap();
+    let s = write_harwell_boeing_string(&a, "TRNC");
+    for cut in 0..s.len() {
         let _ = read_harwell_boeing_str(&s[..cut]);
     }
+}
 
-    /// Chaco files with random numeric noise after a valid header.
-    #[test]
-    fn chaco_numeric_noise_no_panic(
-        n in 1usize..8,
-        body in proptest::collection::vec(
-            proptest::collection::vec(0usize..12, 0..6),
-            0..8
-        ),
-    ) {
+/// Chaco files with random numeric noise after a valid header.
+#[test]
+fn chaco_numeric_noise_no_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xF025);
+    for _ in 0..256 {
+        let n = rng.gen_range(1..8usize);
+        let body: Vec<Vec<usize>> = (0..rng.gen_range(0..8usize))
+            .map(|_| {
+                (0..rng.gen_range(0..6usize))
+                    .map(|_| rng.gen_range(0..12usize))
+                    .collect()
+            })
+            .collect();
         let m = body.iter().map(|l| l.len()).sum::<usize>() / 2;
         let mut s = format!("{n} {m}\n");
         for line in &body {
             s.push_str(
-                &line.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" "),
+                &line
+                    .iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" "),
             );
             s.push('\n');
         }

@@ -1,0 +1,169 @@
+//! Randomized tests for the sparse-matrix substrate: CSR algebra,
+//! file-format round trips, and permutation laws.
+//!
+//! These were originally `proptest` properties; they are now driven by the
+//! in-tree deterministic PRNG so the workspace builds with no registry
+//! access. Every case loop is seeded, so failures reproduce exactly.
+
+use se_prng::SmallRng;
+use sparsemat::io::harwell_boeing::{read_harwell_boeing_str, write_harwell_boeing_string};
+use sparsemat::io::matrix_market::{read_matrix_market_str, write_matrix_market_string};
+use sparsemat::{CooMatrix, CsrMatrix, Permutation};
+
+/// A random square CSR matrix with "nice" values (exact in decimal round
+/// trips): quarters in `[-2, 2]`.
+fn square_matrix(rng: &mut SmallRng) -> CsrMatrix {
+    let n = rng.gen_range(1..=12usize);
+    let mut coo = CooMatrix::new(n, n);
+    for _ in 0..rng.gen_range(0..3 * n + 1) {
+        let r = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        let v = rng.gen_range(0..=16u64) as f64 / 4.0 - 2.0;
+        coo.push(r, c, v).unwrap();
+    }
+    coo.to_csr()
+}
+
+fn random_perm(rng: &mut SmallRng, n: usize) -> Permutation {
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    Permutation::from_new_to_old(order).unwrap()
+}
+
+#[test]
+fn transpose_is_involutive() {
+    let mut rng = SmallRng::seed_from_u64(0x5E01);
+    for _ in 0..128 {
+        let a = square_matrix(&mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+}
+
+#[test]
+fn transpose_swaps_matvec() {
+    let mut rng = SmallRng::seed_from_u64(0x5E02);
+    for _ in 0..128 {
+        // yᵀ(Ax) == (Aᵀy)ᵀx for random-ish x, y.
+        let a = square_matrix(&mut rng);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) % 5) as f64 - 2.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 3 + 2) % 7) as f64 - 3.0).collect();
+        let ax = a.matvec_alloc(&x);
+        let aty = a.transpose().matvec_alloc(&y);
+        let lhs: f64 = y.iter().zip(&ax).map(|(p, q)| p * q).sum();
+        let rhs: f64 = aty.iter().zip(&x).map(|(p, q)| p * q).sum();
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn symmetrize_is_symmetric_and_idempotent() {
+    let mut rng = SmallRng::seed_from_u64(0x5E03);
+    for _ in 0..128 {
+        let a = square_matrix(&mut rng);
+        let s = a.symmetrize().unwrap();
+        assert!(s.is_symmetric(1e-12));
+        let s2 = s.symmetrize().unwrap();
+        assert_eq!(s, s2);
+    }
+}
+
+#[test]
+fn matvec_matches_dense() {
+    let mut rng = SmallRng::seed_from_u64(0x5E04);
+    for _ in 0..128 {
+        let a = square_matrix(&mut rng);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) - n as f64 / 2.0).collect();
+        let y = a.matvec_alloc(&x);
+        let d = a.to_dense();
+        for i in 0..n {
+            let yi: f64 = (0..n).map(|j| d[i][j] * x[j]).sum();
+            assert!((y[i] - yi).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn matrix_market_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x5E05);
+    for _ in 0..128 {
+        let a = square_matrix(&mut rng);
+        let s = write_matrix_market_string(&a);
+        let b = read_matrix_market_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn harwell_boeing_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x5E06);
+    for _ in 0..128 {
+        let a = square_matrix(&mut rng);
+        if a.nnz() == 0 {
+            continue; // HB needs at least one entry per the format
+        }
+        let s = write_harwell_boeing_string(&a, "PROP");
+        let b = read_harwell_boeing_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn symmetric_permute_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x5E07);
+    for _ in 0..128 {
+        let a = square_matrix(&mut rng).symmetrize().unwrap();
+        let perm = random_perm(&mut rng, a.nrows());
+        let p = a.permute_symmetric(&perm).unwrap();
+        let back = p.permute_symmetric(&perm.inverse()).unwrap();
+        assert_eq!(back, a);
+    }
+}
+
+#[test]
+fn sorting_permutation_sorts() {
+    let mut rng = SmallRng::seed_from_u64(0x5E08);
+    for _ in 0..128 {
+        let n = rng.gen_range(1..30usize);
+        let keys: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let p = Permutation::sorting(&keys);
+        let sorted = p.apply(&keys).unwrap();
+        for w in sorted.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}
+
+#[test]
+fn centered_vector_sums_to_zero() {
+    for n in 1..=40usize {
+        let v = Permutation::identity(n).centered_vector();
+        let s: f64 = v.iter().sum();
+        assert!(s.abs() < 1e-9);
+        // And its norm² matches the paper's ℓ.
+        let ell: f64 = v.iter().map(|x| x * x).sum();
+        let expect = if n % 2 == 1 {
+            n as f64 * (n as f64 * n as f64 - 1.0) / 12.0
+        } else {
+            n as f64 * (n as f64 + 1.0) * (n as f64 + 2.0) / 12.0
+        };
+        assert!((ell - expect).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn composition_associativity() {
+    let mut rng = SmallRng::seed_from_u64(0x5E09);
+    for _ in 0..32 {
+        let n = rng.gen_range(2..=12usize);
+        let p = random_perm(&mut rng, n);
+        let q = random_perm(&mut rng, n);
+        let r = random_perm(&mut rng, n);
+        let lhs = p.then(&q).unwrap().then(&r).unwrap();
+        let rhs = p.then(&q.then(&r).unwrap()).unwrap();
+        assert_eq!(lhs, rhs);
+        let id = Permutation::identity(n);
+        assert_eq!(id.then(&id).unwrap(), Permutation::identity(n));
+    }
+}

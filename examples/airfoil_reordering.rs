@@ -37,7 +37,10 @@ fn main() {
     std::fs::create_dir_all(dir).expect("create output dir");
     for row in &cmp.rows {
         let spy = SpyGrid::new(&g, &row.perm, 400).expect("spy");
-        let path = dir.join(format!("airfoil_{}.pgm", row.algorithm.name().to_lowercase()));
+        let path = dir.join(format!(
+            "airfoil_{}.pgm",
+            row.algorithm.name().to_lowercase()
+        ));
         spy.write_pgm(&path).expect("write pgm");
         println!("wrote {}", path.display());
     }

@@ -20,12 +20,19 @@ use std::time::Instant;
 fn main() {
     // Small mesh: every solver, including the dense oracle.
     let small = meshgen::graded_annulus_tri(600, 80, 0.93, 0x70);
-    println!("small mesh: n = {}, edges = {}", small.n(), small.num_edges());
+    println!(
+        "small mesh: n = {}, edges = {}",
+        small.n(),
+        small.num_edges()
+    );
     let dense = DenseSym::from_csr(&small.laplacian()).expect("densifiable");
     let t0 = Instant::now();
     let full = dense.eigh().expect("dense decomposition");
     let oracle = full.values[1];
-    println!("  dense oracle  λ₂ = {oracle:.6e}  ({:.3}s)\n", t0.elapsed().as_secs_f64());
+    println!(
+        "  dense oracle  λ₂ = {oracle:.6e}  ({:.3}s)\n",
+        t0.elapsed().as_secs_f64()
+    );
 
     let lop = LaplacianOp::new(&small);
     let deflate = vec![constant_unit_vector(small.n())];

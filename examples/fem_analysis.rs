@@ -45,8 +45,7 @@ fn main() {
         Algorithm::Rcm,
     ] {
         let ordering = reorder_pattern(&g, alg).expect("ordering runs");
-        let mut env =
-            EnvelopeMatrix::from_csr_permuted(&a, &ordering.perm).expect("symmetric");
+        let mut env = EnvelopeMatrix::from_csr_permuted(&a, &ordering.perm).expect("symmetric");
         let t0 = Instant::now();
         let flops = env.factorize().expect("K + σM is SPD");
         let secs = t0.elapsed().as_secs_f64();

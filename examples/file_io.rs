@@ -10,8 +10,8 @@
 
 use spectral_envelope_repro::order::Algorithm;
 use spectral_envelope_repro::sparsemat::io::{
-    harwell_boeing::write_harwell_boeing, matrix_market::write_matrix_market,
-    read_harwell_boeing, read_matrix_market,
+    harwell_boeing::write_harwell_boeing, matrix_market::write_matrix_market, read_harwell_boeing,
+    read_matrix_market,
 };
 use spectral_envelope_repro::spectral_env::report::compare_orderings;
 
@@ -22,7 +22,13 @@ fn main() {
         } else {
             read_harwell_boeing(&path).expect("parse Harwell-Boeing file")
         };
-        println!("read {}: {} x {}, {} nonzeros", path, a.nrows(), a.ncols(), a.nnz());
+        println!(
+            "read {}: {} x {}, {} nonzeros",
+            path,
+            a.nrows(),
+            a.ncols(),
+            a.nnz()
+        );
         let sym = a.symmetrize().expect("square matrix");
         let g = sym.pattern().expect("symmetric pattern");
         let cmp = compare_orderings(&g, &Algorithm::paper_set()).expect("orderings run");
@@ -49,7 +55,10 @@ fn main() {
     println!("Harwell-Boeing round trip OK: {}", hb.display());
 
     let cmp = compare_orderings(&g, &Algorithm::paper_set()).expect("orderings run");
-    println!("\n{}", cmp.format_table("Orderings of the round-tripped matrix"));
+    println!(
+        "\n{}",
+        cmp.format_table("Orderings of the round-tripped matrix")
+    );
     println!("Tip: pass a path to a real BCSSTK*/NASA file to reproduce the paper's");
     println!("tables on the original data: cargo run --example file_io -- bcsstk29.rsa");
 }

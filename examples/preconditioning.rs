@@ -22,9 +22,14 @@ fn main() {
         .expect("valid permutation");
     let a = g.spd_matrix(1e-3);
     let n = a.nrows();
-    println!("system: n = {n}, nnz = {}, shift 1e-3 (ill-conditioned)\n", a.nnz());
+    println!(
+        "system: n = {n}, nnz = {}, shift 1e-3 (ill-conditioned)\n",
+        a.nnz()
+    );
 
-    let b: Vec<f64> = (0..n).map(|i| ((i * 29 % 23) as f64) / 23.0 - 0.5).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| ((i * 29 % 23) as f64) / 23.0 - 0.5)
+        .collect();
     let opts = PcgOptions {
         max_iter: 4000,
         rtol: 1e-8,
@@ -38,7 +43,10 @@ fn main() {
     );
 
     println!("\nIC(0)-PCG under different preorderings:");
-    println!("  {:<10} {:>10} {:>12} {:>10}", "ordering", "envelope", "iterations", "converged");
+    println!(
+        "  {:<10} {:>10} {:>12} {:>10}",
+        "ordering", "envelope", "iterations", "converged"
+    );
     for alg in [
         Algorithm::Identity,
         Algorithm::Rcm,

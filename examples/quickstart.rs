@@ -24,7 +24,10 @@ fn main() {
         "Original ordering: envelope = {}, bandwidth = {}\n",
         before.envelope_size, before.bandwidth
     );
-    println!("{}", ascii_spy(&scrambled, &Permutation::identity(scrambled.n()), 30));
+    println!(
+        "{}",
+        ascii_spy(&scrambled, &Permutation::identity(scrambled.n()), 30)
+    );
 
     // One call: spectral reordering (Algorithm 1 of the paper).
     let result = reorder(&a, Algorithm::Spectral).expect("matrix is symmetric & connected");

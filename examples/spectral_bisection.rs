@@ -41,7 +41,10 @@ fn main() {
 
     // Theorem 2.5 (Fiedler): the vertices with eigenvector value above any
     // threshold induce a connected subgraph (and symmetrically below).
-    for (name, part) in [("A (below median)", &part_a), ("B (at/above median)", &part_b)] {
+    for (name, part) in [
+        ("A (below median)", &part_a),
+        ("B (at/above median)", &part_b),
+    ] {
         let (sub, _) = induced_subgraph(&g, part);
         let comps = connected_components(&sub);
         println!("part {name}: {} connected component(s)", comps.count());

@@ -7,5 +7,7 @@ pub use se_eigen as eigen;
 pub use se_envelope as envelope;
 pub use se_graph as graph;
 pub use se_order as order;
+pub use se_prng as prng;
+pub use se_service as service;
 pub use sparsemat;
 pub use spectral_env;

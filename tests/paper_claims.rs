@@ -3,8 +3,8 @@
 
 use spectral_envelope_repro::envelope::EnvelopeMatrix;
 use spectral_envelope_repro::order::Algorithm;
-use spectral_envelope_repro::spectral_env::report::compare_orderings;
 use spectral_envelope_repro::spectral_env::reorder_pattern;
+use spectral_envelope_repro::spectral_env::report::compare_orderings;
 
 /// §4 / Table 4.3 (BARTH4): on unstructured airfoil meshes, the spectral
 /// ordering has a clearly smaller envelope than RCM/GPS/GK — even though

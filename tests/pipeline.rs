@@ -6,8 +6,7 @@ use spectral_envelope_repro::order::Algorithm;
 use spectral_envelope_repro::sparsemat::envelope::{envelope_stats, frontwidths};
 use spectral_envelope_repro::sparsemat::Permutation;
 use spectral_envelope_repro::spectral_env::{
-    fiedler_vector, reorder, reorder_factor_solve, reorder_pattern,
-    report::compare_orderings,
+    fiedler_vector, reorder, reorder_factor_solve, reorder_pattern, report::compare_orderings,
 };
 
 #[test]
@@ -48,8 +47,8 @@ fn every_algorithm_survives_every_small_standin() {
             Algorithm::Sloan,
             Algorithm::HybridSloanSpectral,
         ] {
-            let o = reorder_pattern(&s.pattern, alg)
-                .unwrap_or_else(|e| panic!("{name}/{alg:?}: {e}"));
+            let o =
+                reorder_pattern(&s.pattern, alg).unwrap_or_else(|e| panic!("{name}/{alg:?}: {e}"));
             assert_eq!(o.perm.len(), s.pattern.n(), "{name}/{alg:?}");
             // Sanity: the envelope statistic is consistent with frontwidths.
             let fw = frontwidths(&s.pattern, &o.perm);
@@ -122,8 +121,7 @@ fn degenerate_sizes_are_handled() {
             Algorithm::MinDegree,
             Algorithm::SpectralNd,
         ] {
-            let o = reorder_pattern(&g, alg)
-                .unwrap_or_else(|e| panic!("n={n}, {alg:?}: {e}"));
+            let o = reorder_pattern(&g, alg).unwrap_or_else(|e| panic!("n={n}, {alg:?}: {e}"));
             assert_eq!(o.perm.len(), n);
             assert_eq!(o.stats.envelope_size, 0);
         }
@@ -146,8 +144,8 @@ fn disconnected_matrix_full_pipeline() {
     for (u, v) in meshgen::grid2d(5, 5).edges() {
         edges.push((u + off, v + off));
     }
-    let g = spectral_envelope_repro::sparsemat::SymmetricPattern::from_edges(off + 25, &edges)
-        .unwrap();
+    let g =
+        spectral_envelope_repro::sparsemat::SymmetricPattern::from_edges(off + 25, &edges).unwrap();
     for alg in Algorithm::paper_set() {
         let o = reorder_pattern(&g, alg).unwrap();
         assert_eq!(o.perm.len(), 57);
