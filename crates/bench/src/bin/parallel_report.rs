@@ -1,0 +1,100 @@
+//! Parallel scaling report — serial vs threaded multilevel Fiedler solver.
+//!
+//! Orders the largest stand-ins with the SPECTRAL algorithm at 1/2/4/8
+//! solver threads, verifies every run produces the **bit-identical**
+//! permutation, and writes machine-readable measurements to
+//! `BENCH_parallel.json`. Honest by construction: the host core count and
+//! whether the `parallel` feature is compiled in are recorded in the output,
+//! since speedup is bounded by physical cores (on a 1-core container every
+//! thread count measures the same serial work plus pool overhead).
+//!
+//! Run with `cargo run -p se-bench --release --features parallel --bin
+//! parallel_report`.
+
+use se_order::{order_with, Algorithm, SolverOpts};
+use sparsemat::par::{available_threads, TaskPool};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const MATRICES: [&str; 3] = ["BARTH4", "SHUTTLE", "SKIRT"];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 2;
+
+fn main() {
+    let cores = available_threads();
+    let feature_on = TaskPool::new(2).is_parallel();
+    println!("==== Parallel multilevel Fiedler: serial vs thread pool ====");
+    println!("host cores: {cores}, `parallel` feature compiled: {feature_on}\n");
+    if !feature_on {
+        println!("(pools degrade to serial without `--features parallel`;");
+        println!(" timings below measure the serial path under every label)\n");
+    }
+
+    let mut blocks = Vec::new();
+    for name in MATRICES {
+        let s = meshgen::standin(name).expect("known stand-in");
+        let g = &s.pattern;
+        println!("--- {} (n = {}, nnz = {}) ---", s.name, g.n(), s.nnz());
+        println!(
+            "  {:>7} {:>10} {:>8} {:>10}",
+            "threads", "best (s)", "speedup", "identical"
+        );
+
+        let mut rows = Vec::new();
+        let mut serial_perm: Option<Vec<usize>> = None;
+        let mut serial_secs = 0.0f64;
+        for t in THREADS {
+            let solver = SolverOpts::with_threads(t);
+            let mut best = f64::INFINITY;
+            let mut perm = Vec::new();
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let o = order_with(g, Algorithm::Spectral, &solver).expect("ordering runs");
+                best = best.min(t0.elapsed().as_secs_f64());
+                perm = o.perm.order().to_vec();
+            }
+            let identical = match &serial_perm {
+                None => {
+                    serial_perm = Some(perm);
+                    serial_secs = best;
+                    true
+                }
+                Some(p) => *p == perm,
+            };
+            assert!(
+                identical,
+                "{name}: {t}-thread permutation diverged from serial"
+            );
+            let speedup = serial_secs / best;
+            println!(
+                "  {:>7} {:>10.4} {:>8.2} {:>10}",
+                t, best, speedup, identical
+            );
+            rows.push(format!(
+                "{{\"threads\":{t},\"seconds\":{best:.6},\"speedup\":{speedup:.3},\"identical\":{identical}}}"
+            ));
+        }
+        blocks.push(format!(
+            "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\"runs\":[{}]}}",
+            s.name,
+            g.n(),
+            s.nnz(),
+            rows.join(",")
+        ));
+        println!();
+    }
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"cores\": {cores},\n  \"parallel_feature\": {feature_on},\n  \
+         \"note\": \"speedup is serial_seconds / best_seconds per matrix; bounded by \
+         physical cores — on a 1-core host all thread counts measure the same serial \
+         work, and `identical` shows results are bit-reproducible regardless\",\n  \
+         \"results\": [\n    {}\n  ]\n}}\n",
+        blocks.join(",\n    ")
+    );
+    let path = "BENCH_parallel.json";
+    std::fs::write(path, &out).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+}

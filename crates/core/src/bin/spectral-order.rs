@@ -4,6 +4,9 @@
 //! spectral-order <matrix.{mtx,rsa,rua,graph}> [options]
 //!   --alg <spectral|rcm|gps|gk|sloan|hybrid|refined|mindeg|nd|cm>
 //!                      ordering (default spectral)
+//!   --threads <N>      solver threads for spectral algorithms (0 = all
+//!                      cores; needs the `parallel` feature, results are
+//!                      bit-identical for every N)
 //!   --compare          run all paper algorithms and print the table
 //!   --compressed       order via supervariable compression (multi-DOF models)
 //!   --metrics          print the full metric set (work, sums, frontwidths)
@@ -13,10 +16,11 @@
 //!   --spy <file.pgm>   write a spy plot of the reordered matrix
 //!
 //! spectral-order serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!                      [--cache-mb N] [--timeout-ms N]
+//!                      [--cache-mb N] [--timeout-ms N] [--threads N]
 //!   run the spectral-orderd ordering daemon in the foreground
 //!
 //! spectral-order client --addr HOST:PORT <matrix>... [--alg NAME] [--no-perm]
+//!                      [--threads N]
 //! spectral-order client --addr HOST:PORT --stats
 //! spectral-order client --addr HOST:PORT --shutdown
 //!   talk to a running daemon: one file sends ORDER, several send one
@@ -32,7 +36,7 @@ use se_service::proto::{
     self, encode_response, MatrixFormat, MatrixSource, OrderRequest, OrderResponse, Response,
 };
 use spectral_env::report::compare_orderings;
-use spectral_env::{Algorithm, CsrMatrix};
+use spectral_env::{Algorithm, CsrMatrix, SolverOpts};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -42,12 +46,13 @@ fn parse_alg(s: &str) -> Option<Algorithm> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: spectral-order <matrix.{{mtx,rsa,rua,graph}}> [--alg NAME] [--compare] \
-         [--compressed] [--metrics] [--json] [--out FILE.mtx] [--perm FILE.txt] [--spy FILE.pgm]\n\
+        "usage: spectral-order <matrix.{{mtx,rsa,rua,graph}}> [--alg NAME] [--threads N] \
+         [--compare] [--compressed] [--metrics] [--json] [--out FILE.mtx] [--perm FILE.txt] \
+         [--spy FILE.pgm]\n\
          \x20      spectral-order serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--cache-mb N] [--timeout-ms N]\n\
+         [--cache-mb N] [--timeout-ms N] [--threads N]\n\
          \x20      spectral-order client --addr HOST:PORT (<matrix>... [--alg NAME] [--no-perm] \
-         | --stats | --shutdown)"
+         [--threads N] | --stats | --shutdown)"
     );
     ExitCode::from(2)
 }
@@ -61,6 +66,7 @@ fn main() -> ExitCode {
     }
     let mut input: Option<String> = None;
     let mut alg = Algorithm::Spectral;
+    let mut threads = 1usize;
     let mut compare = false;
     let mut compressed = false;
     let mut metrics = false;
@@ -74,6 +80,10 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--alg" => match it.next().as_deref().and_then(parse_alg) {
                 Some(x) => alg = x,
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threads = t,
                 None => return usage(),
             },
             "--compare" => compare = true,
@@ -148,8 +158,9 @@ fn main() -> ExitCode {
     }
 
     let t0 = Instant::now();
+    let solver = SolverOpts::with_threads(threads);
     let ordering = if compressed {
-        match spectral_env::reorder_pattern_compressed(&g, alg) {
+        match spectral_env::reorder_pattern_compressed_with(&g, alg, &solver) {
             Ok((o, ratio)) => {
                 eprintln!("supervariable compression ratio: {ratio:.2}");
                 o
@@ -160,7 +171,7 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        match spectral_env::reorder_pattern(&g, alg) {
+        match spectral_env::reorder_pattern_with(&g, alg, &solver) {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("{} ordering failed: {e}", alg.name());
@@ -267,6 +278,10 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Some(v) if v > 0 => cfg.default_timeout_ms = v as u64,
                 _ => return usage(),
             },
+            "--threads" => match num(&mut it) {
+                Some(v) => cfg.solver_threads = v,
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -288,6 +303,7 @@ fn serve_main(args: &[String]) -> ExitCode {
 fn client_main(args: &[String]) -> ExitCode {
     let mut addr: Option<String> = None;
     let mut alg = Algorithm::Spectral;
+    let mut threads: Option<usize> = None;
     let mut files: Vec<String> = Vec::new();
     let mut include_perm = true;
     let mut stats = false;
@@ -302,6 +318,10 @@ fn client_main(args: &[String]) -> ExitCode {
             },
             "--alg" => match it.next().map(String::as_str).and_then(parse_alg) {
                 Some(x) => alg = x,
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threads = Some(t),
                 None => return usage(),
             },
             "--no-perm" => include_perm = false,
@@ -367,6 +387,7 @@ fn client_main(args: &[String]) -> ExitCode {
             },
             timeout_ms: None,
             include_perm,
+            threads,
         });
     }
 

@@ -39,11 +39,18 @@
 //! * [`se_order`] — SPECTRAL, RCM, GPS, GK, Sloan, hybrid orderings,
 //! * [`se_envelope`] — envelope (skyline) Cholesky factorization.
 
+// Compile and run the top-level README's Rust blocks as doc-tests of this
+// crate, so the README can never drift from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../../../README.md")]
+pub struct ReadmeDoctests;
+
 pub mod report;
 
 pub use report::{compare_orderings, Comparison, ComparisonRow};
 
 pub use se_eigen::multilevel::{fiedler, FiedlerOptions, FiedlerResult};
+pub use se_eigen::SolverOpts;
 pub use se_envelope::EnvelopeMatrix;
 pub use se_order::{Algorithm, OrderError, Ordering, SpectralOptions};
 pub use sparsemat::{CooMatrix, CsrMatrix, Permutation, SymmetricPattern};
@@ -100,8 +107,16 @@ pub struct Reordered {
 /// ([`CsrMatrix::symmetrize`]), order the symmetrized pattern, and apply the
 /// permutation to the original matrix.
 pub fn reorder(a: &CsrMatrix, alg: Algorithm) -> Result<Reordered> {
+    reorder_with(a, alg, &SolverOpts::default())
+}
+
+/// [`reorder`] with an explicit solver configuration — tolerances, iteration
+/// caps and, most importantly, `threads`: with the `parallel` feature the
+/// whole Fiedler pipeline runs on one shared thread pool. Results are
+/// bit-identical for every thread count.
+pub fn reorder_with(a: &CsrMatrix, alg: Algorithm, solver: &SolverOpts) -> Result<Reordered> {
     let pattern = a.pattern()?;
-    let ordering = se_order::order(&pattern, alg)?;
+    let ordering = se_order::order_with(&pattern, alg, solver)?;
     let matrix = a.permute_symmetric(&ordering.perm)?;
     Ok(Reordered { matrix, ordering })
 }
@@ -109,6 +124,16 @@ pub fn reorder(a: &CsrMatrix, alg: Algorithm) -> Result<Reordered> {
 /// Orders a bare sparsity pattern (no values needed).
 pub fn reorder_pattern(g: &SymmetricPattern, alg: Algorithm) -> Result<Ordering> {
     Ok(se_order::order(g, alg)?)
+}
+
+/// [`reorder_pattern`] with an explicit solver configuration (see
+/// [`reorder_with`]).
+pub fn reorder_pattern_with(
+    g: &SymmetricPattern,
+    alg: Algorithm,
+    solver: &SolverOpts,
+) -> Result<Ordering> {
+    Ok(se_order::order_with(g, alg, solver)?)
 }
 
 /// Orders a pattern through **supervariable compression**: vertices with
@@ -120,9 +145,19 @@ pub fn reorder_pattern(g: &SymmetricPattern, alg: Algorithm) -> Result<Ordering>
 /// For a `d`-DOF model this runs the ordering on a graph `d×` smaller at
 /// (typically) indistinguishable envelope quality.
 pub fn reorder_pattern_compressed(g: &SymmetricPattern, alg: Algorithm) -> Result<(Ordering, f64)> {
+    reorder_pattern_compressed_with(g, alg, &SolverOpts::default())
+}
+
+/// [`reorder_pattern_compressed`] with an explicit solver configuration
+/// (see [`reorder_with`]).
+pub fn reorder_pattern_compressed_with(
+    g: &SymmetricPattern,
+    alg: Algorithm,
+    solver: &SolverOpts,
+) -> Result<(Ordering, f64)> {
     let c = se_graph::compress::compress(g);
     let ratio = c.ratio();
-    let q_ordering = se_order::order(&c.quotient, alg)?;
+    let q_ordering = se_order::order_with(&c.quotient, alg, solver)?;
     let perm = c.expand_ordering(&q_ordering.perm);
     let stats = sparsemat::envelope::envelope_stats(g, &perm);
     Ok((
@@ -139,8 +174,14 @@ pub fn reorder_pattern_compressed(g: &SymmetricPattern, alg: Algorithm) -> Resul
 /// multilevel solver — the core primitive of the spectral algorithm,
 /// exposed for users who want the raw eigenvector (e.g. for partitioning).
 pub fn fiedler_vector(a: &CsrMatrix) -> Result<FiedlerResult> {
+    fiedler_vector_with(a, &SolverOpts::default())
+}
+
+/// [`fiedler_vector`] with an explicit solver configuration (see
+/// [`reorder_with`]).
+pub fn fiedler_vector_with(a: &CsrMatrix, solver: &SolverOpts) -> Result<FiedlerResult> {
     let pattern = a.pattern()?;
-    fiedler(&pattern, &FiedlerOptions::default())
+    fiedler(&pattern, &solver.fiedler_options())
         .map_err(|e| Error::Order(se_order::OrderError::Eigen(e)))
 }
 

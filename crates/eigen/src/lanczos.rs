@@ -8,9 +8,14 @@
 //! short (the multilevel method only runs Lanczos on ~100-vertex graphs).
 
 use crate::op::SymOp;
+use crate::solver_opts::{
+    DEFAULT_LANCZOS_CHECK_EVERY, DEFAULT_LANCZOS_MAX_ITER, DEFAULT_LANCZOS_SEED,
+    DEFAULT_LANCZOS_TOL,
+};
 use crate::tridiag::eigh_tridiag;
 use crate::{EigenError, Result};
 use se_prng::SmallRng;
+use sparsemat::par::TaskPool;
 
 /// Options controlling the Lanczos iteration.
 #[derive(Debug, Clone)]
@@ -23,15 +28,20 @@ pub struct LanczosOptions {
     pub seed: u64,
     /// How often (in steps) to test convergence.
     pub check_every: usize,
+    /// Pool for matvecs, dot products and reorthogonalization. Results are
+    /// bit-identical for every thread count (deterministic reductions);
+    /// default is serial.
+    pub pool: TaskPool,
 }
 
 impl Default for LanczosOptions {
     fn default() -> Self {
         LanczosOptions {
-            max_iter: 300,
-            tol: 1e-10,
-            seed: 0x5EED_CAFE,
-            check_every: 5,
+            max_iter: DEFAULT_LANCZOS_MAX_ITER,
+            tol: DEFAULT_LANCZOS_TOL,
+            seed: DEFAULT_LANCZOS_SEED,
+            check_every: DEFAULT_LANCZOS_CHECK_EVERY,
+            pool: TaskPool::serial(),
         }
     }
 }
@@ -47,18 +57,12 @@ pub struct LanczosResult {
     pub iterations: usize,
 }
 
-fn dotv(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-fn normv(a: &[f64]) -> f64 {
-    dotv(a, a).sqrt()
-}
-
 /// Orthogonalizes `w` against `basis` (classical Gram–Schmidt, one pass).
-fn orthogonalize(w: &mut [f64], basis: &[Vec<f64>]) {
+/// The projection coefficients use the pool's deterministic dot product, so
+/// the result is bit-identical for every thread count.
+fn orthogonalize(w: &mut [f64], basis: &[Vec<f64>], pool: &TaskPool) {
     for u in basis {
-        let c = dotv(u, w);
+        let c = pool.dot(u, w);
         for (wi, ui) in w.iter_mut().zip(u) {
             *wi -= c * ui;
         }
@@ -83,18 +87,19 @@ pub fn lanczos_smallest<Op: SymOp>(
     }
     let kdim = opts.max_iter.min(free_dim);
     let scale = op.norm_bound();
+    let pool = &opts.pool;
     let mut rng = SmallRng::seed_from_u64(opts.seed);
 
     // Random start vector in the deflated subspace.
     let mut v: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
-    orthogonalize(&mut v, deflate);
-    let mut nv = normv(&v);
+    orthogonalize(&mut v, deflate, pool);
+    let mut nv = pool.norm(&v);
     while nv < 1e-12 {
         for vi in v.iter_mut() {
             *vi = rng.gen::<f64>() - 0.5;
         }
-        orthogonalize(&mut v, deflate);
-        nv = normv(&v);
+        orthogonalize(&mut v, deflate, pool);
+        nv = pool.norm(&v);
     }
     for vi in v.iter_mut() {
         *vi /= nv;
@@ -127,8 +132,8 @@ pub fn lanczos_smallest<Op: SymOp>(
                     *xi += c * bij;
                 }
             }
-            orthogonalize(&mut x, deflate);
-            let nx = normv(&x);
+            orthogonalize(&mut x, deflate, pool);
+            let nx = pool.norm(&x);
             if nx < 1e-14 {
                 return Err(EigenError::Numerical(
                     "Ritz vector vanished after deflation".into(),
@@ -153,8 +158,8 @@ pub fn lanczos_smallest<Op: SymOp>(
     };
 
     for j in 0..kdim {
-        op.apply(&basis[j], &mut w);
-        let a_j = dotv(&basis[j], &w);
+        op.apply_pooled(&basis[j], &mut w, pool);
+        let a_j = pool.dot(&basis[j], &w);
         alpha.push(a_j);
         // Three-term recurrence, then full reorthogonalization (twice —
         // "twice is enough", Parlett).
@@ -167,12 +172,12 @@ pub fn lanczos_smallest<Op: SymOp>(
                 *wi -= b * vi;
             }
         }
-        orthogonalize(&mut w, deflate);
-        orthogonalize(&mut w, &basis);
-        orthogonalize(&mut w, deflate);
-        orthogonalize(&mut w, &basis);
+        orthogonalize(&mut w, deflate, pool);
+        orthogonalize(&mut w, &basis, pool);
+        orthogonalize(&mut w, deflate, pool);
+        orthogonalize(&mut w, &basis, pool);
 
-        let b_j = normv(&w);
+        let b_j = pool.norm(&w);
         let steps = j + 1;
         if b_j <= breakdown {
             // Invariant subspace found: the Ritz pairs are (numerically)

@@ -14,7 +14,7 @@
 //! * [`lanczos`] — Lanczos with full reorthogonalization and null-space
 //!   deflation,
 //! * [`lobpcg`] — locally optimal preconditioned CG (modern comparator),
-//! * [`minres`] — MINRES for symmetric (indefinite) shifted systems,
+//! * [`mod@minres`] — MINRES for symmetric (indefinite) shifted systems,
 //! * [`rqi`] — Rayleigh Quotient Iteration refinement,
 //! * [`multilevel`] — the Barnard–Simon multilevel Fiedler solver of §3
 //!   (contract → interpolate → refine).
@@ -30,6 +30,8 @@
 //! assert!((f.lambda2 - exact).abs() < 1e-8);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dense;
 pub mod lanczos;
 pub mod lobpcg;
@@ -37,6 +39,7 @@ pub mod minres;
 pub mod multilevel;
 pub mod op;
 pub mod rqi;
+pub mod solver_opts;
 pub mod tridiag;
 
 pub use dense::{DenseEigen, DenseSym};
@@ -46,16 +49,25 @@ pub use minres::{minres, MinresOptions, MinresOutcome};
 pub use multilevel::{fiedler, fiedler_lanczos, fiedler_weighted, FiedlerOptions, FiedlerResult};
 pub use op::{CsrOp, DeflatedOp, LaplacianOp, ShiftedOp, SymOp, WeightedLaplacianOp};
 pub use rqi::{rayleigh_quotient_iteration, RqiOptions, RqiResult};
+pub use solver_opts::SolverOpts;
 
 /// Errors produced by the eigensolvers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EigenError {
     /// The iteration did not converge within its budget.
-    NoConvergence { what: &'static str, iters: usize },
+    NoConvergence {
+        /// Which solver gave up (e.g. `"lanczos"`, `"rqi"`).
+        what: &'static str,
+        /// The iteration budget it exhausted.
+        iters: usize,
+    },
     /// The input graph must be connected for a Fiedler vector to exist.
     Disconnected,
     /// The problem is too small (e.g. Fiedler vector of a 1-vertex graph).
-    TooSmall { n: usize },
+    TooSmall {
+        /// The offending problem size.
+        n: usize,
+    },
     /// An internal invariant failed (a bug or pathological input).
     Numerical(String),
 }

@@ -8,6 +8,8 @@
 //! what RQI exploits).
 
 use crate::op::SymOp;
+use crate::solver_opts::{DEFAULT_MINRES_MAX_ITER, DEFAULT_MINRES_RTOL};
+use sparsemat::par::TaskPool;
 
 /// Options for [`minres`].
 #[derive(Debug, Clone)]
@@ -16,13 +18,17 @@ pub struct MinresOptions {
     pub max_iter: usize,
     /// Relative residual tolerance: stop when `‖r‖ ≤ rtol · ‖b‖`.
     pub rtol: f64,
+    /// Pool for matvecs and dot products. Results are bit-identical for
+    /// every thread count; default is serial.
+    pub pool: TaskPool,
 }
 
 impl Default for MinresOptions {
     fn default() -> Self {
         MinresOptions {
-            max_iter: 500,
-            rtol: 1e-10,
+            max_iter: DEFAULT_MINRES_MAX_ITER,
+            rtol: DEFAULT_MINRES_RTOL,
+            pool: TaskPool::serial(),
         }
     }
 }
@@ -40,17 +46,14 @@ pub struct MinresOutcome {
     pub converged: bool,
 }
 
-fn dotv(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
 /// Solves `A x = b` for symmetric `A` starting from `x₀ = 0`.
 pub fn minres<Op: SymOp>(op: &Op, b: &[f64], opts: &MinresOptions) -> MinresOutcome {
     let n = op.n();
     assert_eq!(b.len(), n, "minres: rhs length mismatch");
+    let pool = &opts.pool;
     let mut x = vec![0.0; n];
 
-    let beta1 = dotv(b, b).sqrt();
+    let beta1 = pool.norm(b);
     if beta1 == 0.0 {
         return MinresOutcome {
             x,
@@ -86,7 +89,7 @@ pub fn minres<Op: SymOp>(op: &Op, b: &[f64], opts: &MinresOptions) -> MinresOutc
             *vi = s * yi;
         }
         let mut ay = vec![0.0; n];
-        op.apply(&v, &mut ay);
+        op.apply_pooled(&v, &mut ay, pool);
         y = ay;
         if itn >= 2 {
             let c = beta / oldb;
@@ -94,7 +97,7 @@ pub fn minres<Op: SymOp>(op: &Op, b: &[f64], opts: &MinresOptions) -> MinresOutc
                 *yi -= c * ri;
             }
         }
-        let alfa = dotv(&v, &y);
+        let alfa = pool.dot(&v, &y);
         let c = alfa / beta;
         for (yi, ri) in y.iter_mut().zip(&r2) {
             *yi -= c * ri;
@@ -102,7 +105,7 @@ pub fn minres<Op: SymOp>(op: &Op, b: &[f64], opts: &MinresOptions) -> MinresOutc
         std::mem::swap(&mut r1, &mut r2);
         r2.copy_from_slice(&y);
         oldb = beta;
-        beta = dotv(&y, &y).sqrt();
+        beta = pool.norm(&y);
 
         // Apply the previous rotation.
         let oldeps = epsln;
@@ -153,6 +156,10 @@ mod tests {
     use super::*;
     use crate::op::{constant_unit_vector, CsrOp, DeflatedOp, LaplacianOp, ShiftedOp};
     use sparsemat::{CsrMatrix, SymmetricPattern};
+
+    fn dotv(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
 
     fn residual<Op: SymOp>(op: &Op, x: &[f64], b: &[f64]) -> f64 {
         let ax = op.apply_alloc(x);
@@ -254,6 +261,7 @@ mod tests {
             &MinresOptions {
                 max_iter: 100,
                 rtol: 1e-6,
+                ..Default::default()
             },
         );
         // Solution must be finite and large (near-singular system).
@@ -288,6 +296,7 @@ mod tests {
             &MinresOptions {
                 max_iter: 5,
                 rtol: 1e-14,
+                ..Default::default()
             },
         );
         assert_eq!(out.iterations, 5);

@@ -16,9 +16,11 @@
 use crate::lanczos::{lanczos_smallest, LanczosOptions};
 use crate::op::{constant_unit_vector, LaplacianOp, SymOp};
 use crate::rqi::{rayleigh_quotient_iteration, RqiOptions};
+use crate::solver_opts::{DEFAULT_COARSEST_SIZE, DEFAULT_FIEDLER_TOL, DEFAULT_SMOOTH_STEPS};
 use crate::{EigenError, Result};
 use se_graph::bfs::connected_components;
 use se_graph::coarsen::CoarsenLevels;
+use sparsemat::par::TaskPool;
 use sparsemat::SymmetricPattern;
 
 /// Options for the multilevel Fiedler solver.
@@ -43,20 +45,28 @@ pub struct FiedlerOptions {
     pub lanczos: LanczosOptions,
     /// RQI options for per-level refinement.
     pub rqi: RqiOptions,
+    /// Pool shared by **every** stage — coarsening, the coarsest Lanczos
+    /// solve, interpolation, smoothing and RQI/MINRES refinement. Inside
+    /// [`fiedler`] this pool overrides the pools on `lanczos` and `rqi`, so
+    /// setting it is the single thread knob. Results are bit-identical for
+    /// every thread count; default is serial. Build via
+    /// [`crate::SolverOpts`] to configure a thread count in one place.
+    pub pool: TaskPool,
 }
 
 impl Default for FiedlerOptions {
     fn default() -> Self {
         FiedlerOptions {
-            coarsest_size: 100,
-            tol: 1e-8,
-            smooth_steps: 2,
+            coarsest_size: DEFAULT_COARSEST_SIZE,
+            tol: DEFAULT_FIEDLER_TOL,
+            smooth_steps: DEFAULT_SMOOTH_STEPS,
             galerkin: false,
             lanczos: LanczosOptions::default(),
             rqi: RqiOptions {
-                tol: 1e-8,
+                tol: DEFAULT_FIEDLER_TOL,
                 ..Default::default()
             },
+            pool: TaskPool::serial(),
         }
     }
 }
@@ -113,12 +123,18 @@ pub fn fiedler_lanczos(g: &SymmetricPattern, opts: &LanczosOptions) -> Result<Fi
 /// returned for a connected graph.
 pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerResult> {
     check_connected(g)?;
+    let pool = &opts.pool;
+    // One pool drives every stage: propagate it into the sub-options.
+    let mut lanczos_opts = opts.lanczos.clone();
+    lanczos_opts.pool = pool.clone();
+    let mut rqi_opts = opts.rqi.clone();
+    rqi_opts.pool = pool.clone();
     if g.n() <= opts.coarsest_size.max(2) {
-        return fiedler_lanczos(g, &opts.lanczos);
+        return fiedler_lanczos(g, &lanczos_opts);
     }
-    let hierarchy = CoarsenLevels::build(g, opts.coarsest_size);
+    let hierarchy = CoarsenLevels::build_with(g, opts.coarsest_size, pool);
     if hierarchy.depth() == 0 {
-        return fiedler_lanczos(g, &opts.lanczos);
+        return fiedler_lanczos(g, &lanczos_opts);
     }
 
     // Solve on the coarsest graph with Lanczos — on the **mass-scaled
@@ -156,13 +172,13 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
         let total: f64 = sizes.iter().sum();
         let null: Vec<f64> = half.iter().map(|&h| h / total.sqrt()).collect();
         let deflate = vec![null];
-        let r = lanczos_smallest(&op, &deflate, 1, &opts.lanczos)?;
+        let r = lanczos_smallest(&op, &deflate, 1, &lanczos_opts)?;
         let y = r.vectors.into_iter().next().expect("k = 1");
         // Back to the coarse vertex basis.
         y.iter().zip(&half).map(|(yi, h)| yi / h).collect()
     } else {
         let coarsest = hierarchy.coarsest().expect("depth >= 1");
-        fiedler_lanczos(coarsest, &opts.lanczos)?.vector
+        fiedler_lanczos(coarsest, &lanczos_opts)?.vector
     };
 
     // Walk back up: levels[k] maps (graph at level k) -> (graph at k+1).
@@ -175,11 +191,19 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
         };
         let map = &hierarchy.levels[k].fine_to_coarse;
         // Interpolate: each fine vertex takes its domain's coarse value.
-        let mut xf: Vec<f64> = map.iter().map(|&c| x[c]).collect();
-        smooth(fine, &mut xf, opts.smooth_steps);
+        let mut xf = vec![0.0f64; map.len()];
+        {
+            let x = &x;
+            pool.for_each_chunk_mut(&mut xf, 1024, |v0, xb| {
+                for (i, xv) in xb.iter_mut().enumerate() {
+                    *xv = x[map[v0 + i]];
+                }
+            });
+        }
+        smooth(fine, &mut xf, opts.smooth_steps, pool);
         let lap = LaplacianOp::new(fine);
         let rq_before = lap.rayleigh_quotient(&xf);
-        let refined = rayleigh_quotient_iteration(&lap, &xf, &opts.rqi);
+        let refined = rayleigh_quotient_iteration(&lap, &xf, &rqi_opts);
         // RQI converges to the eigenvalue *nearest* the starting Rayleigh
         // quotient — with a good interpolant that is λ₂, and the quotient
         // can only drop. If it rose, RQI locked onto an interior eigenpair
@@ -201,7 +225,7 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
     let residual = eigen_residual(&lap, &x, lam);
     let acceptable = residual <= opts.tol.max(1e-6) * lap.norm_bound() * 10.0;
     if !acceptable {
-        if let Ok(fallback) = fiedler_lanczos(g, &opts.lanczos) {
+        if let Ok(fallback) = fiedler_lanczos(g, &lanczos_opts) {
             if fallback.residual < residual {
                 return Ok(FiedlerResult {
                     levels: hierarchy.depth(),
@@ -275,27 +299,39 @@ fn eigen_residual(lap: &LaplacianOp<'_>, x: &[f64], lam: f64) -> f64 {
 /// Weighted-Jacobi-style smoothing: each vertex moves halfway toward its
 /// neighborhood average. Damps the high-frequency error the injection
 /// interpolation introduces, then re-centres against the constant vector.
-fn smooth(g: &SymmetricPattern, x: &mut [f64], steps: usize) {
+///
+/// Each output entry depends only on the previous iterate, so the vertex
+/// loop farms out to the pool row-chunk-wise; the recentring mean and the
+/// normalisation use the deterministic chunked reductions. Bit-identical
+/// for every thread count.
+fn smooth(g: &SymmetricPattern, x: &mut [f64], steps: usize, pool: &TaskPool) {
     let n = g.n();
     let mut y = vec![0.0; n];
     for _ in 0..steps {
-        for v in 0..n {
-            let deg = g.degree(v);
-            if deg == 0 {
-                y[v] = x[v];
-                continue;
-            }
-            let avg: f64 = g.neighbors(v).iter().map(|&u| x[u]).sum::<f64>() / deg as f64;
-            y[v] = 0.5 * x[v] + 0.5 * avg;
+        {
+            let x_read: &[f64] = x;
+            pool.for_each_chunk_mut(&mut y, 512, |v0, yb| {
+                for (i, yv) in yb.iter_mut().enumerate() {
+                    let v = v0 + i;
+                    let deg = g.degree(v);
+                    if deg == 0 {
+                        *yv = x_read[v];
+                        continue;
+                    }
+                    let avg: f64 =
+                        g.neighbors(v).iter().map(|&u| x_read[u]).sum::<f64>() / deg as f64;
+                    *yv = 0.5 * x_read[v] + 0.5 * avg;
+                }
+            });
         }
         x.copy_from_slice(&y);
     }
     // Re-centre and normalise.
-    let mean: f64 = x.iter().sum::<f64>() / n as f64;
+    let mean = pool.sum(x) / n as f64;
     for xi in x.iter_mut() {
         *xi -= mean;
     }
-    let nrm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let nrm = pool.norm(x);
     if nrm > 0.0 {
         for xi in x.iter_mut() {
             *xi /= nrm;
@@ -330,6 +366,28 @@ mod tests {
 
     fn path_lambda2(n: usize) -> f64 {
         2.0 - 2.0 * (std::f64::consts::PI / n as f64).cos()
+    }
+
+    #[test]
+    fn parallel_fiedler_bitwise_equals_serial() {
+        // Large enough that the pool's chunked paths genuinely engage when
+        // the `parallel` feature is on; trivially serial otherwise. Either
+        // way, every thread count must produce the exact same bits.
+        let g = grid(90, 80);
+        let base = fiedler(&g, &FiedlerOptions::default()).unwrap();
+        for threads in [2, 4, 8] {
+            let opts = crate::SolverOpts::with_threads(threads).fiedler_options();
+            let r = fiedler(&g, &opts).unwrap();
+            assert_eq!(
+                r.lambda2.to_bits(),
+                base.lambda2.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(r.levels, base.levels);
+            for (a, b) in r.vector.iter().zip(&base.vector) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -5,15 +5,33 @@
 //! precisely the paper's point (§1): the spectral algorithm is built from
 //! matvecs, dot products and axpys, all of which vectorise/parallelise.
 
+use sparsemat::par::TaskPool;
 use sparsemat::{CsrMatrix, SymmetricPattern};
 
+/// Row-chunk width for pooled matvecs: rows are claimed from the pool in
+/// spans of this many. Each output row is written by exactly one thread, so
+/// pooled matvecs are bitwise identical to serial ones.
+const ROW_CHUNK: usize = 512;
+
 /// A symmetric linear operator on `ℝⁿ`.
-pub trait SymOp {
+///
+/// Operators must be [`Sync`]: the iterative solvers share them by reference
+/// across the worker threads of a [`TaskPool`].
+pub trait SymOp: Sync {
     /// Operator dimension.
     fn n(&self) -> usize;
 
     /// `y = A x`. `x.len() == y.len() == self.n()`.
     fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// `y = A x`, with row spans farmed out to `pool`. The default simply
+    /// runs [`SymOp::apply`] serially; concrete operators with row-local
+    /// kernels override it. Implementations must be **deterministic**: the
+    /// result may not depend on the pool's thread count.
+    fn apply_pooled(&self, x: &[f64], y: &mut [f64], pool: &TaskPool) {
+        let _ = pool;
+        self.apply(x, y);
+    }
 
     /// Allocating convenience.
     fn apply_alloc(&self, x: &[f64]) -> Vec<f64> {
@@ -54,6 +72,21 @@ impl SymOp for CsrOp<'_> {
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.a.matvec(x, y);
+    }
+
+    fn apply_pooled(&self, x: &[f64], y: &mut [f64], pool: &TaskPool) {
+        assert_eq!(x.len(), self.a.nrows());
+        assert_eq!(y.len(), self.a.nrows());
+        pool.for_each_chunk_mut(y, ROW_CHUNK, |r0, yb| {
+            for (i, yv) in yb.iter_mut().enumerate() {
+                let r = r0 + i;
+                let mut acc = 0.0;
+                for (&c, &v) in self.a.row_cols(r).iter().zip(self.a.row_vals(r)) {
+                    acc += v * x[c];
+                }
+                *yv = acc;
+            }
+        });
     }
 
     fn norm_bound(&self) -> f64 {
@@ -139,6 +172,21 @@ impl SymOp for LaplacianOp<'_> {
         }
     }
 
+    fn apply_pooled(&self, x: &[f64], y: &mut [f64], pool: &TaskPool) {
+        assert_eq!(x.len(), self.g.n());
+        assert_eq!(y.len(), self.g.n());
+        pool.for_each_chunk_mut(y, ROW_CHUNK, |v0, yb| {
+            for (i, yv) in yb.iter_mut().enumerate() {
+                let v = v0 + i;
+                let mut acc = self.degree[v] * x[v];
+                for &u in self.g.neighbors(v) {
+                    acc -= x[u];
+                }
+                *yv = acc;
+            }
+        });
+    }
+
     fn norm_bound(&self) -> f64 {
         // λ_max(Q) ≤ 2·Δ.
         2.0 * self.degree.iter().copied().fold(0.0, f64::max).max(0.5)
@@ -215,6 +263,21 @@ impl SymOp for WeightedLaplacianOp {
         }
     }
 
+    fn apply_pooled(&self, x: &[f64], y: &mut [f64], pool: &TaskPool) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        pool.for_each_chunk_mut(y, ROW_CHUNK, |v0, yb| {
+            for (i, yv) in yb.iter_mut().enumerate() {
+                let v = v0 + i;
+                let mut acc = self.wdeg[v] * x[v];
+                for k in self.row_ptr[v]..self.row_ptr[v + 1] {
+                    acc -= self.weights[k] * x[self.col_idx[k]];
+                }
+                *yv = acc;
+            }
+        });
+    }
+
     fn norm_bound(&self) -> f64 {
         2.0 * self.wdeg.iter().copied().fold(0.0, f64::max).max(0.5)
     }
@@ -245,6 +308,13 @@ impl<Op: SymOp> SymOp for ShiftedOp<'_, Op> {
         }
     }
 
+    fn apply_pooled(&self, x: &[f64], y: &mut [f64], pool: &TaskPool) {
+        self.op.apply_pooled(x, y, pool);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi -= self.shift * xi;
+        }
+    }
+
     fn norm_bound(&self) -> f64 {
         self.op.norm_bound() + self.shift.abs()
     }
@@ -268,9 +338,22 @@ impl<'a, Op: SymOp> DeflatedOp<'a, Op> {
     }
 
     /// Projects `x` onto the orthogonal complement of the basis, in place.
+    /// Uses the deterministic chunked dot product, so
+    /// [`DeflatedOp::project_pooled`] produces identical bits.
     pub fn project(&self, x: &mut [f64]) {
         for u in self.basis {
-            let c: f64 = u.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            let c = sparsemat::par::det_dot(u, x);
+            for (xi, ui) in x.iter_mut().zip(u) {
+                *xi -= c * ui;
+            }
+        }
+    }
+
+    /// [`DeflatedOp::project`] with the coefficient dot products farmed out
+    /// to `pool`. Bit-identical to the serial version for any thread count.
+    pub fn project_pooled(&self, x: &mut [f64], pool: &TaskPool) {
+        for u in self.basis {
+            let c = pool.dot(u, x);
             for (xi, ui) in x.iter_mut().zip(u) {
                 *xi -= c * ui;
             }
@@ -288,6 +371,13 @@ impl<Op: SymOp> SymOp for DeflatedOp<'_, Op> {
         self.project(&mut xp);
         self.op.apply(&xp, y);
         self.project(y);
+    }
+
+    fn apply_pooled(&self, x: &[f64], y: &mut [f64], pool: &TaskPool) {
+        let mut xp = x.to_vec();
+        self.project_pooled(&mut xp, pool);
+        self.op.apply_pooled(&xp, y, pool);
+        self.project_pooled(y, pool);
     }
 
     fn norm_bound(&self) -> f64 {
@@ -428,6 +518,38 @@ mod tests {
         lop.apply(&x, &mut y1);
         lop.apply_par(&x, &mut y2);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn apply_pooled_matches_serial_bitwise() {
+        let n = 9000; // above the pool's parallel threshold
+        let g = path(n);
+        let lop = LaplacianOp::new(&g);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut serial = vec![0.0; n];
+        lop.apply(&x, &mut serial);
+        for threads in [1, 2, 4] {
+            let pool = TaskPool::new(threads);
+            let mut pooled = vec![0.0; n];
+            lop.apply_pooled(&x, &mut pooled, &pool);
+            assert_eq!(serial, pooled, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn deflated_project_pooled_matches_serial_bitwise() {
+        let n = 8192;
+        let g = path(n);
+        let lop = LaplacianOp::new(&g);
+        let basis = vec![constant_unit_vector(n)];
+        let dop = DeflatedOp::new(&lop, &basis);
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos() + 0.1).collect();
+        let mut serial = x0.clone();
+        dop.project(&mut serial);
+        let pool = TaskPool::new(4);
+        let mut pooled = x0;
+        dop.project_pooled(&mut pooled, &pool);
+        assert_eq!(serial, pooled);
     }
 
     #[test]

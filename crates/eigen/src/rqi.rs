@@ -9,6 +9,10 @@
 
 use crate::minres::{minres, MinresOptions};
 use crate::op::{DeflatedOp, LaplacianOp, ShiftedOp, SymOp};
+use crate::solver_opts::{
+    DEFAULT_RQI_INNER_MAX_ITER, DEFAULT_RQI_INNER_RTOL, DEFAULT_RQI_MAX_OUTER, DEFAULT_RQI_TOL,
+};
+use sparsemat::par::TaskPool;
 
 /// Options for [`rayleigh_quotient_iteration`].
 #[derive(Debug, Clone)]
@@ -21,15 +25,19 @@ pub struct RqiOptions {
     pub inner_max_iter: usize,
     /// Inner MINRES relative tolerance (loose — we only need a direction).
     pub inner_rtol: f64,
+    /// Pool shared with the inner MINRES solves and the residual algebra.
+    /// Results are bit-identical for every thread count; default is serial.
+    pub pool: TaskPool,
 }
 
 impl Default for RqiOptions {
     fn default() -> Self {
         RqiOptions {
-            max_outer: 12,
-            tol: 1e-10,
-            inner_max_iter: 300,
-            inner_rtol: 1e-8,
+            max_outer: DEFAULT_RQI_MAX_OUTER,
+            tol: DEFAULT_RQI_TOL,
+            inner_max_iter: DEFAULT_RQI_INNER_MAX_ITER,
+            inner_rtol: DEFAULT_RQI_INNER_RTOL,
+            pool: TaskPool::serial(),
         }
     }
 }
@@ -49,12 +57,8 @@ pub struct RqiResult {
     pub converged: bool,
 }
 
-fn dotv(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-fn normalize(x: &mut [f64]) -> f64 {
-    let n = dotv(x, x).sqrt();
+fn normalize(x: &mut [f64], pool: &TaskPool) -> f64 {
+    let n = pool.norm(x);
     if n > 0.0 {
         for xi in x.iter_mut() {
             *xi /= n;
@@ -74,16 +78,17 @@ pub fn rayleigh_quotient_iteration(
 ) -> RqiResult {
     let n = lap.n();
     assert_eq!(x0.len(), n, "rqi: start vector length mismatch");
+    let pool = &opts.pool;
     let ones = crate::op::constant_unit_vector(n);
     let deflate = vec![ones];
     let dop = DeflatedOp::new(lap, &deflate);
 
     let mut x = x0.to_vec();
-    let x0_norm = dotv(&x, &x).sqrt();
-    dop.project(&mut x);
+    let x0_norm = pool.norm(&x);
+    dop.project_pooled(&mut x, pool);
     // A start vector (numerically) inside the deflated subspace carries no
     // usable direction — projection leaves only roundoff.
-    if normalize(&mut x) <= 1e-12 * x0_norm.max(1.0) {
+    if normalize(&mut x, pool) <= 1e-12 * x0_norm.max(1.0) {
         // Degenerate start: return a failure with a zero vector; callers
         // (the multilevel driver) fall back to Lanczos.
         return RqiResult {
@@ -105,7 +110,8 @@ pub fn rayleigh_quotient_iteration(
         outer += 1;
         let rho = lap.rayleigh_quotient(&x);
         // Residual of the current pair.
-        let qx = lap.apply_alloc(&x);
+        let mut qx = vec![0.0; n];
+        lap.apply_pooled(&x, &mut qx, pool);
         let res: f64 = qx
             .iter()
             .zip(&x)
@@ -134,11 +140,12 @@ pub fn rayleigh_quotient_iteration(
             &MinresOptions {
                 max_iter: opts.inner_max_iter,
                 rtol: opts.inner_rtol,
+                pool: pool.clone(),
             },
         );
         let mut y = out.x;
-        dop.project(&mut y);
-        if normalize(&mut y) < 1e-300 || y.iter().any(|v| !v.is_finite()) {
+        dop.project_pooled(&mut y, pool);
+        if normalize(&mut y, pool) < 1e-300 || y.iter().any(|v| !v.is_finite()) {
             break; // inner solve collapsed; keep the best pair we have
         }
         x = y;

@@ -123,6 +123,7 @@ fn minres_solves_spd() {
             &MinresOptions {
                 max_iter: 10 * n,
                 rtol: 1e-12,
+                ..Default::default()
             },
         );
         assert!(out.converged, "residual {}", out.residual_norm);

@@ -6,7 +6,7 @@
 //! conjugate gradients methods"* (citing D'Azevedo–Forsyth–Tang and
 //! Duff–Meurant). This module provides that application: an IC(0)
 //! preconditioner whose quality depends on the ordering, consumed by
-//! [`crate::pcg`].
+//! [`mod@crate::pcg`].
 
 use crate::{EnvelopeError, Result};
 use sparsemat::CsrMatrix;

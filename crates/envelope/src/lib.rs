@@ -1,7 +1,7 @@
 //! Envelope (skyline / profile / variable-band) Cholesky factorization,
 //! plus the iterative-side application the paper motivates in §1:
 //! incomplete Cholesky ([`ic`]) and preconditioned conjugate gradients
-//! ([`pcg`]).
+//! ([`mod@pcg`]).
 //!
 //! This is the numerical substrate behind Table 4.4 of the paper: the
 //! SPARSPAK-style envelope factorization whose running time scales with

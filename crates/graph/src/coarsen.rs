@@ -8,6 +8,7 @@
 //! 3. adding a coarse edge whenever two domains touch (an edge of the fine
 //!    graph crosses them).
 
+use sparsemat::par::TaskPool;
 use sparsemat::SymmetricPattern;
 use std::collections::VecDeque;
 
@@ -36,6 +37,62 @@ pub fn maximal_independent_set(g: &SymmetricPattern) -> Vec<usize> {
     mis
 }
 
+/// [`maximal_independent_set`] computed with a round-based parallel
+/// algorithm (Luby-style, with the vertex index as priority) that returns
+/// **exactly** the serial greedy set for every graph and thread count.
+///
+/// Each round scans the still-undecided vertices in parallel; `v` is
+/// selected iff every undecided neighbor has a larger index. Selected
+/// vertices are independent by construction (of two adjacent undecided
+/// vertices only the smaller can be selected), and an induction over vertex
+/// indices shows the fixpoint equals the ascending greedy set: the smallest
+/// undecided vertex is always selected, and a vertex is excluded only by a
+/// neighbor that the greedy scan would also have placed in the set first.
+///
+/// Worst case (a path labeled in descending order) needs `O(n)` rounds, but
+/// each round only touches the shrinking undecided frontier; on mesh-like
+/// graphs with locality-friendly labelings a handful of rounds suffice.
+pub fn maximal_independent_set_with(g: &SymmetricPattern, pool: &TaskPool) -> Vec<usize> {
+    if !pool.is_parallel() {
+        return maximal_independent_set(g);
+    }
+    let n = g.n();
+    let mut state = vec![0u8; n]; // 0 undecided, 1 in MIS, 2 excluded
+    let mut undecided: Vec<usize> = (0..n).collect();
+    let mut selected: Vec<u8> = Vec::new();
+    while !undecided.is_empty() {
+        // Select phase: read-only on `state`, one flag slot per candidate.
+        selected.clear();
+        selected.resize(undecided.len(), 0);
+        {
+            let state_read: &[u8] = &state;
+            let undecided_read: &[usize] = &undecided;
+            pool.for_each_chunk_mut(&mut selected, 256, |i0, flags| {
+                for (i, flag) in flags.iter_mut().enumerate() {
+                    let v = undecided_read[i0 + i];
+                    let wins = g.neighbors(v).iter().all(|&u| state_read[u] != 0 || u > v);
+                    *flag = u8::from(wins);
+                }
+            });
+        }
+        // Apply phase: winners form an independent set, so marking them and
+        // excluding their neighbors never conflicts. Serial and in index
+        // order — cheap relative to the scans.
+        for (i, &v) in undecided.iter().enumerate() {
+            if selected[i] == 1 {
+                state[v] = 1;
+                for &u in g.neighbors(v) {
+                    if state[u] == 0 {
+                        state[u] = 2;
+                    }
+                }
+            }
+        }
+        undecided.retain(|&v| state[v] == 0);
+    }
+    (0..n).filter(|&v| state[v] == 1).collect()
+}
+
 /// One level of graph contraction.
 #[derive(Debug, Clone)]
 pub struct Contraction {
@@ -53,8 +110,18 @@ pub struct Contraction {
 /// For a connected fine graph the coarse graph is connected. The coarse
 /// graph is strictly smaller whenever `g` has at least one edge.
 pub fn contract(g: &SymmetricPattern) -> Contraction {
+    contract_with(g, &TaskPool::serial())
+}
+
+/// [`contract`] with the maximal-independent-set selection and the
+/// coarse-edge construction farmed out to `pool`. Produces exactly the same
+/// contraction as the serial version for every thread count: the parallel
+/// MIS equals the greedy one ([`maximal_independent_set_with`]), domain
+/// growing stays serial (its queue order is the tie-breaker), and coarse
+/// edges are collected per vertex chunk and concatenated in chunk order.
+pub fn contract_with(g: &SymmetricPattern, pool: &TaskPool) -> Contraction {
     let n = g.n();
-    let seeds = maximal_independent_set(g);
+    let seeds = maximal_independent_set_with(g, pool);
     let mut domain = vec![UNSET; n];
     let mut queue = VecDeque::new();
     for (c, &s) in seeds.iter().enumerate() {
@@ -73,13 +140,7 @@ pub fn contract(g: &SymmetricPattern) -> Contraction {
     }
     debug_assert!(domain.iter().all(|&d| d != UNSET), "domains must cover");
 
-    let mut coarse_edges = Vec::new();
-    for (u, v) in g.edges() {
-        let (du, dv) = (domain[u], domain[v]);
-        if du != dv {
-            coarse_edges.push((du.min(dv), du.max(dv)));
-        }
-    }
+    let coarse_edges = collect_crossing_edges(g, &domain, pool);
     let coarse = SymmetricPattern::from_edges(seeds.len(), &coarse_edges)
         .expect("domain indices are in range");
     Contraction {
@@ -87,6 +148,52 @@ pub fn contract(g: &SymmetricPattern) -> Contraction {
         fine_to_coarse: domain,
         seeds,
     }
+}
+
+/// Collects one `(min, max)` coarse edge per fine edge crossing two domains,
+/// in exactly the order `g.edges()` yields them: vertex chunks are processed
+/// in parallel into per-chunk buffers and concatenated in chunk order.
+fn collect_crossing_edges(
+    g: &SymmetricPattern,
+    domain: &[usize],
+    pool: &TaskPool,
+) -> Vec<(usize, usize)> {
+    let n = g.n();
+    let serial = || {
+        let mut edges = Vec::new();
+        for (u, v) in g.edges() {
+            let (du, dv) = (domain[u], domain[v]);
+            if du != dv {
+                edges.push((du.min(dv), du.max(dv)));
+            }
+        }
+        edges
+    };
+    if !pool.is_parallel() || n < sparsemat::par::PAR_MIN {
+        return serial();
+    }
+    const CHUNK: usize = 1024;
+    let nchunks = n.div_ceil(CHUNK);
+    let mut buffers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nchunks];
+    pool.for_each_task_mut(&mut buffers, |c, out| {
+        let (s, e) = (c * CHUNK, ((c + 1) * CHUNK).min(n));
+        for u in s..e {
+            let du = domain[u];
+            for &v in g.neighbors(u) {
+                if v > u {
+                    let dv = domain[v];
+                    if du != dv {
+                        out.push((du.min(dv), du.max(dv)));
+                    }
+                }
+            }
+        }
+    });
+    let mut edges = Vec::with_capacity(buffers.iter().map(Vec::len).sum());
+    for buf in &mut buffers {
+        edges.append(buf);
+    }
+    edges
 }
 
 impl Contraction {
@@ -128,10 +235,17 @@ impl CoarsenLevels {
     /// Repeatedly contracts `g` until the coarse graph has at most
     /// `target_n` vertices (the paper uses ~100) or contraction stalls.
     pub fn build(g: &SymmetricPattern, target_n: usize) -> CoarsenLevels {
+        CoarsenLevels::build_with(g, target_n, &TaskPool::serial())
+    }
+
+    /// [`CoarsenLevels::build`] with each contraction farmed out to `pool`
+    /// (see [`contract_with`]). The hierarchy is identical to the serial one
+    /// for every thread count.
+    pub fn build_with(g: &SymmetricPattern, target_n: usize, pool: &TaskPool) -> CoarsenLevels {
         let mut levels = Vec::new();
         let mut current = g.clone();
         while current.n() > target_n.max(1) {
-            let c = contract(&current);
+            let c = contract_with(&current, pool);
             if c.coarse.n() >= current.n() {
                 break; // no edges left to contract (e.g. edgeless graph)
             }
@@ -316,6 +430,46 @@ mod tests {
         let h = CoarsenLevels::build(&g, 100);
         assert_eq!(h.depth(), 0);
         assert!(h.coarsest().is_none());
+    }
+
+    #[test]
+    fn parallel_mis_matches_greedy() {
+        // 5600 vertices: crosses the pool's PAR_MIN threshold, so the select
+        // phase really runs on workers when the `parallel` feature is on.
+        let g = grid(80, 70);
+        let serial = maximal_independent_set(&g);
+        for threads in [2, 4, 8] {
+            let pool = TaskPool::new(threads);
+            assert_eq!(maximal_independent_set_with(&g, &pool), serial);
+        }
+    }
+
+    #[test]
+    fn parallel_contract_matches_serial() {
+        let g = grid(80, 70);
+        let base = contract(&g);
+        for threads in [2, 4] {
+            let pool = TaskPool::new(threads);
+            let c = contract_with(&g, &pool);
+            assert_eq!(c.seeds, base.seeds);
+            assert_eq!(c.fine_to_coarse, base.fine_to_coarse);
+            assert_eq!(c.coarse.n(), base.coarse.n());
+            let ea: Vec<_> = base.coarse.edges().collect();
+            let eb: Vec<_> = c.coarse.edges().collect();
+            assert_eq!(ea, eb);
+        }
+    }
+
+    #[test]
+    fn parallel_hierarchy_matches_serial() {
+        let g = grid(75, 75);
+        let a = CoarsenLevels::build(&g, 50);
+        let b = CoarsenLevels::build_with(&g, 50, &TaskPool::new(4));
+        assert_eq!(a.depth(), b.depth());
+        for (x, y) in a.levels.iter().zip(&b.levels) {
+            assert_eq!(x.seeds, y.seeds);
+            assert_eq!(x.fine_to_coarse, y.fine_to_coarse);
+        }
     }
 
     #[test]

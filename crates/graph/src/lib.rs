@@ -4,12 +4,12 @@
 //! this crate layers the combinatorial machinery used by the ordering
 //! algorithms and the multilevel eigensolver on top of it:
 //!
-//! * [`bfs`] — breadth-first search and connected components,
+//! * [`mod@bfs`] — breadth-first search and connected components,
 //! * [`level`] — rooted level structures and pseudo-peripheral vertices
 //!   (the substrate of RCM/GPS/GK),
 //! * [`coarsen`] — maximal independent sets and graph contraction (the
 //!   substrate of the Barnard–Simon multilevel Fiedler solver),
-//! * [`compress`] — supervariable (indistinguishable-vertex) compression
+//! * [`mod@compress`] — supervariable (indistinguishable-vertex) compression
 //!   for multi-DOF structural matrices.
 //!
 //! ```

@@ -94,7 +94,7 @@ pub(crate) fn king_number_subset(
 
 /// Plain King ordering of a connected component starting from `start`
 /// (candidates = the whole component). Exposed mainly for tests; the
-/// Gibbs–King driver applies [`king_number_subset`] level by level.
+/// Gibbs–King driver applies `king_number_subset` level by level.
 pub fn king_component(g: &SymmetricPattern, start: usize) -> Vec<usize> {
     let n = g.n();
     let mut numbered = vec![false; n];

@@ -11,7 +11,7 @@
 //! plus two extensions the paper points to as future work (§4: "limited use
 //! of a local reordering strategy"):
 //!
-//! * [`sloan`] — Sloan's priority ordering,
+//! * [`mod@sloan`] — Sloan's priority ordering,
 //! * [`hybrid`] — Sloan's local priority driven by the Fiedler vector as the
 //!   global term (the Kumfert–Pothen style hybrid).
 //!
@@ -51,6 +51,8 @@ pub use rcm::{cuthill_mckee, reverse_cuthill_mckee};
 pub use refine::exchange_refine;
 pub use sloan::{sloan, SloanWeights};
 pub use spectral::{spectral_ordering, spectral_ordering_weighted, SpectralOptions};
+
+pub use se_eigen::SolverOpts;
 
 use se_eigen::EigenError;
 use sparsemat::envelope::{envelope_stats, EnvelopeStats};
@@ -158,25 +160,43 @@ pub struct Ordering {
     pub stats: EnvelopeStats,
 }
 
-/// Runs `alg` on `g` and evaluates the result.
+/// Runs `alg` on `g` and evaluates the result (default solver
+/// configuration; see [`order_with`] to tune tolerances or threads).
 pub fn order(g: &SymmetricPattern, alg: Algorithm) -> Result<Ordering> {
+    order_with(g, alg, &SolverOpts::default())
+}
+
+/// [`order`] with an explicit solver configuration. `solver` reaches every
+/// eigensolver-backed algorithm (SPECTRAL, HYBRID, SPECTRAL+X, SPECTRAL-ND);
+/// the combinatorial ones (RCM, GPS, GK, …) ignore it. In particular
+/// `solver.threads` routes the whole Fiedler pipeline through one shared
+/// thread pool — results are bit-identical for every thread count.
+pub fn order_with(g: &SymmetricPattern, alg: Algorithm, solver: &SolverOpts) -> Result<Ordering> {
+    let spectral_opts = || SpectralOptions {
+        fiedler: solver.fiedler_options(),
+        force_lanczos: false,
+    };
     let perm = match alg {
         Algorithm::Identity => Permutation::identity(g.n()),
         Algorithm::CuthillMckee => cuthill_mckee(g),
         Algorithm::Rcm => reverse_cuthill_mckee(g),
         Algorithm::Gps => gibbs_poole_stockmeyer(g),
         Algorithm::Gk => gibbs_king(g),
-        Algorithm::Spectral => spectral_ordering(g, &SpectralOptions::default())?,
+        Algorithm::Spectral => spectral_ordering(g, &spectral_opts())?,
         Algorithm::Sloan => sloan(g, &SloanWeights::default()),
-        Algorithm::HybridSloanSpectral => hybrid_sloan_spectral(g, &SpectralOptions::default())?,
+        Algorithm::HybridSloanSpectral => hybrid_sloan_spectral(g, &spectral_opts())?,
         Algorithm::SpectralRefined => {
-            let base = spectral_ordering(g, &SpectralOptions::default())?;
+            let base = spectral_ordering(g, &spectral_opts())?;
             exchange_refine(g, &base, 10).0
         }
         Algorithm::MinDegree => min_degree_ordering(g),
-        Algorithm::SpectralNd => {
-            spectral_nested_dissection(g, &NestedDissectionOptions::default())?
-        }
+        Algorithm::SpectralNd => spectral_nested_dissection(
+            g,
+            &NestedDissectionOptions {
+                spectral: spectral_opts(),
+                ..NestedDissectionOptions::default()
+            },
+        )?,
     };
     let stats = envelope_stats(g, &perm);
     Ok(Ordering {

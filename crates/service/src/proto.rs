@@ -107,6 +107,11 @@ pub struct OrderRequest {
     pub timeout_ms: Option<u64>,
     /// Include the permutation vector in the response (default true).
     pub include_perm: bool,
+    /// Solver threads for the eigensolver-backed algorithms (`0` = all
+    /// cores); `None` uses the server's configured default. Orderings are
+    /// bit-identical for every value, so this never affects results — or
+    /// cache keys — only wall-clock time.
+    pub threads: Option<usize>,
 }
 
 impl OrderRequest {
@@ -120,6 +125,7 @@ impl OrderRequest {
             },
             timeout_ms: None,
             include_perm: true,
+            threads: None,
         }
     }
 }
@@ -426,6 +432,9 @@ pub fn encode_request(r: &Request) -> String {
         if !o.include_perm {
             pairs.push(("include_perm".to_string(), Json::Bool(false)));
         }
+        if let Some(t) = o.threads {
+            pairs.push(("threads".to_string(), Json::Num(t as f64)));
+        }
         pairs
     }
     let v = match r {
@@ -478,6 +487,13 @@ fn order_request_from_json(v: &Json) -> Result<OrderRequest, ProtoError> {
                 .ok_or_else(|| shape("timeout_ms must be an integer"))?,
         ),
     };
+    let threads = match v.get("threads") {
+        None => None,
+        Some(t) => Some(
+            t.as_u64()
+                .ok_or_else(|| shape("threads must be an integer"))? as usize,
+        ),
+    };
     Ok(OrderRequest {
         alg,
         source,
@@ -486,6 +502,7 @@ fn order_request_from_json(v: &Json) -> Result<OrderRequest, ProtoError> {
             .get("include_perm")
             .and_then(Json::as_bool)
             .unwrap_or(true),
+        threads,
     })
 }
 
@@ -544,6 +561,7 @@ mod tests {
             },
             timeout_ms: Some(1500),
             include_perm: false,
+            threads: Some(4),
         });
         let line = encode_request(&req);
         assert!(!line.contains('\n'));
@@ -557,6 +575,7 @@ mod tests {
             source: MatrixSource::Path("/data/m.mtx".into()),
             timeout_ms: None,
             include_perm: true,
+            threads: None,
         };
         let req = Request::Batch(vec![one.clone(), one]);
         let line = encode_request(&req);

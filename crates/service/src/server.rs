@@ -1,7 +1,7 @@
 //! The `spectral-orderd` TCP server.
 //!
 //! One accept-loop thread, one lightweight thread per connection, and a
-//! fixed [`WorkerPool`](crate::pool::WorkerPool) executing the orderings.
+//! fixed [`WorkerPool`] executing the orderings.
 //! Connection handlers never compute: they decode a line, push a job, and
 //! wait on an `mpsc` channel with the request's wall-clock timeout. The
 //! bounded queue makes overload explicit — clients see a retriable
@@ -34,6 +34,12 @@ pub struct Config {
     pub cache_budget_bytes: usize,
     /// Default per-request wall-clock timeout (ms); requests may override.
     pub default_timeout_ms: u64,
+    /// Default solver threads per ordering job (`0` = all cores); requests
+    /// may override with their `"threads"` field. Orderings are bit-identical
+    /// for every value, so this only affects wall-clock time — which is why
+    /// the cache key deliberately ignores it. Effective only with the
+    /// `parallel` feature; otherwise every job runs serially.
+    pub solver_threads: usize,
 }
 
 impl Default for Config {
@@ -44,6 +50,7 @@ impl Default for Config {
             queue_capacity: 64,
             cache_budget_bytes: 32 << 20,
             default_timeout_ms: 30_000,
+            solver_threads: 1,
         }
     }
 }
@@ -58,6 +65,7 @@ struct Shared {
     /// accept thread waits on it so the process outlives the ack.
     shutdown_complete: (Mutex<bool>, Condvar),
     default_timeout: Duration,
+    solver_threads: usize,
     addr: SocketAddr,
 }
 
@@ -109,6 +117,7 @@ pub fn serve(cfg: Config) -> std::io::Result<ServerHandle> {
         shutting_down: AtomicBool::new(false),
         shutdown_complete: (Mutex::new(false), Condvar::new()),
         default_timeout: Duration::from_millis(cfg.default_timeout_ms),
+        solver_threads: cfg.solver_threads,
         addr,
     });
     let accept_shared = Arc::clone(&shared);
@@ -321,7 +330,9 @@ fn execute_order(shared: &Shared, req: &OrderRequest) -> OrderOutcome {
         }
         None => {
             shared.metrics.inc(&shared.metrics.cache_misses);
-            let o = match se_order::order(&g, req.alg) {
+            let threads = req.threads.unwrap_or(shared.solver_threads);
+            let solver = se_order::SolverOpts::with_threads(threads);
+            let o = match se_order::order_with(&g, req.alg, &solver) {
                 Ok(o) => o,
                 Err(e) => {
                     shared.metrics.inc(&shared.metrics.errors);

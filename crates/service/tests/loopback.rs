@@ -23,6 +23,7 @@ fn chaco_request(g: &SymmetricPattern, alg: se_order::Algorithm) -> OrderRequest
         },
         timeout_ms: None,
         include_perm: true,
+        threads: None,
     }
 }
 
@@ -164,6 +165,7 @@ fn concurrent_clients_share_the_cache() {
                     },
                     timeout_ms: None,
                     include_perm: true,
+                    threads: None,
                 };
                 client.order(req).unwrap()
             })
@@ -317,6 +319,7 @@ fn malformed_lines_get_errors_but_the_connection_survives() {
         },
         timeout_ms: None,
         include_perm: true,
+        threads: None,
     });
     writeln!(writer, "{}", se_service::proto::encode_request(&req)).unwrap();
     line.clear();

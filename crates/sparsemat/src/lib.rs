@@ -29,6 +29,8 @@
 //! assert_eq!(stats.bandwidth, 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod coo;
 pub mod csr;
 pub mod envelope;
@@ -48,9 +50,19 @@ pub use perm::Permutation;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SparseError {
     /// An index exceeded the matrix dimension.
-    IndexOutOfBounds { index: usize, bound: usize },
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The dimension it had to stay below.
+        bound: usize,
+    },
     /// The operation requires a square matrix.
-    NotSquare { nrows: usize, ncols: usize },
+    NotSquare {
+        /// Row count of the offending matrix.
+        nrows: usize,
+        /// Column count of the offending matrix.
+        ncols: usize,
+    },
     /// The operation requires a structurally symmetric matrix.
     NotSymmetric,
     /// A permutation vector was not a permutation of `0..n`.

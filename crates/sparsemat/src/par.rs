@@ -1,14 +1,495 @@
-//! Minimal data-parallel helper built on `std::thread::scope`.
+//! Work-sharing task pool and deterministic parallel reductions.
 //!
 //! The workspace deliberately carries no external dependencies, so the
-//! `parallel` feature's row-parallel kernels are expressed through this one
-//! primitive instead of rayon: split a mutable slice into one contiguous
-//! block per available core and run the body on each block from its own
-//! thread. Blocks are disjoint, so the body needs no synchronisation.
+//! `parallel` feature's kernels are expressed through this std-only module
+//! instead of rayon. Two design constraints shape everything here:
+//!
+//! 1. **Reuse** — a matvec inside Lanczos runs thousands of times per
+//!    ordering; spawning OS threads per call would cost more than the work.
+//!    [`TaskPool`] therefore keeps a set of persistent workers parked on a
+//!    condvar. Each parallel region publishes one job to a shared injector
+//!    slot; workers (and the caller, which always participates) claim fixed
+//!    chunks of the index space from an atomic counter until it runs dry.
+//!
+//! 2. **Bit-reproducibility** — floating-point addition is not associative,
+//!    so a naive parallel dot product would return different last bits from
+//!    run to run and thread count to thread count. Every reduction here uses
+//!    a *fixed* chunk width ([`DET_CHUNK`], independent of the number of
+//!    threads): per-chunk partials are computed serially within the chunk
+//!    and then combined serially **in chunk order**. The serial paths use the
+//!    exact same chunking, so for any input `TaskPool::dot` returns the same
+//!    bits on 1, 2, 4 or 8 threads — and the same bits as [`det_dot`].
+//!
+//! Without the `parallel` cargo feature the pool type still exists but never
+//! spawns a thread: [`TaskPool::new`] clamps to serial, every operation runs
+//! inline, and results are (by the chunking argument above) identical. The
+//! feature is purely a switch for whether OS threads may be used.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Fixed chunk width (in elements) for deterministic reductions.
+///
+/// Partial sums are formed over consecutive spans of this many elements and
+/// combined in span order. The value is a compromise: small enough that a
+/// large vector yields enough chunks to balance across workers, large enough
+/// that the per-chunk bookkeeping is negligible next to the arithmetic.
+pub const DET_CHUNK: usize = 1024;
+
+/// Minimum problem size (in elements) before a pool goes parallel.
+///
+/// Below this, the condvar round trip to wake the workers costs more than
+/// the loop itself; the pool runs the region inline on the caller. This is a
+/// pure performance threshold — results are bitwise identical either way.
+pub const PAR_MIN: usize = 4096;
+
+/// The number of worker threads to use (`std::thread::available_parallelism`,
+/// clamped so degenerate containers still report one).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic serial reference reductions (also used by the pool itself).
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn chunk_dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[inline]
+fn chunk_sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Deterministic chunked dot product: `Σ aᵢbᵢ` accumulated per
+/// [`DET_CHUNK`]-wide span, spans combined in order.
+///
+/// [`TaskPool::dot`] returns exactly these bits for every thread count.
+pub fn det_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "det_dot: length mismatch");
+    let mut total = 0.0;
+    let mut i = 0;
+    while i < a.len() {
+        let e = (i + DET_CHUNK).min(a.len());
+        total += chunk_dot(&a[i..e], &b[i..e]);
+        i = e;
+    }
+    total
+}
+
+/// Deterministic chunked sum, the [`det_dot`] of a vector with all-ones —
+/// same chunking, same guarantee.
+pub fn det_sum(a: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut i = 0;
+    while i < a.len() {
+        let e = (i + DET_CHUNK).min(a.len());
+        total += chunk_sum(&a[i..e]);
+        i = e;
+    }
+    total
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals.
+// ---------------------------------------------------------------------------
+
+/// A type-erased parallel region: `call(ctx)` invokes the caller's closure.
+/// The pointer refers to the stack frame of [`PoolHandle::execute`], which
+/// blocks until every worker has finished the job — so the pointee strictly
+/// outlives every use.
+#[derive(Clone, Copy)]
+struct Job {
+    call: unsafe fn(*const ()),
+    ctx: *const (),
+}
+
+// SAFETY: the context pointer is only dereferenced while the publishing
+// `execute` call is blocked waiting for completion, and the closure it points
+// to is `Sync` (enforced by `execute`'s bound).
+unsafe impl Send for Job {}
+
+struct Shared {
+    /// Increments once per published job; workers run each sequence once.
+    seq: u64,
+    job: Option<Job>,
+    /// Workers still running the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Core {
+    state: Mutex<Shared>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+thread_local! {
+    /// Set inside pool workers, and on the caller for the duration of a
+    /// region (it participates in the work), so nested parallel regions
+    /// degrade to serial instead of corrupting the (single) injector slot.
+    static IN_POOL_REGION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn worker_loop(core: Arc<Core>) {
+    IN_POOL_REGION.with(|f| f.set(true));
+    let mut last_seq = 0u64;
+    loop {
+        let job = {
+            let mut st = core.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.seq != last_seq {
+                    last_seq = st.seq;
+                    break st.job;
+                }
+                st = core.work_cv.wait(st).unwrap();
+            }
+        };
+        if let Some(j) = job {
+            // SAFETY: see `Job` — the closure outlives the job and is Sync.
+            unsafe { (j.call)(j.ctx) };
+        }
+        let mut st = core.state.lock().unwrap();
+        st.active -= 1;
+        if st.active == 0 {
+            core.done_cv.notify_all();
+        }
+    }
+}
+
+struct PoolHandle {
+    core: Arc<Core>,
+    /// Worker thread count, excluding the participating caller.
+    extra: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PoolHandle {
+    /// Runs `f` simultaneously on every worker and on the calling thread,
+    /// returning once all of them have finished. `f` must partition its own
+    /// work (the pool's loops use an atomic chunk counter for that).
+    fn execute<F: Fn() + Sync>(&self, f: &F) {
+        unsafe fn shim<F: Fn() + Sync>(ctx: *const ()) {
+            // SAFETY: `ctx` was produced from `&F` below and is still live.
+            unsafe { (*(ctx as *const F))() }
+        }
+        {
+            let mut st = self.core.state.lock().unwrap();
+            st.job = Some(Job {
+                call: shim::<F>,
+                ctx: f as *const F as *const (),
+            });
+            st.seq += 1;
+            st.active = self.extra;
+        }
+        self.core.work_cv.notify_all();
+        // Participate, with the nesting guard up: if `f` itself enters the
+        // pool it must run that region inline rather than publish a second
+        // job while this one is still active.
+        IN_POOL_REGION.with(|g| g.set(true));
+        f();
+        IN_POOL_REGION.with(|g| g.set(false));
+        let mut st = self.core.state.lock().unwrap();
+        while st.active != 0 {
+            st = self.core.done_cv.wait(st).unwrap();
+        }
+        // The context pointer dangles once we return; drop the job now.
+        st.job = None;
+    }
+}
+
+impl Drop for PoolHandle {
+    fn drop(&mut self) {
+        {
+            let mut st = self.core.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.core.work_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A raw pointer that may cross threads. Used to hand each claimed chunk a
+/// disjoint sub-slice / slot of a caller-owned buffer.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field use) so closures capture the whole
+    /// `Send + Sync` wrapper, not the bare raw pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: every use writes through disjoint index ranges (one chunk index is
+// claimed by exactly one thread), and the owning caller blocks until the
+// region completes.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+// ---------------------------------------------------------------------------
+// Public pool type.
+// ---------------------------------------------------------------------------
+
+/// A reusable fork-join pool with deterministic reductions.
+///
+/// Cloning is cheap (an [`Arc`] bump) and clones share the same workers, so
+/// a pool can be embedded in solver option structs and passed down a call
+/// tree. The default value is the serial pool.
+///
+/// Worker threads are joined when the last clone is dropped.
+///
+/// ```
+/// use sparsemat::par::TaskPool;
+///
+/// let pool = TaskPool::new(4); // serial unless the `parallel` feature is on
+/// let x: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+/// // Same bits as TaskPool::serial().dot(&x, &x), whatever the thread count.
+/// assert_eq!(pool.dot(&x, &x), TaskPool::serial().dot(&x, &x));
+/// ```
+#[derive(Clone, Default)]
+pub struct TaskPool {
+    inner: Option<Arc<PoolHandle>>,
+}
+
+impl std::fmt::Debug for TaskPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl TaskPool {
+    /// The serial pool: every operation runs inline on the caller.
+    pub fn serial() -> TaskPool {
+        TaskPool { inner: None }
+    }
+
+    /// Creates a pool targeting `threads` total threads (the caller counts
+    /// as one; `threads - 1` workers are spawned). `0` means "use
+    /// [`available_threads`]". Clamps to serial when `threads <= 1` or when
+    /// the crate is built without the `parallel` feature.
+    pub fn new(threads: usize) -> TaskPool {
+        let want = if threads == 0 {
+            available_threads()
+        } else {
+            threads
+        };
+        if want <= 1 || !cfg!(feature = "parallel") {
+            return TaskPool::serial();
+        }
+        let extra = want - 1;
+        let core = Arc::new(Core {
+            state: Mutex::new(Shared {
+                seq: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..extra)
+            .map(|i| {
+                let c = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("se-pool-{i}"))
+                    .spawn(move || worker_loop(c))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        TaskPool {
+            inner: Some(Arc::new(PoolHandle {
+                core,
+                extra,
+                workers,
+            })),
+        }
+    }
+
+    /// Total threads this pool uses, caller included (1 for the serial pool).
+    pub fn threads(&self) -> usize {
+        self.inner.as_ref().map_or(1, |h| h.extra + 1)
+    }
+
+    /// Whether operations may actually run on more than one thread.
+    pub fn is_parallel(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Runs `body(start, end)` over consecutive ranges `[start, end)` of
+    /// width `chunk` covering `0..len`. Ranges are disjoint and cover `len`
+    /// exactly once; each is executed by exactly one thread. Small inputs
+    /// (`len < PAR_MIN`) run inline.
+    pub fn run_chunks<F: Fn(usize, usize) + Sync>(&self, len: usize, chunk: usize, body: F) {
+        let chunk = chunk.max(1);
+        let nchunks = len.div_ceil(chunk);
+        let parallel = self
+            .inner
+            .as_ref()
+            .filter(|_| len >= PAR_MIN && nchunks > 1 && !IN_POOL_REGION.with(|f| f.get()));
+        match parallel {
+            Some(h) => {
+                let counter = AtomicUsize::new(0);
+                let work = || loop {
+                    let c = counter.fetch_add(1, Ordering::Relaxed);
+                    if c >= nchunks {
+                        return;
+                    }
+                    let s = c * chunk;
+                    body(s, (s + chunk).min(len));
+                };
+                h.execute(&work);
+            }
+            None => {
+                for c in 0..nchunks {
+                    let s = c * chunk;
+                    body(s, (s + chunk).min(len));
+                }
+            }
+        }
+    }
+
+    /// Runs `body(i)` for every `i in 0..ntasks`, one task per claim, with
+    /// **no** size threshold — for coarse-grained tasks where each index is
+    /// already substantial work (a block of a matrix, a buffer to fill).
+    /// Each index runs exactly once on exactly one thread.
+    pub fn run_tasks<F: Fn(usize) + Sync>(&self, ntasks: usize, body: F) {
+        let parallel = self
+            .inner
+            .as_ref()
+            .filter(|_| ntasks > 1 && !IN_POOL_REGION.with(|f| f.get()));
+        match parallel {
+            Some(h) => {
+                let counter = AtomicUsize::new(0);
+                let work = || loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= ntasks {
+                        return;
+                    }
+                    body(i);
+                };
+                h.execute(&work);
+            }
+            None => {
+                for i in 0..ntasks {
+                    body(i);
+                }
+            }
+        }
+    }
+
+    /// Runs `body(i, &mut data[i])` for every element, one coarse-grained
+    /// task per element (no size threshold — see [`TaskPool::run_tasks`]).
+    pub fn for_each_task_mut<T, F>(&self, data: &mut [T], body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let base = SendPtr(data.as_mut_ptr());
+        self.run_tasks(data.len(), move |i| {
+            // SAFETY: `run_tasks` claims each index exactly once, so every
+            // element is touched by exactly one thread; `data` outlives the
+            // (blocking) region.
+            let item = unsafe { &mut *base.get().add(i) };
+            body(i, item);
+        });
+    }
+
+    /// Splits `data` into consecutive chunks of width `chunk` and runs
+    /// `body(offset, sub_slice)` on each from some thread. Chunks are
+    /// disjoint, so `body` needs no synchronisation.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], chunk: usize, body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let len = data.len();
+        let base = SendPtr(data.as_mut_ptr());
+        self.run_chunks(len, chunk, move |s, e| {
+            // SAFETY: `run_chunks` hands out disjoint [s, e) ranges within
+            // `len`, and `data` outlives the (blocking) region.
+            let sub = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
+            body(s, sub);
+        });
+    }
+
+    /// Deterministic dot product — the same bits as [`det_dot`] for every
+    /// thread count (see the module docs for why).
+    pub fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dot: length mismatch");
+        let n = a.len();
+        if self.inner.is_none() || n < PAR_MIN {
+            return det_dot(a, b);
+        }
+        let nchunks = n.div_ceil(DET_CHUNK);
+        let mut partials = vec![0.0f64; nchunks];
+        let slots = SendPtr(partials.as_mut_ptr());
+        self.run_chunks(n, DET_CHUNK, move |s, e| {
+            // SAFETY: one slot per chunk index; chunk indices are claimed by
+            // exactly one thread and `partials` outlives the region.
+            unsafe { *slots.get().add(s / DET_CHUNK) = chunk_dot(&a[s..e], &b[s..e]) };
+        });
+        let mut total = 0.0;
+        for p in &partials {
+            total += p;
+        }
+        total
+    }
+
+    /// Deterministic sum — the same bits as [`det_sum`] for every thread
+    /// count.
+    pub fn sum(&self, a: &[f64]) -> f64 {
+        let n = a.len();
+        if self.inner.is_none() || n < PAR_MIN {
+            return det_sum(a);
+        }
+        let nchunks = n.div_ceil(DET_CHUNK);
+        let mut partials = vec![0.0f64; nchunks];
+        let slots = SendPtr(partials.as_mut_ptr());
+        self.run_chunks(n, DET_CHUNK, move |s, e| {
+            // SAFETY: as in `dot` — one disjoint slot per claimed chunk.
+            unsafe { *slots.get().add(s / DET_CHUNK) = chunk_sum(&a[s..e]) };
+        });
+        let mut total = 0.0;
+        for p in &partials {
+            total += p;
+        }
+        total
+    }
+
+    /// Euclidean norm via the deterministic [`TaskPool::dot`].
+    pub fn norm(&self, a: &[f64]) -> f64 {
+        self.dot(a, a).sqrt()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-shot scoped helper (predates the pool; kept for cheap ad-hoc use).
+// ---------------------------------------------------------------------------
 
 /// Runs `body(block_start, block)` over disjoint contiguous blocks of
-/// `data`, one per available core (single-threaded for tiny inputs, where
-/// spawn overhead would dominate).
+/// `data`, one per available core, on one-shot scoped threads
+/// (single-threaded for tiny inputs, where spawn overhead would dominate).
+///
+/// Prefer a [`TaskPool`] in loops — this helper pays a thread spawn per
+/// call and is only sensible for isolated large operations.
 pub fn for_each_row_block<T: Send, F>(data: &mut [T], body: F)
 where
     F: Fn(usize, &mut [T]) + Sync,
@@ -34,12 +515,6 @@ where
             rest = tail;
         }
     });
-}
-
-/// The number of worker threads to use (`std::thread::available_parallelism`,
-/// clamped so degenerate containers still report one).
-pub fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 #[cfg(test)]
@@ -68,5 +543,125 @@ mod tests {
             }
         });
         assert!(v.iter().all(|&x| x == 2));
+    }
+
+    fn test_vec(n: usize, f: f64) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64) * f).sin() + 0.25).collect()
+    }
+
+    #[test]
+    fn pool_chunks_cover_exactly_once() {
+        for threads in [1, 2, 4, 8] {
+            let pool = TaskPool::new(threads);
+            let mut v = vec![0u64; 50_000];
+            pool.for_each_chunk_mut(&mut v, 333, |start, block| {
+                for (i, x) in block.iter_mut().enumerate() {
+                    *x += (start + i) as u64 + 1;
+                }
+            });
+            for (i, x) in v.iter().enumerate() {
+                assert_eq!(*x, i as u64 + 1, "at {i} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_bit_identical_across_thread_counts() {
+        let a = test_vec(100_003, 0.37);
+        let b = test_vec(100_003, 0.61);
+        let reference = det_dot(&a, &b);
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = TaskPool::new(threads);
+            assert_eq!(
+                pool.dot(&a, &b).to_bits(),
+                reference.to_bits(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn sum_bit_identical_across_thread_counts() {
+        let a = test_vec(77_777, 0.13);
+        let reference = det_sum(&a);
+        for threads in [1, 2, 4, 8] {
+            let pool = TaskPool::new(threads);
+            assert_eq!(pool.sum(&a).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_matches_plain_sum_closely() {
+        // Chunked summation is a reordering; it must agree with the naive
+        // sum to (tight) floating-point accuracy.
+        let a = test_vec(30_000, 0.17);
+        let naive: f64 = a.iter().map(|x| x * x).sum();
+        let chunked = det_dot(&a, &a);
+        assert!((naive - chunked).abs() <= 1e-9 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn pool_is_reusable_many_times() {
+        let pool = TaskPool::new(4);
+        let a = test_vec(20_000, 0.29);
+        let first = pool.dot(&a, &a);
+        for _ in 0..100 {
+            assert_eq!(pool.dot(&a, &a).to_bits(), first.to_bits());
+        }
+    }
+
+    #[test]
+    fn clones_share_workers() {
+        let pool = TaskPool::new(4);
+        let clone = pool.clone();
+        assert_eq!(pool.threads(), clone.threads());
+        let a = test_vec(10_000, 0.41);
+        assert_eq!(pool.dot(&a, &a).to_bits(), clone.dot(&a, &a).to_bits());
+    }
+
+    #[test]
+    fn serial_pool_reports_one_thread() {
+        assert_eq!(TaskPool::serial().threads(), 1);
+        assert!(!TaskPool::serial().is_parallel());
+        assert_eq!(TaskPool::default().threads(), 1);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_feature_spawns_requested_threads() {
+        assert_eq!(TaskPool::new(3).threads(), 3);
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    #[test]
+    fn without_feature_pools_are_serial() {
+        assert_eq!(TaskPool::new(8).threads(), 1);
+        assert!(!TaskPool::new(8).is_parallel());
+    }
+
+    #[test]
+    fn nested_regions_degrade_to_serial() {
+        // A body that itself calls into the pool must not deadlock.
+        let pool = TaskPool::new(4);
+        let inner = pool.clone();
+        let a = test_vec(8192, 0.3);
+        let expected = det_dot(&a, &a);
+        let hits = AtomicUsize::new(0);
+        pool.run_chunks(8192, 512, |_, _| {
+            let d = inner.dot(&a, &a);
+            assert_eq!(d.to_bits(), expected.to_bits());
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let pool = TaskPool::new(4);
+        assert_eq!(pool.dot(&[], &[]), 0.0);
+        assert_eq!(pool.sum(&[]), 0.0);
+        assert_eq!(pool.dot(&[2.0], &[3.0]), 6.0);
+        let mut v: Vec<u8> = Vec::new();
+        pool.for_each_chunk_mut(&mut v, 16, |_, _| panic!("no chunks expected"));
     }
 }
