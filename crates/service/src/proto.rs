@@ -110,9 +110,18 @@ pub struct OrderRequest {
     /// Solver threads for the eigensolver-backed algorithms (`0` = all
     /// cores); `None` uses the server's configured default. Orderings are
     /// bit-identical for every value, so this never affects results — or
-    /// cache keys — only wall-clock time.
+    /// cache keys — only wall-clock time. Decoding rejects values above
+    /// [`MAX_REQUEST_THREADS`], and the server additionally clamps to the
+    /// machine's core count before spawning anything.
     pub threads: Option<usize>,
 }
+
+/// Upper bound accepted for the wire `threads` field.
+///
+/// The executing server clamps the value to its own core count anyway; this
+/// decode-time cap exists so an absurd request (`"threads": 1000000`) is
+/// reported as malformed instead of being treated as a scheduling hint.
+pub const MAX_REQUEST_THREADS: usize = 512;
 
 impl OrderRequest {
     /// A request ordering an inline MatrixMarket payload.
@@ -489,10 +498,17 @@ fn order_request_from_json(v: &Json) -> Result<OrderRequest, ProtoError> {
     };
     let threads = match v.get("threads") {
         None => None,
-        Some(t) => Some(
-            t.as_u64()
-                .ok_or_else(|| shape("threads must be an integer"))? as usize,
-        ),
+        Some(t) => {
+            let t = t
+                .as_u64()
+                .ok_or_else(|| shape("threads must be an integer"))?;
+            if t > MAX_REQUEST_THREADS as u64 {
+                return Err(shape(format!(
+                    "threads must be at most {MAX_REQUEST_THREADS}"
+                )));
+            }
+            Some(t as usize)
+        }
     };
     Ok(OrderRequest {
         alg,
@@ -566,6 +582,20 @@ mod tests {
         let line = encode_request(&req);
         assert!(!line.contains('\n'));
         assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn absurd_threads_rejected_at_decode() {
+        let ok = format!(
+            r#"{{"cmd":"ORDER","path":"/m.mtx","threads":{MAX_REQUEST_THREADS}}}"#
+        );
+        assert!(decode_request(&ok).is_ok());
+        let too_big = format!(
+            r#"{{"cmd":"ORDER","path":"/m.mtx","threads":{}}}"#,
+            MAX_REQUEST_THREADS + 1
+        );
+        assert!(decode_request(&too_big).is_err());
+        assert!(decode_request(r#"{"cmd":"ORDER","path":"/m.mtx","threads":1000000}"#).is_err());
     }
 
     #[test]

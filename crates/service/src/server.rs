@@ -330,7 +330,15 @@ fn execute_order(shared: &Shared, req: &OrderRequest) -> OrderOutcome {
         }
         None => {
             shared.metrics.inc(&shared.metrics.cache_misses);
-            let threads = req.threads.unwrap_or(shared.solver_threads);
+            // Clamp the client-supplied thread count to the machine's actual
+            // parallelism: `0` keeps its "all cores" meaning, anything else
+            // is capped so a hostile request can't make the server spawn an
+            // unbounded number of OS threads. (Decode already rejects values
+            // above `MAX_REQUEST_THREADS` as malformed.)
+            let threads = match req.threads.unwrap_or(shared.solver_threads) {
+                0 => 0,
+                t => t.min(sparsemat::par::available_threads()),
+            };
             let solver = se_order::SolverOpts::with_threads(threads);
             let o = match se_order::order_with(&g, req.alg, &solver) {
                 Ok(o) => o,

@@ -10,6 +10,12 @@
 //!    condvar. Each parallel region publishes one job to a shared injector
 //!    slot; workers (and the caller, which always participates) claim fixed
 //!    chunks of the index space from an atomic counter until it runs dry.
+//!    There is exactly one injector slot, so whole regions are serialized
+//!    through a region lock: concurrent calls on clones of one pool queue up
+//!    and run one region at a time (each still using every worker). A panic
+//!    inside a region body is captured, the region runs to completion on the
+//!    remaining threads, and the panic resumes on the calling thread — the
+//!    pool itself stays fully usable afterwards.
 //!
 //! 2. **Bit-reproducibility** — floating-point addition is not associative,
 //!    so a naive parallel dot product would return different last bits from
@@ -118,6 +124,9 @@ struct Shared {
     job: Option<Job>,
     /// Workers still running the current job.
     active: usize,
+    /// First panic payload captured from a worker during the current region;
+    /// re-raised on the publishing caller once the region has drained.
+    panic: Option<Box<dyn std::any::Any + Send>>,
     shutdown: bool,
 }
 
@@ -151,11 +160,22 @@ fn worker_loop(core: Arc<Core>) {
                 st = core.work_cv.wait(st).unwrap();
             }
         };
-        if let Some(j) = job {
+        // Catch panics so `active` is always decremented (a lost decrement
+        // would hang the publishing caller forever) and the worker survives
+        // to serve later regions. The payload is re-raised on the caller.
+        let panic = job.and_then(|j| {
             // SAFETY: see `Job` — the closure outlives the job and is Sync.
-            unsafe { (j.call)(j.ctx) };
-        }
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                (j.call)(j.ctx)
+            }))
+            .err()
+        });
         let mut st = core.state.lock().unwrap();
+        if let Some(p) = panic {
+            if st.panic.is_none() {
+                st.panic = Some(p);
+            }
+        }
         st.active -= 1;
         if st.active == 0 {
             core.done_cv.notify_all();
@@ -167,6 +187,11 @@ struct PoolHandle {
     core: Arc<Core>,
     /// Worker thread count, excluding the participating caller.
     extra: usize,
+    /// Serializes whole parallel regions. The pool is `Clone + Sync` with a
+    /// single injector slot, so two threads publishing at once would clobber
+    /// each other's job and `active` count; `execute` holds this lock for
+    /// its entire duration instead, making concurrent callers queue up.
+    region: Mutex<()>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -174,7 +199,21 @@ impl PoolHandle {
     /// Runs `f` simultaneously on every worker and on the calling thread,
     /// returning once all of them have finished. `f` must partition its own
     /// work (the pool's loops use an atomic chunk counter for that).
+    ///
+    /// Safe under concurrent use: the whole region runs under `self.region`.
+    /// If `f` panics on any thread, every thread still finishes the region
+    /// (the atomic chunk counter drains normally on the others) and the
+    /// panic then resumes on the calling thread with the pool intact.
     fn execute<F: Fn() + Sync>(&self, f: &F) {
+        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+        // A poisoned region lock only means a previous region panicked, and
+        // panics are re-raised below *after* the region fully drained and
+        // the job slot was cleared — the shared state is consistent, so the
+        // lock is safe to reclaim.
+        let _region = self
+            .region
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         unsafe fn shim<F: Fn() + Sync>(ctx: *const ()) {
             // SAFETY: `ctx` was produced from `&F` below and is still live.
             unsafe { (*(ctx as *const F))() }
@@ -191,16 +230,36 @@ impl PoolHandle {
         self.core.work_cv.notify_all();
         // Participate, with the nesting guard up: if `f` itself enters the
         // pool it must run that region inline rather than publish a second
-        // job while this one is still active.
-        IN_POOL_REGION.with(|g| g.set(true));
-        f();
-        IN_POOL_REGION.with(|g| g.set(false));
-        let mut st = self.core.state.lock().unwrap();
-        while st.active != 0 {
-            st = self.core.done_cv.wait(st).unwrap();
+        // job while this one is still active. The guard restores the flag
+        // even when `f` panics.
+        struct FlagGuard(bool);
+        impl Drop for FlagGuard {
+            fn drop(&mut self) {
+                IN_POOL_REGION.with(|g| g.set(self.0));
+            }
         }
-        // The context pointer dangles once we return; drop the job now.
-        st.job = None;
+        let caller = {
+            let _flag = FlagGuard(IN_POOL_REGION.with(|g| g.replace(true)));
+            catch_unwind(AssertUnwindSafe(|| f()))
+        };
+        let worker_panic = {
+            let mut st = self.core.state.lock().unwrap();
+            while st.active != 0 {
+                st = self.core.done_cv.wait(st).unwrap();
+            }
+            // The context pointer dangles once we return; drop the job now.
+            st.job = None;
+            st.panic.take()
+        };
+        // Re-raise only here, once every thread has left the region and the
+        // job slot is cleared — `f`'s stack frame must never be reachable
+        // after this frame unwinds.
+        if let Err(p) = caller {
+            resume_unwind(p);
+        }
+        if let Some(p) = worker_panic {
+            resume_unwind(p);
+        }
     }
 }
 
@@ -252,6 +311,13 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 /// a pool can be embedded in solver option structs and passed down a call
 /// tree. The default value is the serial pool.
 ///
+/// Concurrent use is safe but serialized: all clones share one region lock,
+/// so parallel regions issued from several threads at once run one after
+/// another (each still fanned out over every worker). For independent
+/// concurrent workloads, give each its own `TaskPool::new`. A panic inside
+/// a region body propagates to the thread that issued the region; the pool
+/// remains usable afterwards.
+///
 /// Worker threads are joined when the last clone is dropped.
 ///
 /// ```
@@ -300,6 +366,7 @@ impl TaskPool {
                 seq: 0,
                 job: None,
                 active: 0,
+                panic: None,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -318,6 +385,7 @@ impl TaskPool {
             inner: Some(Arc::new(PoolHandle {
                 core,
                 extra,
+                region: Mutex::new(()),
                 workers,
             })),
         }
@@ -653,6 +721,48 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn concurrent_regions_on_shared_pool() {
+        // Several threads hammering clones of one pool must serialize
+        // through the region lock instead of corrupting the injector slot.
+        let pool = TaskPool::new(4);
+        let a = test_vec(50_000, 0.23);
+        let expected = det_dot(&a, &a).to_bits();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = pool.clone();
+                let a = &a;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(p.dot(a, a).to_bits(), expected);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panicking_region_propagates_and_pool_survives() {
+        let pool = TaskPool::new(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_chunks(20_000, 256, |s, _| {
+                if s == 0 {
+                    panic!("chunk failed");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "region panic must reach the caller");
+        // The pool must stay fully usable: workers alive, caller's nesting
+        // flag restored (so this region still goes parallel), bits intact.
+        let a = test_vec(20_000, 0.19);
+        assert_eq!(pool.dot(&a, &a).to_bits(), det_dot(&a, &a).to_bits());
+        let hits = AtomicUsize::new(0);
+        pool.run_chunks(20_000, 256, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 20_000usize.div_ceil(256));
     }
 
     #[test]
