@@ -1,0 +1,152 @@
+//! Service throughput report — cache-hit serving rate and permutation
+//! encode cost, NDJSON vs binary frames.
+//!
+//! Two measurements, written to `BENCH_service.json`:
+//!
+//! 1. **Encode timings** (no sockets): serialize the same ORDER response
+//!    repeatedly in NDJSON mode, NDJSON with the cache's pre-rendered text,
+//!    and binary frame mode, for a range of permutation sizes. This isolates
+//!    the payload cost the frame format was built to remove.
+//! 2. **Cache-hit throughput** (real loopback server): warm the cache with
+//!    one ORDER, then hammer the identical request over one connection in
+//!    NDJSON and in binary mode and report requests/second. Every response
+//!    is checked to carry the same permutation, so the two rates are
+//!    measuring byte plumbing, not different work.
+//!
+//! Run with `cargo run -p se-bench --release --bin service_report`.
+
+use se_service::proto::{
+    encode_response_framed, EncodedPerm, MatrixFormat, MatrixSource, OrderRequest, OrderResponse,
+    PermPayload, Response,
+};
+use se_service::{serve, Client, Config, FrameMode};
+use sparsemat::envelope::EnvelopeStats;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ENCODE_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+const ENCODE_REPS: usize = 50;
+const HIT_REQUESTS: usize = 300;
+
+fn sample_response(perm: PermPayload, n: usize) -> Response {
+    Response::Order(OrderResponse {
+        alg: "SPECTRAL".to_string(),
+        n,
+        nnz: 3 * n,
+        stats: EnvelopeStats {
+            envelope_size: 10 * n as u64,
+            envelope_work: 100 * n as u64,
+            bandwidth: 64,
+            one_sum: 9 * n as u64,
+            two_sum_sq: 81 * n as u64,
+        },
+        perm: Some(perm),
+        cache_hit: true,
+        micros: 1,
+        compression_ratio: None,
+    })
+}
+
+/// Best-of-`ENCODE_REPS` seconds to encode `resp` under `mode`.
+fn best_encode_secs(resp: &Response, mode: FrameMode) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..ENCODE_REPS {
+        let t0 = Instant::now();
+        let (line, frames) = encode_response_framed(resp, mode);
+        std::hint::black_box((line, frames));
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn encode_block() -> Vec<String> {
+    let mut rows = Vec::new();
+    for n in ENCODE_SIZES {
+        // Reversed so the digits are mostly wide (worst-ish case for base 10).
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let plain = sample_response(PermPayload::Plain(perm.clone()), n);
+        let cached = sample_response(PermPayload::Cached(Arc::new(EncodedPerm::new(perm))), n);
+        let ndjson = best_encode_secs(&plain, FrameMode::Ndjson);
+        let ndjson_cached = best_encode_secs(&cached, FrameMode::Ndjson);
+        let binary = best_encode_secs(&plain, FrameMode::Binary);
+        let binary_cached = best_encode_secs(&cached, FrameMode::Binary);
+        println!(
+            "  n = {n:>7}: ndjson {:>9.1} µs | ndjson(cached) {:>9.1} µs | \
+             binary {:>9.1} µs | binary(cached) {:>9.1} µs",
+            ndjson * 1e6,
+            ndjson_cached * 1e6,
+            binary * 1e6,
+            binary_cached * 1e6,
+        );
+        rows.push(format!(
+            "{{\"n\":{n},\"ndjson_secs\":{ndjson:.9},\"ndjson_cached_secs\":{ndjson_cached:.9},\
+             \"binary_secs\":{binary:.9},\"binary_cached_secs\":{binary_cached:.9}}}"
+        ));
+    }
+    rows
+}
+
+/// Requests/second serving the same cache-hit ORDER over one connection.
+fn hit_throughput(mode: FrameMode) -> (f64, usize) {
+    let handle = serve(Config::default()).expect("bind ephemeral port");
+    let addr = handle.local_addr();
+    let g = meshgen::grid2d(60, 50); // n = 3000 — a mid-size permutation
+    let req = || OrderRequest {
+        alg: se_order::Algorithm::Rcm,
+        source: MatrixSource::Inline {
+            format: MatrixFormat::Chaco,
+            payload: sparsemat::io::write_chaco_string(&g),
+        },
+        timeout_ms: None,
+        include_perm: true,
+        threads: None,
+        compressed: false,
+    };
+    let mut client = Client::connect(addr).unwrap();
+    if mode == FrameMode::Binary {
+        client.hello(FrameMode::Binary).unwrap();
+    }
+    let warm = client.order(req()).unwrap();
+    assert!(!warm.cache_hit);
+    let n = warm.perm.as_ref().unwrap().order().len();
+
+    let t0 = Instant::now();
+    for _ in 0..HIT_REQUESTS {
+        let r = client.order(req()).unwrap();
+        debug_assert!(r.cache_hit);
+        assert_eq!(r.perm.as_ref().unwrap().order().len(), n);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    client.shutdown().unwrap();
+    handle.join();
+    (HIT_REQUESTS as f64 / secs, n)
+}
+
+fn main() {
+    println!("==== spectral-orderd serving cost: NDJSON vs binary frames ====\n");
+    println!("encode-only timings (best of {ENCODE_REPS}):");
+    let encode_rows = encode_block();
+
+    println!("\ncache-hit throughput ({HIT_REQUESTS} loopback requests, n = 3000):");
+    let (ndjson_rps, n) = hit_throughput(FrameMode::Ndjson);
+    println!("  ndjson: {ndjson_rps:>9.1} req/s");
+    let (binary_rps, _) = hit_throughput(FrameMode::Binary);
+    println!("  binary: {binary_rps:>9.1} req/s");
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"note\": \"encode timings are best-of-{ENCODE_REPS} serializations of one ORDER \
+         response; throughput is cache-hit requests/second over one loopback connection, \
+         permutation length {n}; the request payload (the matrix text) is identical in both \
+         modes, so the delta is response-side perm encoding + transfer\",\n  \
+         \"encode\": [\n    {}\n  ],\n  \
+         \"cache_hit_throughput\": {{\"perm_len\":{n},\"requests\":{HIT_REQUESTS},\
+         \"ndjson_rps\":{ndjson_rps:.1},\"binary_rps\":{binary_rps:.1}}}\n}}\n",
+        encode_rows.join(",\n    ")
+    );
+    let path = "BENCH_service.json";
+    std::fs::write(path, &out).expect("write BENCH_service.json");
+    println!("\nwrote {path}");
+}

@@ -16,15 +16,18 @@
 //!   --spy <file.pgm>   write a spy plot of the reordered matrix
 //!
 //! spectral-order serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!                      [--cache-mb N] [--timeout-ms N] [--threads N]
+//!                      [--cache-mb N] [--shards N] [--cache-dir PATH]
+//!                      [--max-conns N] [--timeout-ms N] [--threads N]
 //!   run the spectral-orderd ordering daemon in the foreground
 //!
 //! spectral-order client --addr HOST:PORT <matrix>... [--alg NAME] [--no-perm]
-//!                      [--threads N]
+//!                      [--threads N] [--compressed] [--binary]
 //! spectral-order client --addr HOST:PORT --stats
 //! spectral-order client --addr HOST:PORT --shutdown
 //!   talk to a running daemon: one file sends ORDER, several send one
-//!   pipelined BATCH; responses are printed as JSON lines
+//!   pipelined BATCH; responses are printed as JSON lines. `--binary`
+//!   negotiates binary permutation frames for the transfer (the printed
+//!   JSON is identical either way).
 //! ```
 //!
 //! Input format by extension: `.mtx` MatrixMarket, `.graph` Chaco/METIS
@@ -50,9 +53,10 @@ fn usage() -> ExitCode {
          [--compare] [--compressed] [--metrics] [--json] [--out FILE.mtx] [--perm FILE.txt] \
          [--spy FILE.pgm]\n\
          \x20      spectral-order serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--cache-mb N] [--timeout-ms N] [--threads N]\n\
+         [--cache-mb N] [--shards N] [--cache-dir PATH] [--max-conns N] [--timeout-ms N] \
+         [--threads N]\n\
          \x20      spectral-order client --addr HOST:PORT (<matrix>... [--alg NAME] [--no-perm] \
-         [--threads N] | --stats | --shutdown)"
+         [--threads N] [--compressed] [--binary] | --stats | --shutdown)"
     );
     ExitCode::from(2)
 }
@@ -159,10 +163,12 @@ fn main() -> ExitCode {
 
     let t0 = Instant::now();
     let solver = SolverOpts::with_threads(threads);
+    let mut compression_ratio = None;
     let ordering = if compressed {
         match spectral_env::reorder_pattern_compressed_with(&g, alg, &solver) {
             Ok((o, ratio)) => {
                 eprintln!("supervariable compression ratio: {ratio:.2}");
+                compression_ratio = Some(ratio);
                 o
             }
             Err(e) => {
@@ -186,9 +192,10 @@ fn main() -> ExitCode {
             n: g.n(),
             nnz: g.nnz_lower_with_diagonal(),
             stats: ordering.stats,
-            perm: Some(ordering.perm.order().to_vec()),
+            perm: Some(ordering.perm.order().to_vec().into()),
             cache_hit: false,
             micros: t0.elapsed().as_micros() as u64,
+            compression_ratio,
         });
         println!("{}", encode_response(&resp));
     } else {
@@ -274,6 +281,18 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Some(v) => cfg.cache_budget_bytes = v << 20,
                 None => return usage(),
             },
+            "--shards" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.cache_shards = v,
+                _ => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(v) => cfg.cache_dir = Some(v.into()),
+                None => return usage(),
+            },
+            "--max-conns" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.max_conns = v,
+                _ => return usage(),
+            },
             "--timeout-ms" => match num(&mut it) {
                 Some(v) if v > 0 => cfg.default_timeout_ms = v as u64,
                 _ => return usage(),
@@ -289,7 +308,7 @@ fn serve_main(args: &[String]) -> ExitCode {
     let handle = match se_service::serve(cfg) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("serve: cannot bind: {e}");
+            eprintln!("serve: cannot start: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -306,6 +325,8 @@ fn client_main(args: &[String]) -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut files: Vec<String> = Vec::new();
     let mut include_perm = true;
+    let mut compressed = false;
+    let mut binary = false;
     let mut stats = false;
     let mut shutdown = false;
 
@@ -325,6 +346,8 @@ fn client_main(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--no-perm" => include_perm = false,
+            "--compressed" => compressed = true,
+            "--binary" => binary = true,
             "--stats" => stats = true,
             "--shutdown" => shutdown = true,
             _ if !a.starts_with('-') => files.push(a.clone()),
@@ -340,6 +363,12 @@ fn client_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if binary {
+        if let Err(e) = client.hello(se_service::FrameMode::Binary) {
+            eprintln!("client: HELLO failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if stats {
         return match client.stats() {
@@ -388,6 +417,7 @@ fn client_main(args: &[String]) -> ExitCode {
             timeout_ms: None,
             include_perm,
             threads,
+            compressed,
         });
     }
 

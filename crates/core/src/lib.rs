@@ -155,19 +155,7 @@ pub fn reorder_pattern_compressed_with(
     alg: Algorithm,
     solver: &SolverOpts,
 ) -> Result<(Ordering, f64)> {
-    let c = se_graph::compress::compress(g);
-    let ratio = c.ratio();
-    let q_ordering = se_order::order_with(&c.quotient, alg, solver)?;
-    let perm = c.expand_ordering(&q_ordering.perm);
-    let stats = sparsemat::envelope::envelope_stats(g, &perm);
-    Ok((
-        Ordering {
-            algorithm: alg,
-            perm,
-            stats,
-        },
-        ratio,
-    ))
+    Ok(se_order::order_compressed_with(g, alg, solver)?)
 }
 
 /// Computes the Fiedler vector of a matrix's adjacency graph with the

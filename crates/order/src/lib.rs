@@ -206,6 +206,43 @@ pub fn order_with(g: &SymmetricPattern, alg: Algorithm, solver: &SolverOpts) -> 
     })
 }
 
+/// Orders `g` through **supervariable compression**: vertices with identical
+/// closed neighborhoods (multi-DOF nodes of structural matrices, like the
+/// BCSSTK* family) are merged, the quotient graph is ordered with `alg`, and
+/// the quotient ordering is expanded back to the full graph. Returns the
+/// expanded ordering (with envelope statistics evaluated on the *full*
+/// pattern) and the compression ratio `n / n_supervariables` (1.0 = nothing
+/// merged).
+///
+/// For a `d`-DOF model this runs the ordering on a graph `d×` smaller at
+/// (typically) indistinguishable envelope quality. The result generally
+/// *differs* from ordering the full graph directly, so callers that cache
+/// orderings must key on the compression flag.
+pub fn order_compressed_with(
+    g: &SymmetricPattern,
+    alg: Algorithm,
+    solver: &SolverOpts,
+) -> Result<(Ordering, f64)> {
+    let c = se_graph::compress::compress(g);
+    let ratio = c.ratio();
+    let q_ordering = order_with(&c.quotient, alg, solver)?;
+    let perm = c.expand_ordering(&q_ordering.perm);
+    let stats = envelope_stats(g, &perm);
+    Ok((
+        Ordering {
+            algorithm: alg,
+            perm,
+            stats,
+        },
+        ratio,
+    ))
+}
+
+/// [`order_compressed_with`] with the default solver configuration.
+pub fn order_compressed(g: &SymmetricPattern, alg: Algorithm) -> Result<(Ordering, f64)> {
+    order_compressed_with(g, alg, &SolverOpts::default())
+}
+
 /// Shared helper: iterate connected components (ordered by smallest member)
 /// and assemble a global ordering from per-component ones.
 ///

@@ -6,6 +6,10 @@
 //!   --workers N         worker threads (default: min(cores, 8))
 //!   --queue N           bounded job-queue capacity (default 64)
 //!   --cache-mb N        ordering-cache budget in MiB (default 32, 0 disables)
+//!   --shards N          cache shard count (default 8)
+//!   --cache-dir PATH    persist the cache to PATH (reloaded at startup)
+//!   --max-conns N       connection limit; excess clients get a retriable
+//!                       "server busy" error (default 1024)
 //!   --timeout-ms N      default per-request wall-clock timeout (default 30000)
 //! ```
 //!
@@ -18,7 +22,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spectral-orderd [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--cache-mb N] [--timeout-ms N]"
+         [--cache-mb N] [--shards N] [--cache-dir PATH] [--max-conns N] \
+         [--timeout-ms N]"
     );
     ExitCode::from(2)
 }
@@ -50,6 +55,18 @@ fn main() -> ExitCode {
                 Some(v) => cfg.cache_budget_bytes = v << 20,
                 None => return usage(),
             },
+            "--shards" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.cache_shards = v,
+                _ => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(v) => cfg.cache_dir = Some(v.into()),
+                None => return usage(),
+            },
+            "--max-conns" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.max_conns = v,
+                _ => return usage(),
+            },
             "--timeout-ms" => match num(&mut it) {
                 Some(v) if v > 0 => cfg.default_timeout_ms = v as u64,
                 _ => return usage(),
@@ -66,7 +83,7 @@ fn main() -> ExitCode {
     let handle = match se_service::serve(cfg) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("spectral-orderd: cannot bind: {e}");
+            eprintln!("spectral-orderd: cannot start: {e}");
             return ExitCode::FAILURE;
         }
     };

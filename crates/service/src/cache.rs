@@ -1,13 +1,30 @@
-//! Content-addressed ordering cache.
+//! Sharded, optionally persistent, content-addressed ordering cache.
 //!
-//! Orderings are pure functions of the sparsity pattern and the algorithm,
-//! so the cache key is an FNV-1a hash of `(n, xadj, adjncy, algorithm)`.
-//! Entries are evicted least-recently-used under a byte budget that counts
-//! the dominant allocations (the two permutation arrays).
+//! Orderings are pure functions of the sparsity pattern, the algorithm and
+//! the `compressed` flag, so the cache key is an FNV-1a hash of
+//! `(n, xadj, adjncy, algorithm, compressed)`. The key space is split into
+//! `N` contiguous key ranges, each guarded by its own mutex with its own
+//! byte budget and LRU list — concurrent requests for different patterns
+//! contend only when their keys land in the same range, instead of
+//! serializing on one global lock.
+//!
+//! Entries store the permutation **pre-encoded in both wire forms**
+//! ([`EncodedPerm`]: NDJSON array text + binary frame) behind an `Arc`, so
+//! a hit hands the session shareable bytes and skips base-10 rendering,
+//! frame building and permutation cloning entirely.
+//!
+//! With a cache directory configured, every insert is spilled to disk
+//! ([`crate::persist`]) and evictions delete their spill file; a restarted
+//! server reloads the directory and serves hits without recomputing.
 
-use se_order::{Algorithm, Ordering};
+use crate::persist::{self, PersistedEntry};
+use crate::proto::EncodedPerm;
+use se_order::Algorithm;
+use sparsemat::envelope::EnvelopeStats;
 use sparsemat::pattern::SymmetricPattern;
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// 64-bit FNV-1a over a stream of `u64` words.
 #[derive(Debug, Clone, Copy)]
@@ -42,8 +59,11 @@ impl Default for Fnv1a {
     }
 }
 
-/// Hashes a pattern + algorithm into a cache key.
-pub fn pattern_key(g: &SymmetricPattern, alg: Algorithm) -> u64 {
+/// Hashes a pattern + algorithm + compression flag into a cache key.
+/// The request's `threads` field deliberately never enters the key
+/// (orderings are bit-identical across thread counts); `compressed` does,
+/// because it changes the resulting permutation.
+pub fn pattern_key(g: &SymmetricPattern, alg: Algorithm, compressed: bool) -> u64 {
     let mut h = Fnv1a::new();
     h.write_u64(g.n() as u64);
     for &x in g.xadj() {
@@ -53,11 +73,27 @@ pub fn pattern_key(g: &SymmetricPattern, alg: Algorithm) -> u64 {
         h.write_u64(a as u64);
     }
     h.write_u64(alg as u64);
+    h.write_u64(compressed as u64);
     h.finish()
 }
 
+/// What a cache hit hands back: everything the engine needs to build a
+/// response without touching the ordering pipeline (the payload is shared,
+/// not cloned).
+#[derive(Debug, Clone)]
+pub struct CacheHit {
+    /// Envelope statistics of the cached ordering.
+    pub stats: EnvelopeStats,
+    /// The permutation, pre-encoded in both wire forms.
+    pub payload: Arc<EncodedPerm>,
+    /// Compression ratio when the entry was computed with `compressed`.
+    pub compression_ratio: Option<f64>,
+}
+
 struct Entry {
-    ordering: Ordering,
+    stats: EnvelopeStats,
+    payload: Arc<EncodedPerm>,
+    compression_ratio: Option<f64>,
     /// Collision guard: a hit must also match the pattern's coarse shape.
     n: usize,
     adjacency_len: usize,
@@ -65,105 +101,285 @@ struct Entry {
     tick: u64,
 }
 
-/// Bounded LRU cache mapping pattern hashes to orderings.
-///
-/// Not internally synchronized — the server wraps it in a `Mutex`.
-pub struct OrderingCache {
+/// Fixed per-entry bookkeeping overhead charged against the byte budget.
+const ENTRY_OVERHEAD: usize = 160;
+
+#[derive(Default)]
+struct Shard {
     entries: HashMap<u64, Entry>,
     /// tick → key, oldest first; drives LRU eviction.
     lru: BTreeMap<u64, u64>,
-    budget_bytes: usize,
     used_bytes: usize,
     next_tick: u64,
+    hits: u64,
+    misses: u64,
 }
 
-impl OrderingCache {
-    /// A cache that holds at most `budget_bytes` of permutation data.
-    /// A budget of 0 disables caching entirely.
-    pub fn new(budget_bytes: usize) -> Self {
-        OrderingCache {
-            entries: HashMap::new(),
-            lru: BTreeMap::new(),
-            budget_bytes,
-            used_bytes: 0,
-            next_tick: 0,
-        }
-    }
-
-    fn cost(ordering: &Ordering) -> usize {
-        // new_to_old + old_to_new, plus fixed per-entry overhead.
-        2 * ordering.perm.order().len() * std::mem::size_of::<usize>() + 128
-    }
-
-    /// Looks up the ordering for `(g, alg)`, refreshing its recency.
-    pub fn get(&mut self, g: &SymmetricPattern, alg: Algorithm) -> Option<Ordering> {
-        let key = pattern_key(g, alg);
-        let tick = self.next_tick;
-        let entry = self.entries.get_mut(&key)?;
-        if entry.n != g.n() || entry.adjacency_len != g.adjacency_len() {
-            return None; // hash collision — treat as a miss
-        }
-        self.lru.remove(&entry.tick);
-        entry.tick = tick;
-        self.lru.insert(tick, key);
-        self.next_tick += 1;
-        Some(entry.ordering.clone())
-    }
-
-    /// Inserts an ordering, evicting LRU entries to respect the budget.
-    /// Orderings bigger than the whole budget are not cached.
-    pub fn insert(&mut self, g: &SymmetricPattern, alg: Algorithm, ordering: &Ordering) {
-        let bytes = Self::cost(ordering);
-        if bytes > self.budget_bytes {
-            return;
-        }
-        let key = pattern_key(g, alg);
+impl Shard {
+    /// Inserts under `budget`, evicting LRU entries; returns evicted keys so
+    /// the caller can delete their spill files outside any useful work.
+    fn insert(&mut self, key: u64, entry: Entry, budget: usize) -> Vec<u64> {
+        let mut evicted = Vec::new();
         if let Some(old) = self.entries.remove(&key) {
             self.lru.remove(&old.tick);
             self.used_bytes -= old.bytes;
         }
-        while self.used_bytes + bytes > self.budget_bytes {
+        while self.used_bytes + entry.bytes > budget {
             let (&oldest_tick, &oldest_key) = self
                 .lru
                 .iter()
                 .next()
                 .expect("used_bytes > 0 implies entries");
             self.lru.remove(&oldest_tick);
-            let evicted = self
+            let gone = self
                 .entries
                 .remove(&oldest_key)
                 .expect("lru and entries agree");
-            self.used_bytes -= evicted.bytes;
+            self.used_bytes -= gone.bytes;
+            evicted.push(oldest_key);
         }
         let tick = self.next_tick;
         self.next_tick += 1;
         self.lru.insert(tick, key);
-        self.used_bytes += bytes;
-        self.entries.insert(
-            key,
-            Entry {
-                ordering: ordering.clone(),
-                n: g.n(),
-                adjacency_len: g.adjacency_len(),
-                bytes,
-                tick,
-            },
-        );
+        self.used_bytes += entry.bytes;
+        self.entries.insert(key, Entry { tick, ..entry });
+        evicted
+    }
+}
+
+/// Live counters of one cache shard, as exposed through STATS.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Cached orderings in this shard.
+    pub entries: usize,
+    /// Bytes charged against this shard's budget.
+    pub bytes: usize,
+    /// Lookups answered from this shard.
+    pub hits: u64,
+    /// Lookups this shard could not answer.
+    pub misses: u64,
+}
+
+/// A content-addressed ordering cache split into key-range shards with
+/// per-shard mutexes, LRU lists and byte budgets, optionally spilled to a
+/// directory so it survives restarts.
+pub struct ShardedOrderingCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Byte budget per shard (total budget / shard count).
+    shard_budget: usize,
+    dir: Option<PathBuf>,
+}
+
+impl ShardedOrderingCache {
+    /// An in-memory cache of `shards` key-range shards sharing
+    /// `budget_bytes` (each shard gets an equal slice). A budget of 0
+    /// disables caching entirely. `shards` is clamped to at least 1.
+    pub fn new(budget_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedOrderingCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: budget_bytes / shards,
+            dir: None,
+        }
     }
 
-    /// Number of cached orderings.
+    /// A persistent cache spilling to `dir`: the directory is created if
+    /// missing and every valid spill file in it is loaded (under the byte
+    /// budget — LRU applies during the load too, deleting files that no
+    /// longer fit).
+    pub fn open(
+        budget_bytes: usize,
+        shards: usize,
+        dir: impl Into<PathBuf>,
+    ) -> std::io::Result<Self> {
+        let dir: PathBuf = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut cache = Self::new(budget_bytes, shards);
+        cache.dir = Some(dir.clone());
+        for e in persist::load_all(&dir) {
+            cache.insert_loaded(e);
+        }
+        Ok(cache)
+    }
+
+    /// The spill directory, when persistence is on.
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.dir.as_deref()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Key-range partition: shard `⌊key · N / 2⁶⁴⌋` — contiguous ranges,
+    /// works for any shard count (not just powers of two).
+    fn shard_of(&self, key: u64) -> usize {
+        ((key as u128 * self.shards.len() as u128) >> 64) as usize
+    }
+
+    fn entry_from(
+        stats: EnvelopeStats,
+        payload: Arc<EncodedPerm>,
+        compression_ratio: Option<f64>,
+        n: usize,
+        adjacency_len: usize,
+    ) -> Entry {
+        let bytes = payload.heap_bytes() + ENTRY_OVERHEAD;
+        Entry {
+            stats,
+            payload,
+            compression_ratio,
+            n,
+            adjacency_len,
+            bytes,
+            tick: 0,
+        }
+    }
+
+    /// Looks up the ordering for `(g, alg, compressed)`, refreshing its
+    /// recency and counting the shard's hit/miss.
+    pub fn get(&self, g: &SymmetricPattern, alg: Algorithm, compressed: bool) -> Option<CacheHit> {
+        let key = pattern_key(g, alg, compressed);
+        let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
+        let tick = shard.next_tick;
+        let hit = match shard.entries.get_mut(&key) {
+            Some(e) if e.n == g.n() && e.adjacency_len == g.adjacency_len() => {
+                let old_tick = e.tick;
+                e.tick = tick;
+                let hit = CacheHit {
+                    stats: e.stats,
+                    payload: Arc::clone(&e.payload),
+                    compression_ratio: e.compression_ratio,
+                };
+                shard.lru.remove(&old_tick);
+                shard.lru.insert(tick, key);
+                shard.next_tick += 1;
+                Some(hit)
+            }
+            // Absent, or a hash collision — treat as a miss either way.
+            _ => None,
+        };
+        match hit.is_some() {
+            true => shard.hits += 1,
+            false => shard.misses += 1,
+        }
+        hit
+    }
+
+    /// Inserts an ordering, evicting LRU shard entries to respect the
+    /// shard's byte budget; with persistence on, spills the entry and
+    /// deletes evicted spill files. Orderings bigger than one shard's whole
+    /// budget are not cached. Returns the shared payload so the caller can
+    /// reuse the encoding for its own response.
+    pub fn insert(
+        &self,
+        g: &SymmetricPattern,
+        alg: Algorithm,
+        compressed: bool,
+        perm: &[usize],
+        stats: EnvelopeStats,
+        compression_ratio: Option<f64>,
+    ) -> Arc<EncodedPerm> {
+        let payload = Arc::new(EncodedPerm::new(perm.to_vec()));
+        let entry = Self::entry_from(
+            stats,
+            Arc::clone(&payload),
+            compression_ratio,
+            g.n(),
+            g.adjacency_len(),
+        );
+        if entry.bytes > self.shard_budget {
+            return payload;
+        }
+        let key = pattern_key(g, alg, compressed);
+        if let Some(dir) = &self.dir {
+            let _ = persist::save(
+                dir,
+                &PersistedEntry {
+                    key,
+                    n: g.n(),
+                    adjacency_len: g.adjacency_len(),
+                    stats,
+                    compression_ratio,
+                    perm: perm.to_vec(),
+                },
+            );
+        }
+        let evicted = {
+            let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
+            shard.insert(key, entry, self.shard_budget)
+        };
+        if let Some(dir) = &self.dir {
+            for key in evicted {
+                persist::remove(dir, key);
+            }
+        }
+        payload
+    }
+
+    /// Inserts an entry read back from disk (no re-spill; evictions during
+    /// the load still delete their files so the directory stays bounded).
+    fn insert_loaded(&self, e: PersistedEntry) {
+        let entry = Self::entry_from(
+            e.stats,
+            Arc::new(EncodedPerm::new(e.perm)),
+            e.compression_ratio,
+            e.n,
+            e.adjacency_len,
+        );
+        if entry.bytes > self.shard_budget {
+            if let Some(dir) = &self.dir {
+                persist::remove(dir, e.key);
+            }
+            return;
+        }
+        let evicted = {
+            let mut shard = self.shards[self.shard_of(e.key)].lock().unwrap();
+            shard.insert(e.key, entry, self.shard_budget)
+        };
+        if let Some(dir) = &self.dir {
+            for key in evicted {
+                persist::remove(dir, key);
+            }
+        }
+    }
+
+    /// Number of cached orderings across all shards.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().entries.len())
+            .sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Bytes currently charged against the budget.
+    /// Bytes currently charged against all shard budgets.
     pub fn used_bytes(&self) -> usize {
-        self.used_bytes
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().used_bytes)
+            .sum()
+    }
+
+    /// Per-shard counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock().unwrap();
+                ShardStats {
+                    entries: s.entries.len(),
+                    bytes: s.used_bytes,
+                    hits: s.hits,
+                    misses: s.misses,
+                }
+            })
+            .collect()
     }
 }
 
@@ -176,6 +392,17 @@ mod tests {
             .unwrap()
     }
 
+    fn insert_ordering(cache: &ShardedOrderingCache, g: &SymmetricPattern, alg: Algorithm) {
+        let o = se_order::order(g, alg).unwrap();
+        cache.insert(g, alg, false, o.perm.order(), o.stats, None);
+    }
+
+    fn entry_cost(n: usize) -> usize {
+        let g = path(n);
+        let o = se_order::order(&g, Algorithm::Rcm).unwrap();
+        Arc::new(EncodedPerm::new(o.perm.order().to_vec())).heap_bytes() + ENTRY_OVERHEAD
+    }
+
     #[test]
     fn fnv_reference_vector() {
         // FNV-1a of the empty input is the offset basis.
@@ -186,85 +413,177 @@ mod tests {
     }
 
     #[test]
-    fn key_distinguishes_pattern_and_algorithm() {
+    fn key_distinguishes_pattern_algorithm_and_compression() {
         let a = path(10);
         let b = path(11);
         assert_ne!(
-            pattern_key(&a, Algorithm::Rcm),
-            pattern_key(&b, Algorithm::Rcm)
+            pattern_key(&a, Algorithm::Rcm, false),
+            pattern_key(&b, Algorithm::Rcm, false)
         );
         assert_ne!(
-            pattern_key(&a, Algorithm::Rcm),
-            pattern_key(&a, Algorithm::Spectral)
+            pattern_key(&a, Algorithm::Rcm, false),
+            pattern_key(&a, Algorithm::Spectral, false)
+        );
+        assert_ne!(
+            pattern_key(&a, Algorithm::Rcm, false),
+            pattern_key(&a, Algorithm::Rcm, true)
         );
         assert_eq!(
-            pattern_key(&a, Algorithm::Rcm),
-            pattern_key(&path(10), Algorithm::Rcm)
+            pattern_key(&a, Algorithm::Rcm, false),
+            pattern_key(&path(10), Algorithm::Rcm, false)
         );
     }
 
     #[test]
-    fn hit_returns_identical_ordering() {
+    fn hit_returns_identical_ordering_with_both_encodings() {
         let g = path(40);
         let ordering = se_order::order(&g, Algorithm::Rcm).unwrap();
-        let mut cache = OrderingCache::new(1 << 20);
-        assert!(cache.get(&g, Algorithm::Rcm).is_none());
-        cache.insert(&g, Algorithm::Rcm, &ordering);
-        let hit = cache.get(&g, Algorithm::Rcm).expect("hit");
-        assert_eq!(hit.perm.order(), ordering.perm.order());
-        assert_eq!(hit.stats, ordering.stats);
-        assert!(cache.get(&g, Algorithm::Spectral).is_none());
+        for shards in [1, 2, 8] {
+            let cache = ShardedOrderingCache::new(1 << 20, shards);
+            assert!(cache.get(&g, Algorithm::Rcm, false).is_none());
+            cache.insert(
+                &g,
+                Algorithm::Rcm,
+                false,
+                ordering.perm.order(),
+                ordering.stats,
+                None,
+            );
+            let hit = cache.get(&g, Algorithm::Rcm, false).expect("hit");
+            assert_eq!(hit.payload.order(), ordering.perm.order());
+            assert_eq!(hit.stats, ordering.stats);
+            assert_eq!(
+                crate::frame::read_perm_frame(&mut hit.payload.frame()).unwrap(),
+                ordering.perm.order()
+            );
+            assert_eq!(
+                hit.payload.json().as_ref(),
+                crate::frame::encode_perm_json(ordering.perm.order())
+            );
+            assert!(cache.get(&g, Algorithm::Spectral, false).is_none());
+            assert!(
+                cache.get(&g, Algorithm::Rcm, true).is_none(),
+                "compressed is a different key"
+            );
+        }
     }
 
     #[test]
     fn lru_eviction_respects_budget() {
-        let ordering = se_order::order(&path(10), Algorithm::Rcm).unwrap();
-        let per_entry = OrderingCache::cost(&ordering);
-        let mut cache = OrderingCache::new(3 * per_entry);
+        let per_entry = entry_cost(10);
+        // Single shard so the budget math is exact.
+        let cache = ShardedOrderingCache::new(3 * per_entry + per_entry / 2, 1);
         let graphs: Vec<_> = (20..30).map(path).collect();
         for g in &graphs {
-            let o = se_order::order(g, Algorithm::Rcm).unwrap();
-            cache.insert(g, Algorithm::Rcm, &o);
+            insert_ordering(&cache, g, Algorithm::Rcm);
         }
-        assert!(
-            cache.len() <= 3,
-            "budget holds 3 entries, kept {}",
-            cache.len()
-        );
-        assert!(cache.used_bytes() <= 3 * per_entry);
+        assert!(cache.len() <= 3, "kept {}", cache.len());
+        assert!(cache.used_bytes() <= 3 * per_entry + per_entry / 2);
         // The newest survive, the oldest are gone.
-        assert!(cache.get(&graphs[9], Algorithm::Rcm).is_some());
-        assert!(cache.get(&graphs[0], Algorithm::Rcm).is_none());
+        assert!(cache.get(&graphs[9], Algorithm::Rcm, false).is_some());
+        assert!(cache.get(&graphs[0], Algorithm::Rcm, false).is_none());
     }
 
     #[test]
     fn get_refreshes_recency() {
-        let ordering = se_order::order(&path(10), Algorithm::Rcm).unwrap();
-        let per_entry = OrderingCache::cost(&ordering);
-        let mut cache = OrderingCache::new(2 * per_entry + per_entry / 2);
+        let per_entry = entry_cost(13);
+        let cache = ShardedOrderingCache::new(2 * per_entry + per_entry / 2, 1);
         let a = path(12);
         let b = path(13);
         let c = path(14);
         for g in [&a, &b] {
-            let o = se_order::order(g, Algorithm::Rcm).unwrap();
-            cache.insert(g, Algorithm::Rcm, &o);
+            insert_ordering(&cache, g, Algorithm::Rcm);
         }
         // Touch `a` so `b` becomes the LRU victim.
-        assert!(cache.get(&a, Algorithm::Rcm).is_some());
-        let o = se_order::order(&c, Algorithm::Rcm).unwrap();
-        cache.insert(&c, Algorithm::Rcm, &o);
-        assert!(cache.get(&a, Algorithm::Rcm).is_some());
-        assert!(cache.get(&b, Algorithm::Rcm).is_none());
-        assert!(cache.get(&c, Algorithm::Rcm).is_some());
+        assert!(cache.get(&a, Algorithm::Rcm, false).is_some());
+        insert_ordering(&cache, &c, Algorithm::Rcm);
+        assert!(cache.get(&a, Algorithm::Rcm, false).is_some());
+        assert!(cache.get(&b, Algorithm::Rcm, false).is_none());
+        assert!(cache.get(&c, Algorithm::Rcm, false).is_some());
     }
 
     #[test]
     fn zero_budget_disables_caching() {
         let g = path(10);
-        let o = se_order::order(&g, Algorithm::Rcm).unwrap();
-        let mut cache = OrderingCache::new(0);
-        cache.insert(&g, Algorithm::Rcm, &o);
+        let cache = ShardedOrderingCache::new(0, 4);
+        insert_ordering(&cache, &g, Algorithm::Rcm);
         assert!(cache.is_empty());
-        assert!(cache.get(&g, Algorithm::Rcm).is_none());
+        assert!(cache.get(&g, Algorithm::Rcm, false).is_none());
+    }
+
+    #[test]
+    fn shard_stats_count_hits_and_misses() {
+        let cache = ShardedOrderingCache::new(1 << 20, 4);
+        let g = path(25);
+        assert!(cache.get(&g, Algorithm::Rcm, false).is_none());
+        insert_ordering(&cache, &g, Algorithm::Rcm);
+        assert!(cache.get(&g, Algorithm::Rcm, false).is_some());
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), 1);
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), 1);
+        assert_eq!(stats.iter().map(|s| s.entries).sum::<usize>(), 1);
+        assert_eq!(
+            stats.iter().map(|s| s.bytes).sum::<usize>(),
+            cache.used_bytes()
+        );
+    }
+
+    #[test]
+    fn sharding_distributes_and_preserves_every_entry() {
+        let cache = ShardedOrderingCache::new(8 << 20, 8);
+        let graphs: Vec<_> = (10..42).map(path).collect();
+        for g in &graphs {
+            insert_ordering(&cache, g, Algorithm::Rcm);
+        }
+        assert_eq!(cache.len(), graphs.len());
+        for g in &graphs {
+            assert!(cache.get(g, Algorithm::Rcm, false).is_some());
+        }
+        let populated = cache.shard_stats().iter().filter(|s| s.entries > 0).count();
+        assert!(populated > 1, "FNV keys must spread across shards");
+    }
+
+    #[test]
+    fn persistence_save_load_evict_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("se-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = path(30);
+        let ordering = se_order::order(&g, Algorithm::Rcm).unwrap();
+        {
+            let cache = ShardedOrderingCache::open(1 << 20, 2, &dir).unwrap();
+            cache.insert(
+                &g,
+                Algorithm::Rcm,
+                false,
+                ordering.perm.order(),
+                ordering.stats,
+                None,
+            );
+            assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        }
+        // A fresh cache over the same directory serves the hit.
+        let reopened = ShardedOrderingCache::open(1 << 20, 2, &dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        let hit = reopened
+            .get(&g, Algorithm::Rcm, false)
+            .expect("persisted hit");
+        assert_eq!(hit.payload.order(), ordering.perm.order());
+        assert_eq!(hit.stats, ordering.stats);
+        // Shard count may change between runs without losing entries.
+        let resharded = ShardedOrderingCache::open(1 << 20, 8, &dir).unwrap();
+        assert!(resharded.get(&g, Algorithm::Rcm, false).is_some());
+        // Eviction deletes the spill file: with room for only one entry,
+        // inserting a second same-sized pattern evicts the first.
+        let per_entry = entry_cost(30);
+        let tiny = ShardedOrderingCache::open(per_entry + per_entry / 2, 1, &dir).unwrap();
+        assert_eq!(tiny.len(), 1);
+        let other = path(31);
+        insert_ordering(&tiny, &other, Algorithm::Rcm);
+        assert!(tiny.get(&g, Algorithm::Rcm, false).is_none(), "evicted");
+        let remaining = persist::load_all(&dir);
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].n, 31);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,9 +1,15 @@
 //! Blocking TCP client for `spectral-orderd`.
+//!
+//! Speaks NDJSON by default; [`Client::hello`] negotiates binary
+//! permutation frames, after which the client transparently reads the
+//! frames following each response line and hands back fully materialized
+//! [`OrderResponse`]s — callers never see the framing.
 
+use crate::frame::{read_perm_frame, FrameMode};
 use crate::json::Json;
 use crate::proto::{
-    decode_response, encode_request, ErrorResponse, OrderRequest, OrderResponse, ProtoError,
-    Request, Response,
+    decode_response, encode_request, ErrorResponse, OrderRequest, OrderResponse, PermPayload,
+    ProtoError, Request, Response,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -49,10 +55,11 @@ impl From<std::io::Error> for ClientError {
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    mode: FrameMode,
 }
 
 impl Client {
-    /// Connects to the daemon.
+    /// Connects to the daemon (NDJSON mode until [`Client::hello`]).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
@@ -60,10 +67,31 @@ impl Client {
         Ok(Client {
             writer: stream,
             reader,
+            mode: FrameMode::Ndjson,
         })
     }
 
-    /// Sends one request line and reads one response line.
+    /// Negotiates the connection's frame mode; returns the mode the server
+    /// acknowledged. `FrameMode::Binary` makes subsequent responses carry
+    /// their permutations as binary frames, which this client reads back
+    /// transparently.
+    pub fn hello(&mut self, frames: FrameMode) -> Result<FrameMode, ClientError> {
+        match self.roundtrip(&Request::Hello { frames })? {
+            Response::Hello { frames: acked } => {
+                self.mode = acked;
+                Ok(acked)
+            }
+            _ => Err(ClientError::UnexpectedResponse("a HELLO ack")),
+        }
+    }
+
+    /// The frame mode currently in effect.
+    pub fn frame_mode(&self) -> FrameMode {
+        self.mode
+    }
+
+    /// Sends one request line and reads one complete response (the line
+    /// plus, in binary mode, every frame its markers announce).
     pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
         writeln!(self.writer, "{}", encode_request(req))?;
         self.writer.flush()?;
@@ -75,11 +103,34 @@ impl Client {
                 "server closed the connection",
             )));
         }
-        let resp = decode_response(line.trim_end()).map_err(ClientError::Proto)?;
+        let mut resp = decode_response(line.trim_end()).map_err(ClientError::Proto)?;
+        self.read_frames(&mut resp)?;
         if let Response::Error(e) = resp {
             return Err(ClientError::Server(e));
         }
         Ok(resp)
+    }
+
+    /// Replaces every [`PermPayload::Framed`] marker with the permutation
+    /// read from the stream, in marker order. A no-op for frameless
+    /// responses, so it is also safe in NDJSON mode.
+    fn read_frames(&mut self, resp: &mut Response) -> Result<(), ClientError> {
+        let mut fill = |o: &mut OrderResponse| -> Result<(), ClientError> {
+            if o.perm == Some(PermPayload::Framed) {
+                o.perm = Some(PermPayload::Plain(read_perm_frame(&mut self.reader)?));
+            }
+            Ok(())
+        };
+        match resp {
+            Response::Order(o) => fill(o)?,
+            Response::Batch(items) => {
+                for item in items.iter_mut().flatten() {
+                    fill(item)?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
     }
 
     /// Orders one matrix.

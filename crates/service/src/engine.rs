@@ -1,0 +1,296 @@
+//! The engine layer: everything below the wire.
+//!
+//! Owns the [`WorkerPool`], the [`ShardedOrderingCache`], the [`Metrics`]
+//! and the shutdown state. Sessions call [`Engine::run_order`] /
+//! [`Engine::run_batch`] / [`Engine::stats_snapshot`] /
+//! [`Engine::begin_shutdown`] and never touch sockets; the transport layer
+//! never touches orderings. Connection handlers block on an `mpsc` channel
+//! with the request's wall-clock timeout while a pool worker computes.
+
+use crate::cache::ShardedOrderingCache;
+use crate::metrics::Metrics;
+use crate::pool::{SubmitError, WorkerPool};
+use crate::proto::{
+    ErrorResponse, MatrixFormat, MatrixSource, OrderRequest, OrderResponse, PermPayload,
+};
+use crate::server::Config;
+use sparsemat::pattern::SymmetricPattern;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering as AtOrd};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The result of one ORDER execution, as sessions see it.
+pub type OrderOutcome = Result<OrderResponse, ErrorResponse>;
+
+/// The compute core of the service: worker pool + sharded cache + metrics +
+/// shutdown choreography, with no knowledge of sockets or framing.
+pub struct Engine {
+    /// `None` once a SHUTDOWN has taken the pool for draining.
+    pool: Mutex<Option<WorkerPool>>,
+    cache: ShardedOrderingCache,
+    metrics: Metrics,
+    shutting_down: AtomicBool,
+    /// Set once the drain finished and the SHUTDOWN ack went out; the
+    /// accept thread waits on it so the process outlives the ack.
+    shutdown_complete: (Mutex<bool>, Condvar),
+    default_timeout: Duration,
+    solver_threads: usize,
+    /// The listener's bound address — poked by [`Engine::begin_shutdown`]
+    /// to wake the blocking accept loop.
+    addr: SocketAddr,
+}
+
+/// A submitted job: the channel its result will arrive on, plus the
+/// wall-clock deadline the session enforces.
+struct Pending {
+    rx: mpsc::Receiver<OrderOutcome>,
+    timeout: Duration,
+}
+
+impl Engine {
+    /// Builds the engine from the server configuration and the already-bound
+    /// listener address. Fails only when a cache directory is configured and
+    /// cannot be created.
+    pub fn new(cfg: &Config, addr: SocketAddr) -> std::io::Result<Engine> {
+        let cache = match &cfg.cache_dir {
+            Some(dir) => ShardedOrderingCache::open(cfg.cache_budget_bytes, cfg.cache_shards, dir)?,
+            None => ShardedOrderingCache::new(cfg.cache_budget_bytes, cfg.cache_shards),
+        };
+        Ok(Engine {
+            pool: Mutex::new(Some(WorkerPool::new(cfg.workers, cfg.queue_capacity))),
+            cache,
+            metrics: Metrics::new(),
+            shutting_down: AtomicBool::new(false),
+            shutdown_complete: (Mutex::new(false), Condvar::new()),
+            default_timeout: Duration::from_millis(cfg.default_timeout_ms),
+            solver_threads: cfg.solver_threads,
+            addr,
+        })
+    }
+
+    /// The live metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The ordering cache (exposed for tests and the composition root).
+    pub fn cache(&self) -> &ShardedOrderingCache {
+        &self.cache
+    }
+
+    /// Whether a SHUTDOWN has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(AtOrd::SeqCst)
+    }
+
+    /// Marks the drain as finished so [`Engine::wait_shutdown_complete`]
+    /// returns.
+    pub fn mark_shutdown_complete(&self) {
+        *self.shutdown_complete.0.lock().unwrap() = true;
+        self.shutdown_complete.1.notify_all();
+    }
+
+    /// Blocks until [`Engine::mark_shutdown_complete`] has run.
+    pub fn wait_shutdown_complete(&self) {
+        let mut done = self.shutdown_complete.0.lock().unwrap();
+        while !*done {
+            done = self.shutdown_complete.1.wait(done).unwrap();
+        }
+    }
+
+    /// Stops accepting work, drains the pool, and returns how many jobs the
+    /// pool completed over its lifetime. Idempotent: later calls return 0.
+    pub fn begin_shutdown(self: &Arc<Self>) -> u64 {
+        self.shutting_down.store(true, AtOrd::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let pool = self.pool.lock().unwrap().take();
+        match pool {
+            Some(p) => p.shutdown_drain(),
+            None => 0,
+        }
+    }
+
+    /// The STATS snapshot: metrics counters + pool depth + per-shard cache
+    /// counters.
+    pub fn stats_snapshot(&self) -> crate::json::Json {
+        let (depth, active) = match self.pool.lock().unwrap().as_ref() {
+            Some(p) => (p.queue_depth(), p.active()),
+            None => (0, 0),
+        };
+        self.metrics.snapshot(
+            depth,
+            active,
+            &self.cache.shard_stats(),
+            self.cache.dir().is_some(),
+        )
+    }
+
+    /// Submits one ordering job and waits for its result under the timeout.
+    pub fn run_order(self: &Arc<Self>, req: OrderRequest) -> OrderOutcome {
+        let pending = self.submit_order(req)?;
+        self.await_order(pending)
+    }
+
+    /// Pipelined batch: submit everything first, then collect in order, so
+    /// the pool overlaps the work across its workers.
+    pub fn run_batch(self: &Arc<Self>, reqs: Vec<OrderRequest>) -> Vec<OrderOutcome> {
+        let submitted: Vec<Result<Pending, ErrorResponse>> =
+            reqs.into_iter().map(|r| self.submit_order(r)).collect();
+        submitted
+            .into_iter()
+            .map(|slot| slot.and_then(|pending| self.await_order(pending)))
+            .collect()
+    }
+
+    fn submit_order(self: &Arc<Self>, req: OrderRequest) -> Result<Pending, ErrorResponse> {
+        self.metrics.inc(&self.metrics.orders);
+        let timeout = req
+            .timeout_ms
+            .map_or(self.default_timeout, Duration::from_millis);
+        let (tx, rx) = mpsc::channel::<OrderOutcome>();
+        let job_engine = Arc::clone(self);
+        let submit = {
+            let guard = self.pool.lock().unwrap();
+            match guard.as_ref() {
+                Some(pool) => pool.try_submit(Box::new(move || {
+                    // The receiver may have timed out and gone; ignore send
+                    // errors.
+                    let _ = tx.send(job_engine.execute_order(&req));
+                })),
+                None => Err(SubmitError::ShuttingDown),
+            }
+        };
+        match submit {
+            Ok(()) => Ok(Pending { rx, timeout }),
+            Err(SubmitError::QueueFull) => {
+                self.metrics.inc(&self.metrics.queue_rejections);
+                Err(ErrorResponse::retriable("queue full, retry later"))
+            }
+            Err(SubmitError::ShuttingDown) => {
+                self.metrics.inc(&self.metrics.errors);
+                Err(ErrorResponse::fatal("server is shutting down"))
+            }
+        }
+    }
+
+    fn await_order(&self, pending: Pending) -> OrderOutcome {
+        match pending.rx.recv_timeout(pending.timeout) {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.metrics.inc(&self.metrics.timeouts);
+                Err(ErrorResponse::retriable("request timed out"))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.metrics.inc(&self.metrics.errors);
+                Err(ErrorResponse::fatal("worker dropped the request"))
+            }
+        }
+    }
+
+    /// Worker-side execution: parse, consult the cache, order, record
+    /// metrics. A hit returns the cache's pre-encoded payload
+    /// ([`PermPayload::Cached`]) so the session writes the stored bytes
+    /// without re-encoding; a miss inserts and reuses the freshly encoded
+    /// payload the same way.
+    fn execute_order(&self, req: &OrderRequest) -> OrderOutcome {
+        let t0 = Instant::now();
+        let g = match load_pattern(&req.source) {
+            Ok(g) => g,
+            Err(e) => {
+                self.metrics.inc(&self.metrics.errors);
+                return Err(e);
+            }
+        };
+        let (stats, payload, compression_ratio, cache_hit) =
+            match self.cache.get(&g, req.alg, req.compressed) {
+                Some(hit) => {
+                    self.metrics.inc(&self.metrics.cache_hits);
+                    (hit.stats, hit.payload, hit.compression_ratio, true)
+                }
+                None => {
+                    self.metrics.inc(&self.metrics.cache_misses);
+                    // Clamp the client-supplied thread count to the machine's
+                    // actual parallelism: `0` keeps its "all cores" meaning,
+                    // anything else is capped so a hostile request can't make
+                    // the server spawn an unbounded number of OS threads.
+                    // (Decode already rejects values above
+                    // `MAX_REQUEST_THREADS` as malformed.)
+                    let threads = match req.threads.unwrap_or(self.solver_threads) {
+                        0 => 0,
+                        t => t.min(sparsemat::par::available_threads()),
+                    };
+                    let solver = se_order::SolverOpts::with_threads(threads);
+                    let computed = if req.compressed {
+                        se_order::order_compressed_with(&g, req.alg, &solver)
+                            .map(|(o, ratio)| (o, Some(ratio)))
+                    } else {
+                        se_order::order_with(&g, req.alg, &solver).map(|o| (o, None))
+                    };
+                    let (o, ratio) = match computed {
+                        Ok(v) => v,
+                        Err(e) => {
+                            self.metrics.inc(&self.metrics.errors);
+                            return Err(ErrorResponse::fatal(format!(
+                                "{} ordering failed: {e}",
+                                req.alg.name()
+                            )));
+                        }
+                    };
+                    let payload = self.cache.insert(
+                        &g,
+                        req.alg,
+                        req.compressed,
+                        o.perm.order(),
+                        o.stats,
+                        ratio,
+                    );
+                    (o.stats, payload, ratio, false)
+                }
+            };
+        let micros = t0.elapsed().as_micros() as u64;
+        self.metrics.record_latency(req.alg.name(), micros);
+        Ok(OrderResponse {
+            alg: req.alg.name().to_string(),
+            n: g.n(),
+            nnz: g.nnz_lower_with_diagonal(),
+            stats,
+            perm: req.include_perm.then_some(PermPayload::Cached(payload)),
+            cache_hit,
+            micros,
+            compression_ratio,
+        })
+    }
+}
+
+/// Loads the matrix pattern from an ORDER request's source.
+fn load_pattern(source: &MatrixSource) -> Result<SymmetricPattern, ErrorResponse> {
+    let fatal =
+        |e: &dyn std::fmt::Display| ErrorResponse::fatal(format!("cannot read matrix: {e}"));
+    let from_csr = |m: sparsemat::csr::CsrMatrix| {
+        m.symmetrize()
+            .and_then(|s| s.pattern())
+            .map_err(|e| fatal(&e))
+    };
+    match source {
+        MatrixSource::Inline { format, payload } => match format {
+            MatrixFormat::MatrixMarket => sparsemat::io::read_matrix_market_str(payload)
+                .map_err(|e| fatal(&e))
+                .and_then(from_csr),
+            MatrixFormat::Chaco => sparsemat::io::read_chaco_str(payload).map_err(|e| fatal(&e)),
+            MatrixFormat::HarwellBoeing => sparsemat::io::read_harwell_boeing_str(payload)
+                .map_err(|e| fatal(&e))
+                .and_then(from_csr),
+        },
+        MatrixSource::Path(path) => match MatrixFormat::from_path(path) {
+            MatrixFormat::MatrixMarket => sparsemat::io::read_matrix_market(path)
+                .map_err(|e| fatal(&e))
+                .and_then(from_csr),
+            MatrixFormat::Chaco => sparsemat::io::read_chaco(path).map_err(|e| fatal(&e)),
+            MatrixFormat::HarwellBoeing => sparsemat::io::read_harwell_boeing(path)
+                .map_err(|e| fatal(&e))
+                .and_then(from_csr),
+        },
+    }
+}

@@ -7,6 +7,7 @@
 //! preserved so responses are stable and diffable in tests.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +24,13 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object; insertion order is preserved.
     Obj(Vec<(String, Json)>),
+    /// Pre-rendered JSON text spliced verbatim into the output.
+    ///
+    /// Never produced by [`parse`]; the writer emits the text as-is, so the
+    /// caller is responsible for it being valid single-line JSON. The cache
+    /// fast path uses this to reuse a permutation array rendered once at
+    /// insert time (shared via `Arc`, so splicing is O(1) in allocations).
+    Raw(Arc<str>),
 }
 
 impl Json {
@@ -104,6 +112,7 @@ impl Json {
                 }
             }
             Json::Str(s) => write_escaped(out, s),
+            Json::Raw(text) => out.push_str(text),
             Json::Arr(items) => {
                 out.push('[');
                 for (i, item) in items.iter().enumerate() {
@@ -446,6 +455,22 @@ mod tests {
     fn deep_nesting_is_rejected_not_crashing() {
         let s = "[".repeat(100_000);
         assert!(parse(&s).is_err());
+    }
+
+    #[test]
+    fn raw_splices_verbatim() {
+        let v = Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("perm", Json::Raw("[2,0,1]".into())),
+        ]);
+        let s = v.to_string_compact();
+        assert_eq!(s, r#"{"ok":true,"perm":[2,0,1]}"#);
+        // The spliced output parses back to the plain equivalent.
+        let back = parse(&s).unwrap();
+        assert_eq!(
+            back.get("perm").and_then(Json::as_arr).map(|a| a.len()),
+            Some(3)
+        );
     }
 
     #[test]

@@ -3,32 +3,46 @@
 //! Computing an envelope-reducing ordering is expensive relative to using
 //! one, and in iterative workflows (mesh refinement loops, repeated solves,
 //! parameter sweeps) the same sparsity pattern is ordered again and again.
-//! This crate turns the ordering pipeline into a small daemon:
+//! This crate turns the ordering pipeline into a small daemon, layered as
+//! **transport / session / engine**:
 //!
-//! * **std-only TCP server** ([`server::serve`]) speaking newline-delimited
-//!   JSON ([`proto`]) — commands `ORDER`, `BATCH`, `STATS`, `SHUTDOWN`;
-//! * **content-addressed cache** ([`cache`]): orderings are pure functions
-//!   of the sparsity pattern + algorithm, so results are keyed by an FNV-1a
-//!   hash of the CSR structure and reused across requests (bounded LRU);
-//! * **bounded worker pool** ([`pool`]) with explicit backpressure — when
-//!   the queue is full the client gets a retriable `queue full` error
-//!   instead of unbounded latency — and graceful drain on shutdown;
-//! * **live metrics** ([`metrics`]): atomic counters and per-algorithm
-//!   power-of-two latency histograms, exposed via `STATS`;
-//! * **blocking client** ([`client::Client`]) used by `spectral-order
-//!   client` and the test harness.
+//! * **transport** ([`transport`]) — socket accept, the connection limit
+//!   (excess connections get one retriable `server busy` line), and
+//!   line/frame byte plumbing;
+//! * **session** ([`session`]) — the per-connection protocol loop: decode a
+//!   request line, dispatch, encode the response under the connection's
+//!   negotiated frame mode (`HELLO` opts into binary permutation frames,
+//!   [`frame`]);
+//! * **engine** ([`engine`]) — the compute core: a bounded worker pool
+//!   ([`pool`]) with explicit backpressure and graceful drain, live metrics
+//!   ([`metrics`]), and the sharded content-addressed ordering cache
+//!   ([`cache`]) storing pre-encoded responses, optionally spilled to disk
+//!   ([`persist`]) so a restarted server keeps serving hits;
+//! * [`server`] is the thin composition root wiring the three together, and
+//!   [`client::Client`] the blocking client used by `spectral-order client`
+//!   and the test harness.
 //!
-//! Everything is built on `std` alone (`std::net`, threads, channels); the
-//! JSON layer ([`json`]) is hand-rolled so the service adds no external
-//! dependencies to the workspace.
+//! The wire protocol ([`proto`]) is newline-delimited JSON — commands
+//! `HELLO`, `ORDER`, `BATCH`, `STATS`, `SHUTDOWN` — with optional
+//! length-prefixed binary permutation frames after HELLO negotiation.
+//! Responses are bit-identical in content across both frame modes and any
+//! shard count. Everything is built on `std` alone (`std::net`, threads,
+//! channels); the JSON layer ([`json`]) is hand-rolled so the service adds
+//! no external dependencies to the workspace.
 
 pub mod cache;
 pub mod client;
+pub mod engine;
+pub mod frame;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 pub mod pool;
 pub mod proto;
 pub mod server;
+pub mod session;
+pub mod transport;
 
 pub use client::{Client, ClientError};
+pub use frame::FrameMode;
 pub use server::{serve, Config, ServerHandle};

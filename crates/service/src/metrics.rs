@@ -88,6 +88,8 @@ pub struct Metrics {
     pub errors: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Connections turned away at the limit with a retriable busy error.
+    pub busy_rejections: AtomicU64,
     /// name() → latency histogram, one per algorithm seen.
     latency: Mutex<Vec<(String, Histogram)>>,
 }
@@ -126,9 +128,18 @@ impl Metrics {
             .map_or(0, |(_, h)| h.count())
     }
 
-    /// Snapshot as the STATS JSON object. `queue_depth`/`active`/`cached`
-    /// come from the caller because they live in the pool and cache.
-    pub fn snapshot(&self, queue_depth: usize, active: usize, cached_entries: usize) -> Json {
+    /// Snapshot as the STATS JSON object. `queue_depth`/`active` come from
+    /// the pool; `cache` holds the sharded cache's per-shard counters. The
+    /// legacy `cached_orderings` total stays at the top level; the `cache`
+    /// object adds `shards` (an array, one object per shard, in shard
+    /// order), total bytes, and whether persistence is on.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        active: usize,
+        cache: &[crate::cache::ShardStats],
+        persistent: bool,
+    ) -> Json {
         let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
         let table = self.latency.lock().unwrap();
         let mut latency: Vec<(String, Json)> = table
@@ -136,6 +147,24 @@ impl Metrics {
             .map(|(name, h)| (name.clone(), h.to_json()))
             .collect();
         latency.sort_by(|a, b| a.0.cmp(&b.0));
+        let shard_json = |s: &crate::cache::ShardStats| {
+            Json::obj(vec![
+                ("entries", Json::Num(s.entries as f64)),
+                ("bytes", Json::Num(s.bytes as f64)),
+                ("hits", Json::Num(s.hits as f64)),
+                ("misses", Json::Num(s.misses as f64)),
+            ])
+        };
+        let cached_entries: usize = cache.iter().map(|s| s.entries).sum();
+        let cache_obj = Json::obj(vec![
+            ("shard_count", Json::Num(cache.len() as f64)),
+            (
+                "bytes",
+                Json::Num(cache.iter().map(|s| s.bytes).sum::<usize>() as f64),
+            ),
+            ("persistent", Json::Bool(persistent)),
+            ("shards", Json::Arr(cache.iter().map(shard_json).collect())),
+        ]);
         Json::obj(vec![
             ("requests", load(&self.requests)),
             ("orders", load(&self.orders)),
@@ -146,9 +175,11 @@ impl Metrics {
             ("timeouts", load(&self.timeouts)),
             ("errors", load(&self.errors)),
             ("connections", load(&self.connections)),
+            ("busy_rejections", load(&self.busy_rejections)),
             ("queue_depth", Json::Num(queue_depth as f64)),
             ("active_jobs", Json::Num(active as f64)),
             ("cached_orderings", Json::Num(cached_entries as f64)),
+            ("cache", cache_obj),
             ("latency_us_by_algorithm", Json::Obj(latency)),
         ])
     }
@@ -196,12 +227,31 @@ mod tests {
         m.record_latency("RCM", 100);
         m.record_latency("RCM", 200);
         m.record_latency("SPECTRAL", 5000);
-        let snap = m.snapshot(3, 2, 1);
+        let shards = vec![
+            crate::cache::ShardStats {
+                entries: 1,
+                bytes: 640,
+                hits: 4,
+                misses: 2,
+            },
+            crate::cache::ShardStats::default(),
+        ];
+        let snap = m.snapshot(3, 2, &shards, true);
         assert_eq!(snap.get("requests").and_then(Json::as_u64), Some(1));
         assert_eq!(snap.get("cache_hits").and_then(Json::as_u64), Some(1));
         assert_eq!(snap.get("queue_depth").and_then(Json::as_u64), Some(3));
         assert_eq!(snap.get("active_jobs").and_then(Json::as_u64), Some(2));
         assert_eq!(snap.get("cached_orderings").and_then(Json::as_u64), Some(1));
+        let cache = snap.get("cache").expect("cache object");
+        assert_eq!(cache.get("shard_count").and_then(Json::as_u64), Some(2));
+        assert_eq!(cache.get("bytes").and_then(Json::as_u64), Some(640));
+        assert_eq!(cache.get("persistent"), Some(&Json::Bool(true)));
+        let Some(Json::Arr(shard_arr)) = cache.get("shards") else {
+            panic!("shards array");
+        };
+        assert_eq!(shard_arr.len(), 2);
+        assert_eq!(shard_arr[0].get("hits").and_then(Json::as_u64), Some(4));
+        assert_eq!(shard_arr[1].get("misses").and_then(Json::as_u64), Some(0));
         let by_alg = snap.get("latency_us_by_algorithm").expect("latency table");
         let rcm = by_alg.get("RCM").expect("RCM histogram");
         assert_eq!(rcm.get("count").and_then(Json::as_u64), Some(2));

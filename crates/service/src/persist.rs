@@ -1,0 +1,216 @@
+//! Spill-to-disk persistence for the sharded ordering cache.
+//!
+//! Each cache entry is one file `<key as 16 hex digits>.soc` under the
+//! cache directory, written atomically (temp file + rename) so a crash
+//! mid-write never leaves a half-entry behind. The layout reuses the wire
+//! frame for the permutation, prefixed by a fixed header (all integers
+//! little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "SOCF"
+//! 4       1     version (1)
+//! 5       3     reserved (0)
+//! 8       8     u64 cache key (FNV-1a of pattern+algorithm+compressed)
+//! 16      8     u64 n (collision guard)
+//! 24      8     u64 adjacency length (collision guard)
+//! 32      8     u64 flags: bit 0 = compression ratio present
+//! 40      8     f64 compression ratio bits (0 when absent)
+//! 48      40    EnvelopeStats: envelope_size, envelope_work, bandwidth,
+//!               one_sum, two_sum_sq (5 × u64)
+//! 88      …     permutation as one binary perm frame (see [`crate::frame`])
+//! ```
+//!
+//! A file that fails any validation (magic, version, frame integrity,
+//! key/filename mismatch) is skipped at load time — a corrupt spill file
+//! costs a recomputation, never a wrong answer.
+
+use crate::frame::{encode_perm_frame, read_perm_frame};
+use sparsemat::envelope::EnvelopeStats;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Spill-file magic: "Spectral Order Cache File".
+pub const SPILL_MAGIC: [u8; 4] = *b"SOCF";
+
+/// Spill-file format version.
+pub const SPILL_VERSION: u8 = 1;
+
+/// Extension of spill files inside the cache directory.
+pub const SPILL_EXT: &str = "soc";
+
+/// One cache entry as read back from disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedEntry {
+    /// The content-addressed cache key.
+    pub key: u64,
+    /// Matrix order (collision guard).
+    pub n: usize,
+    /// Adjacency length of the pattern (collision guard).
+    pub adjacency_len: usize,
+    /// Envelope statistics of the ordering.
+    pub stats: EnvelopeStats,
+    /// Supervariable compression ratio, when the entry was compressed.
+    pub compression_ratio: Option<f64>,
+    /// The permutation, new position → old index.
+    pub perm: Vec<usize>,
+}
+
+/// Path of the spill file for `key` inside `dir`.
+pub fn spill_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.{SPILL_EXT}"))
+}
+
+/// Writes one entry atomically (temp file + rename). Fsync is deliberately
+/// skipped: losing a spill on power failure costs one recomputation.
+pub fn save(dir: &Path, entry: &PersistedEntry) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(88 + 16 + entry.perm.len() * 8);
+    buf.extend_from_slice(&SPILL_MAGIC);
+    buf.push(SPILL_VERSION);
+    buf.extend_from_slice(&[0, 0, 0]);
+    buf.extend_from_slice(&entry.key.to_le_bytes());
+    buf.extend_from_slice(&(entry.n as u64).to_le_bytes());
+    buf.extend_from_slice(&(entry.adjacency_len as u64).to_le_bytes());
+    let flags: u64 = entry.compression_ratio.is_some() as u64;
+    buf.extend_from_slice(&flags.to_le_bytes());
+    buf.extend_from_slice(
+        &entry
+            .compression_ratio
+            .unwrap_or(0.0)
+            .to_bits()
+            .to_le_bytes(),
+    );
+    for v in [
+        entry.stats.envelope_size,
+        entry.stats.envelope_work,
+        entry.stats.bandwidth,
+        entry.stats.one_sum,
+        entry.stats.two_sum_sq,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.extend_from_slice(&encode_perm_frame(&entry.perm));
+
+    let final_path = spill_path(dir, entry.key);
+    let tmp_path = final_path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp_path)?;
+        f.write_all(&buf)?;
+    }
+    std::fs::rename(&tmp_path, &final_path)
+}
+
+/// Deletes the spill file for `key` (missing files are fine — eviction may
+/// race a never-spilled entry).
+pub fn remove(dir: &Path, key: u64) {
+    let _ = std::fs::remove_file(spill_path(dir, key));
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("bad spill file: {msg}"))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Parses one spill file.
+pub fn load(path: &Path) -> io::Result<PersistedEntry> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    let mut head = [0u8; 8];
+    f.read_exact(&mut head)?;
+    if head[0..4] != SPILL_MAGIC {
+        return Err(bad("wrong magic"));
+    }
+    if head[4] != SPILL_VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let key = read_u64(&mut f)?;
+    let n = read_u64(&mut f)? as usize;
+    let adjacency_len = read_u64(&mut f)? as usize;
+    let flags = read_u64(&mut f)?;
+    let ratio_bits = read_u64(&mut f)?;
+    let stats = EnvelopeStats {
+        envelope_size: read_u64(&mut f)?,
+        envelope_work: read_u64(&mut f)?,
+        bandwidth: read_u64(&mut f)?,
+        one_sum: read_u64(&mut f)?,
+        two_sum_sq: read_u64(&mut f)?,
+    };
+    let perm = read_perm_frame(&mut f)?;
+    if perm.len() != n {
+        return Err(bad("permutation length disagrees with header"));
+    }
+    Ok(PersistedEntry {
+        key,
+        n,
+        adjacency_len,
+        stats,
+        compression_ratio: (flags & 1 != 0).then(|| f64::from_bits(ratio_bits)),
+        perm,
+    })
+}
+
+/// Loads every valid spill file in `dir`, sorted by key for determinism.
+/// Unreadable or corrupt files are skipped (and left in place for
+/// inspection); a missing directory is an empty cache.
+pub fn load_all(dir: &Path) -> Vec<PersistedEntry> {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut entries: Vec<PersistedEntry> = rd
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some(SPILL_EXT))
+        .filter_map(|p| {
+            let entry = load(&p).ok()?;
+            // The filename is the key; a mismatch means a renamed/corrupt file.
+            (spill_path(dir, entry.key) == p).then_some(entry)
+        })
+        .collect();
+    entries.sort_by_key(|e| e.key);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(key: u64, ratio: Option<f64>) -> PersistedEntry {
+        PersistedEntry {
+            key,
+            n: 4,
+            adjacency_len: 6,
+            stats: EnvelopeStats {
+                envelope_size: 9,
+                envelope_work: 27,
+                bandwidth: 3,
+                one_sum: 12,
+                two_sum_sq: 50,
+            },
+            compression_ratio: ratio,
+            perm: vec![2, 0, 3, 1],
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("se-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = sample(0xABCD, None);
+        let b = sample(0x1234, Some(2.5));
+        save(&dir, &a).unwrap();
+        save(&dir, &b).unwrap();
+        assert_eq!(load(&spill_path(&dir, 0xABCD)).unwrap(), a);
+        let all = load_all(&dir);
+        assert_eq!(all, vec![b.clone(), a.clone()], "sorted by key");
+        remove(&dir, 0xABCD);
+        assert_eq!(load_all(&dir), vec![b]);
+        // Corrupt files are skipped, not fatal.
+        std::fs::write(spill_path(&dir, 0x9999), b"garbage").unwrap();
+        assert_eq!(load_all(&dir).len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

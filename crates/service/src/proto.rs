@@ -2,6 +2,7 @@
 //!
 //! One request per line, one response line per request line. Commands:
 //!
+//! * `HELLO` — negotiate the connection's frame mode (NDJSON or binary),
 //! * `ORDER` — order one matrix (inline payload or server-side path),
 //! * `BATCH` — a pipelined vector of ORDER requests answered in one line,
 //! * `STATS` — live metrics snapshot,
@@ -15,10 +16,17 @@
 //! The `stats` object serializes [`sparsemat::envelope::EnvelopeStats`] —
 //! the same record the `spectral-order` CLI prints with `--json`, so the
 //! service and the CLI emit identical stat records.
+//!
+//! After a `HELLO` negotiating `"frames":"binary"`, responses carrying a
+//! permutation replace `"perm":[…]` with `"perm_frame":true` and append one
+//! binary frame per marker after the line (see [`crate::frame`]). Every
+//! response is bit-identical in content across both modes.
 
+use crate::frame::{encode_perm_frame, encode_perm_json, FrameMode};
 use crate::json::{parse, Json, JsonError};
 use se_order::Algorithm;
 use sparsemat::envelope::EnvelopeStats;
+use std::sync::Arc;
 
 /// Where the matrix of an ORDER request comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +122,11 @@ pub struct OrderRequest {
     /// [`MAX_REQUEST_THREADS`], and the server additionally clamps to the
     /// machine's core count before spawning anything.
     pub threads: Option<usize>,
+    /// Order through supervariable compression: indistinguishable vertices
+    /// are merged, the quotient graph is ordered, and the result expanded
+    /// (see `se_order::order_compressed_with`). Changes the resulting
+    /// permutation, so — unlike `threads` — it **is** part of the cache key.
+    pub compressed: bool,
 }
 
 /// Upper bound accepted for the wire `threads` field.
@@ -135,6 +148,7 @@ impl OrderRequest {
             timeout_ms: None,
             include_perm: true,
             threads: None,
+            compressed: false,
         }
     }
 }
@@ -142,6 +156,11 @@ impl OrderRequest {
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Negotiate the connection's frame mode.
+    Hello {
+        /// Requested framing for subsequent responses.
+        frames: FrameMode,
+    },
     /// Order one matrix.
     Order(OrderRequest),
     /// Order several matrices, pipelined through the worker pool.
@@ -150,6 +169,91 @@ pub enum Request {
     Stats,
     /// Graceful drain and exit.
     Shutdown,
+}
+
+/// A permutation rendered once in every wire encoding, shared by the cache
+/// and response paths via `Arc` — cache hits reuse these bytes instead of
+/// re-encoding the permutation per response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedPerm {
+    perm: Vec<usize>,
+    json: Arc<str>,
+    frame: Vec<u8>,
+}
+
+impl EncodedPerm {
+    /// Renders both encodings of `perm` (NDJSON array text + binary frame).
+    pub fn new(perm: Vec<usize>) -> Self {
+        let json: Arc<str> = encode_perm_json(&perm).into();
+        let frame = encode_perm_frame(&perm);
+        EncodedPerm { perm, json, frame }
+    }
+
+    /// The permutation itself (new position → old index).
+    pub fn order(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The pre-rendered NDJSON array text `[p0,p1,…]`.
+    pub fn json(&self) -> &Arc<str> {
+        &self.json
+    }
+
+    /// The pre-rendered binary frame (header + payload).
+    pub fn frame(&self) -> &[u8] {
+        &self.frame
+    }
+
+    /// Total heap bytes this record holds (permutation + both encodings) —
+    /// what the cache charges against its byte budget.
+    pub fn heap_bytes(&self) -> usize {
+        self.perm.len() * std::mem::size_of::<usize>() + self.json.len() + self.frame.len()
+    }
+}
+
+/// The permutation payload of an ORDER response.
+///
+/// Equality compares the permutation *content*, so a served-from-cache
+/// response equals a freshly computed one.
+#[derive(Debug, Clone)]
+pub enum PermPayload {
+    /// An explicit vector — what client-side decoding always produces.
+    Plain(Vec<usize>),
+    /// A cache-resident pre-encoded permutation (server fast path).
+    Cached(Arc<EncodedPerm>),
+    /// Decode-side marker: the line said `"perm_frame":true` and the
+    /// permutation follows as a binary frame ([`crate::Client`] replaces
+    /// this with [`PermPayload::Plain`] after reading the frame). Carries no
+    /// data; [`PermPayload::order`] returns an empty slice.
+    Framed,
+}
+
+impl PermPayload {
+    /// The permutation, new position → old index (empty for
+    /// [`PermPayload::Framed`]).
+    pub fn order(&self) -> &[usize] {
+        match self {
+            PermPayload::Plain(p) => p,
+            PermPayload::Cached(e) => e.order(),
+            PermPayload::Framed => &[],
+        }
+    }
+}
+
+impl PartialEq for PermPayload {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (PermPayload::Framed, PermPayload::Framed) => true,
+            (PermPayload::Framed, _) | (_, PermPayload::Framed) => false,
+            _ => self.order() == other.order(),
+        }
+    }
+}
+
+impl From<Vec<usize>> for PermPayload {
+    fn from(v: Vec<usize>) -> Self {
+        PermPayload::Plain(v)
+    }
 }
 
 /// A successful ordering.
@@ -165,11 +269,14 @@ pub struct OrderResponse {
     pub stats: EnvelopeStats,
     /// The permutation, new position → old index (0-based); omitted when
     /// the request set `include_perm: false`.
-    pub perm: Option<Vec<usize>>,
+    pub perm: Option<PermPayload>,
     /// Whether the ordering came from the content-addressed cache.
     pub cache_hit: bool,
     /// Server-side wall-clock time for this request (µs).
     pub micros: u64,
+    /// Supervariable compression ratio (`n / n_supervariables`); present
+    /// only when the request set `compressed: true`.
+    pub compression_ratio: Option<f64>,
 }
 
 /// An error outcome.
@@ -202,6 +309,11 @@ impl ErrorResponse {
 /// Any response line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
+    /// HELLO acknowledged; `frames` is the mode now in effect.
+    Hello {
+        /// The negotiated frame mode (echoes the accepted request).
+        frames: FrameMode,
+    },
     /// ORDER result.
     Order(OrderResponse),
     /// BATCH result, one slot per sub-request, order preserved.
@@ -271,8 +383,29 @@ pub fn stats_from_json(v: &Json) -> Result<EnvelopeStats, ProtoError> {
     })
 }
 
-/// Serializes an [`OrderResponse`] body (without the `ok` flag).
-pub fn order_response_to_json(r: &OrderResponse) -> Json {
+/// A binary frame scheduled to follow a response line (binary mode only).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FramePayload {
+    /// Frame bytes rendered for this response alone.
+    Owned(Vec<u8>),
+    /// Frame bytes shared with the ordering cache (zero-copy hit path).
+    Cached(Arc<EncodedPerm>),
+}
+
+impl FramePayload {
+    /// The complete frame bytes to put on the wire.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            FramePayload::Owned(b) => b,
+            FramePayload::Cached(e) => e.frame(),
+        }
+    }
+}
+
+/// Serializes an [`OrderResponse`] body (without the `ok` flag); in binary
+/// mode the permutation is replaced by a `"perm_frame":true` marker and its
+/// frame is pushed onto `frames`.
+fn order_body_to_json(r: &OrderResponse, mode: FrameMode, frames: &mut Vec<FramePayload>) -> Json {
     let mut pairs = vec![
         ("ok", Json::Bool(true)),
         ("alg", Json::Str(r.alg.clone())),
@@ -282,27 +415,49 @@ pub fn order_response_to_json(r: &OrderResponse) -> Json {
         ("cache_hit", Json::Bool(r.cache_hit)),
         ("micros", Json::Num(r.micros as f64)),
     ];
-    if let Some(p) = &r.perm {
-        pairs.push((
-            "perm",
-            Json::Arr(p.iter().map(|&v| Json::Num(v as f64)).collect()),
-        ));
+    if let Some(ratio) = r.compression_ratio {
+        pairs.push(("compression_ratio", Json::Num(ratio)));
+    }
+    match (&r.perm, mode) {
+        (None, _) | (Some(PermPayload::Framed), _) => {}
+        (Some(p), FrameMode::Ndjson) => {
+            let raw = match p {
+                PermPayload::Cached(e) => Json::Raw(Arc::clone(e.json())),
+                other => Json::Raw(encode_perm_json(other.order()).into()),
+            };
+            pairs.push(("perm", raw));
+        }
+        (Some(p), FrameMode::Binary) => {
+            pairs.push(("perm_frame", Json::Bool(true)));
+            frames.push(match p {
+                PermPayload::Cached(e) => FramePayload::Cached(Arc::clone(e)),
+                other => FramePayload::Owned(encode_perm_frame(other.order())),
+            });
+        }
     }
     Json::obj(pairs)
 }
 
+/// Serializes an [`OrderResponse`] body in NDJSON mode (the CLI's `--json`
+/// output and the default wire form).
+pub fn order_response_to_json(r: &OrderResponse) -> Json {
+    order_body_to_json(r, FrameMode::Ndjson, &mut Vec::new())
+}
+
 fn order_response_from_json(v: &Json) -> Result<OrderResponse, ProtoError> {
-    let perm = match v.get("perm") {
-        None => None,
-        Some(arr) => {
+    let perm = match (v.get("perm"), v.get("perm_frame").and_then(Json::as_bool)) {
+        (Some(_), Some(true)) => return Err(shape("a body cannot carry both perm and perm_frame")),
+        (None, Some(true)) => Some(PermPayload::Framed),
+        (None, _) => None,
+        (Some(arr), _) => {
             let items = arr.as_arr().ok_or_else(|| shape("perm must be an array"))?;
-            Some(
+            Some(PermPayload::Plain(
                 items
                     .iter()
                     .map(|x| x.as_u64().map(|u| u as usize))
                     .collect::<Option<Vec<usize>>>()
                     .ok_or_else(|| shape("perm entries must be integers"))?,
-            )
+            ))
         }
     };
     Ok(OrderResponse {
@@ -322,6 +477,7 @@ fn order_response_from_json(v: &Json) -> Result<OrderResponse, ProtoError> {
         perm,
         cache_hit: v.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
         micros: v.get("micros").and_then(Json::as_u64).unwrap_or(0),
+        compression_ratio: v.get("compression_ratio").and_then(Json::as_f64),
     })
 }
 
@@ -333,10 +489,24 @@ fn error_to_json(e: &ErrorResponse) -> Json {
     ])
 }
 
-/// Serializes a [`Response`] to its wire line (no trailing newline).
+/// Serializes a [`Response`] to its NDJSON wire line (no trailing newline).
 pub fn encode_response(r: &Response) -> String {
+    encode_response_framed(r, FrameMode::Ndjson).0
+}
+
+/// Serializes a [`Response`] under the given frame mode: the header line
+/// (no trailing newline) plus the binary frames to send after it, in order.
+/// In NDJSON mode the frame list is always empty.
+pub fn encode_response_framed(r: &Response, mode: FrameMode) -> (String, Vec<FramePayload>) {
+    let mut frames = Vec::new();
     let v = match r {
-        Response::Order(o) => order_response_to_json(o),
+        Response::Hello { frames: mode } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("hello", Json::Bool(true)),
+            ("frames", Json::Str(mode.wire_name().to_string())),
+            ("proto", Json::Num(1.0)),
+        ]),
+        Response::Order(o) => order_body_to_json(o, mode, &mut frames),
         Response::Batch(items) => Json::obj(vec![
             ("ok", Json::Bool(true)),
             (
@@ -345,7 +515,7 @@ pub fn encode_response(r: &Response) -> String {
                     items
                         .iter()
                         .map(|item| match item {
-                            Ok(o) => order_response_to_json(o),
+                            Ok(o) => order_body_to_json(o, mode, &mut frames),
                             Err(e) => error_to_json(e),
                         })
                         .collect(),
@@ -360,7 +530,7 @@ pub fn encode_response(r: &Response) -> String {
         ]),
         Response::Error(e) => error_to_json(e),
     };
-    v.to_string_compact()
+    (v.to_string_compact(), frames)
 }
 
 /// Parses a response line.
@@ -379,6 +549,15 @@ pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
                 .to_string(),
             retriable: v.get("retriable").and_then(Json::as_bool).unwrap_or(false),
         }));
+    }
+    if v.get("hello").and_then(Json::as_bool) == Some(true) {
+        let name = v
+            .get("frames")
+            .and_then(Json::as_str)
+            .ok_or_else(|| shape("HELLO ack needs a frames field"))?;
+        let frames =
+            FrameMode::from_wire(name).ok_or_else(|| shape(format!("unknown frames '{name}'")))?;
+        return Ok(Response::Hello { frames });
     }
     if let Some(items) = v.get("responses").and_then(Json::as_arr) {
         let mut out = Vec::with_capacity(items.len());
@@ -444,9 +623,16 @@ pub fn encode_request(r: &Request) -> String {
         if let Some(t) = o.threads {
             pairs.push(("threads".to_string(), Json::Num(t as f64)));
         }
+        if o.compressed {
+            pairs.push(("compressed".to_string(), Json::Bool(true)));
+        }
         pairs
     }
     let v = match r {
+        Request::Hello { frames } => Json::obj(vec![
+            ("cmd", Json::Str("HELLO".to_string())),
+            ("frames", Json::Str(frames.wire_name().to_string())),
+        ]),
         Request::Order(o) => Json::Obj(order_fields(o)),
         Request::Batch(items) => Json::obj(vec![
             ("cmd", Json::Str("BATCH".to_string())),
@@ -519,6 +705,7 @@ fn order_request_from_json(v: &Json) -> Result<OrderRequest, ProtoError> {
             .and_then(Json::as_bool)
             .unwrap_or(true),
         threads,
+        compressed: v.get("compressed").and_then(Json::as_bool).unwrap_or(false),
     })
 }
 
@@ -530,6 +717,17 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
         .and_then(Json::as_str)
         .ok_or_else(|| shape("missing cmd"))?;
     match cmd.to_ascii_uppercase().as_str() {
+        "HELLO" => {
+            let frames = match v.get("frames") {
+                None => FrameMode::Ndjson,
+                Some(f) => {
+                    let name = f.as_str().ok_or_else(|| shape("frames must be a string"))?;
+                    FrameMode::from_wire(name)
+                        .ok_or_else(|| shape(format!("unknown frames '{name}'")))?
+                }
+            };
+            Ok(Request::Hello { frames })
+        }
         "ORDER" => Ok(Request::Order(order_request_from_json(&v)?)),
         "BATCH" => {
             let items = v
@@ -578,6 +776,7 @@ mod tests {
             timeout_ms: Some(1500),
             include_perm: false,
             threads: Some(4),
+            compressed: true,
         });
         let line = encode_request(&req);
         assert!(!line.contains('\n'));
@@ -585,10 +784,38 @@ mod tests {
     }
 
     #[test]
-    fn absurd_threads_rejected_at_decode() {
-        let ok = format!(
-            r#"{{"cmd":"ORDER","path":"/m.mtx","threads":{MAX_REQUEST_THREADS}}}"#
+    fn hello_roundtrip_and_defaults() {
+        for frames in [FrameMode::Ndjson, FrameMode::Binary] {
+            let req = Request::Hello { frames };
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+            let resp = Response::Hello { frames };
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
+        // frames defaults to ndjson; unknown values are shape errors.
+        assert_eq!(
+            decode_request(r#"{"cmd":"HELLO"}"#).unwrap(),
+            Request::Hello {
+                frames: FrameMode::Ndjson
+            }
         );
+        assert!(decode_request(r#"{"cmd":"HELLO","frames":"smoke"}"#).is_err());
+    }
+
+    #[test]
+    fn compressed_defaults_to_false() {
+        match decode_request(r#"{"cmd":"ORDER","path":"/m.mtx"}"#).unwrap() {
+            Request::Order(o) => assert!(!o.compressed),
+            other => panic!("expected ORDER, got {other:?}"),
+        }
+        match decode_request(r#"{"cmd":"ORDER","path":"/m.mtx","compressed":true}"#).unwrap() {
+            Request::Order(o) => assert!(o.compressed),
+            other => panic!("expected ORDER, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_threads_rejected_at_decode() {
+        let ok = format!(r#"{{"cmd":"ORDER","path":"/m.mtx","threads":{MAX_REQUEST_THREADS}}}"#);
         assert!(decode_request(&ok).is_ok());
         let too_big = format!(
             r#"{{"cmd":"ORDER","path":"/m.mtx","threads":{}}}"#,
@@ -606,6 +833,7 @@ mod tests {
             timeout_ms: None,
             include_perm: true,
             threads: None,
+            compressed: false,
         };
         let req = Request::Batch(vec![one.clone(), one]);
         let line = encode_request(&req);
@@ -626,11 +854,76 @@ mod tests {
             n: 4,
             nnz: 10,
             stats: sample_stats(),
-            perm: Some(vec![2, 0, 3, 1]),
+            perm: Some(vec![2, 0, 3, 1].into()),
             cache_hit: true,
             micros: 512,
+            compression_ratio: Some(2.5),
         });
         assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn cached_and_plain_perms_encode_identically() {
+        let perm = vec![3usize, 1, 0, 2];
+        let plain = OrderResponse {
+            alg: "RCM".into(),
+            n: 4,
+            nnz: 7,
+            stats: sample_stats(),
+            perm: Some(PermPayload::Plain(perm.clone())),
+            cache_hit: false,
+            micros: 9,
+            compression_ratio: None,
+        };
+        let cached = OrderResponse {
+            perm: Some(PermPayload::Cached(Arc::new(EncodedPerm::new(perm)))),
+            cache_hit: true,
+            ..plain.clone()
+        };
+        // NDJSON: identical except the cache_hit flag itself.
+        let a = encode_response(&Response::Order(plain.clone()));
+        let b = encode_response(&Response::Order(cached.clone()));
+        assert_eq!(
+            a.replace("\"cache_hit\":false", ""),
+            b.replace("\"cache_hit\":true", "")
+        );
+        // Binary: same marker line shape, byte-identical frames.
+        let (la, fa) = encode_response_framed(&Response::Order(plain), FrameMode::Binary);
+        let (lb, fb) = encode_response_framed(&Response::Order(cached), FrameMode::Binary);
+        assert!(la.contains("\"perm_frame\":true") && lb.contains("\"perm_frame\":true"));
+        assert_eq!(fa.len(), 1);
+        assert_eq!(fa[0].bytes(), fb[0].bytes());
+        // PermPayload equality is content equality across variants.
+        assert_eq!(
+            PermPayload::Plain(vec![1, 0]),
+            PermPayload::Cached(Arc::new(EncodedPerm::new(vec![1, 0])))
+        );
+    }
+
+    #[test]
+    fn framed_responses_decode_to_the_framed_marker() {
+        let resp = Response::Order(OrderResponse {
+            alg: "RCM".into(),
+            n: 3,
+            nnz: 5,
+            stats: sample_stats(),
+            perm: Some(vec![2, 0, 1].into()),
+            cache_hit: false,
+            micros: 11,
+            compression_ratio: None,
+        });
+        let (line, frames) = encode_response_framed(&resp, FrameMode::Binary);
+        assert_eq!(frames.len(), 1);
+        match decode_response(&line).unwrap() {
+            Response::Order(o) => assert_eq!(o.perm, Some(PermPayload::Framed)),
+            other => panic!("expected ORDER, got {other:?}"),
+        }
+        // A line claiming both representations is rejected.
+        let both = line.replace(
+            "\"perm_frame\":true",
+            "\"perm_frame\":true,\"perm\":[2,0,1]",
+        );
+        assert!(decode_response(&both).is_err());
     }
 
     #[test]
@@ -644,6 +937,7 @@ mod tests {
                 perm: None,
                 cache_hit: false,
                 micros: 88,
+                compression_ratio: None,
             }),
             Err(ErrorResponse::retriable("queue full")),
         ]);

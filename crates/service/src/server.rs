@@ -1,25 +1,17 @@
-//! The `spectral-orderd` TCP server.
+//! Composition root of the `spectral-orderd` TCP server.
 //!
-//! One accept-loop thread, one lightweight thread per connection, and a
-//! fixed [`WorkerPool`] executing the orderings.
-//! Connection handlers never compute: they decode a line, push a job, and
-//! wait on an `mpsc` channel with the request's wall-clock timeout. The
-//! bounded queue makes overload explicit — clients see a retriable
-//! `queue full` error instead of unbounded latency.
+//! Wires the three layers together: [`crate::transport`] accepts sockets
+//! and enforces the connection limit, [`crate::session`] speaks the
+//! protocol per connection, and [`crate::engine`] computes orderings on a
+//! bounded worker pool behind the sharded (optionally persistent) cache.
+//! This module only holds the configuration and the thread that ties their
+//! lifetimes together.
 
-use crate::cache::OrderingCache;
+use crate::engine::Engine;
 use crate::metrics::Metrics;
-use crate::pool::{SubmitError, WorkerPool};
-use crate::proto::{
-    decode_request, encode_response, ErrorResponse, MatrixFormat, MatrixSource, OrderRequest,
-    OrderResponse, Request, Response,
-};
-use sparsemat::pattern::SymmetricPattern;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering as AtOrd};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -30,8 +22,18 @@ pub struct Config {
     pub workers: usize,
     /// Bounded job-queue capacity (backpressure threshold).
     pub queue_capacity: usize,
-    /// Byte budget of the content-addressed ordering cache.
+    /// Byte budget of the content-addressed ordering cache, split evenly
+    /// across its shards.
     pub cache_budget_bytes: usize,
+    /// Key-range shards of the ordering cache (≥ 1); more shards means less
+    /// lock contention between concurrent requests.
+    pub cache_shards: usize,
+    /// Spill directory for cache persistence; `None` keeps the cache purely
+    /// in memory. Entries in the directory are reloaded at startup.
+    pub cache_dir: Option<PathBuf>,
+    /// Maximum simultaneously connected clients; connections beyond the
+    /// limit get one retriable `server busy` error line and are closed.
+    pub max_conns: usize,
     /// Default per-request wall-clock timeout (ms); requests may override.
     pub default_timeout_ms: u64,
     /// Default solver threads per ordering job (`0` = all cores); requests
@@ -49,55 +51,36 @@ impl Default for Config {
             workers: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
             queue_capacity: 64,
             cache_budget_bytes: 32 << 20,
+            cache_shards: 8,
+            cache_dir: None,
+            max_conns: 1024,
             default_timeout_ms: 30_000,
             solver_threads: 1,
         }
     }
 }
 
-struct Shared {
-    /// `None` once a SHUTDOWN has taken the pool for draining.
-    pool: Mutex<Option<WorkerPool>>,
-    cache: Mutex<OrderingCache>,
-    metrics: Metrics,
-    shutting_down: AtomicBool,
-    /// Set once the drain finished and the SHUTDOWN ack went out; the
-    /// accept thread waits on it so the process outlives the ack.
-    shutdown_complete: (Mutex<bool>, Condvar),
-    default_timeout: Duration,
-    solver_threads: usize,
-    addr: SocketAddr,
-}
-
-impl Shared {
-    fn mark_shutdown_complete(&self) {
-        *self.shutdown_complete.0.lock().unwrap() = true;
-        self.shutdown_complete.1.notify_all();
-    }
-
-    fn wait_shutdown_complete(&self) {
-        let mut done = self.shutdown_complete.0.lock().unwrap();
-        while !*done {
-            done = self.shutdown_complete.1.wait(done).unwrap();
-        }
-    }
-}
-
 /// A running server; dropping the handle does not stop it — send SHUTDOWN.
 pub struct ServerHandle {
-    shared: Arc<Shared>,
+    engine: Arc<Engine>,
+    addr: SocketAddr,
     accept_thread: std::thread::JoinHandle<()>,
 }
 
 impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.addr
     }
 
     /// The live metrics (shared with the server).
     pub fn metrics(&self) -> &Metrics {
-        &self.shared.metrics
+        self.engine.metrics()
+    }
+
+    /// The engine (shared with the server; exposed for tests).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
     }
 
     /// Blocks until the accept loop exits (i.e. after SHUTDOWN).
@@ -106,263 +89,21 @@ impl ServerHandle {
     }
 }
 
-/// Binds `cfg.addr` and starts serving in background threads.
+/// Binds `cfg.addr`, builds the engine (loading any persisted cache), and
+/// starts serving in background threads.
 pub fn serve(cfg: Config) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let shared = Arc::new(Shared {
-        pool: Mutex::new(Some(WorkerPool::new(cfg.workers, cfg.queue_capacity))),
-        cache: Mutex::new(OrderingCache::new(cfg.cache_budget_bytes)),
-        metrics: Metrics::new(),
-        shutting_down: AtomicBool::new(false),
-        shutdown_complete: (Mutex::new(false), Condvar::new()),
-        default_timeout: Duration::from_millis(cfg.default_timeout_ms),
-        solver_threads: cfg.solver_threads,
-        addr,
-    });
-    let accept_shared = Arc::clone(&shared);
+    let engine = Arc::new(Engine::new(&cfg, addr)?);
+    let accept_engine = Arc::clone(&engine);
+    let max_conns = cfg.max_conns.max(1);
     let accept_thread = std::thread::Builder::new()
         .name("orderd-accept".to_string())
-        .spawn(move || accept_loop(&listener, &accept_shared))
+        .spawn(move || crate::transport::accept_loop(listener, accept_engine, max_conns))
         .expect("spawn accept thread");
     Ok(ServerHandle {
-        shared,
+        engine,
+        addr,
         accept_thread,
-    })
-}
-
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutting_down.load(AtOrd::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        shared.metrics.inc(&shared.metrics.connections);
-        let conn_shared = Arc::clone(shared);
-        let _ = std::thread::Builder::new()
-            .name("orderd-conn".to_string())
-            .spawn(move || handle_connection(stream, &conn_shared));
-    }
-    // Outlive the drain and the SHUTDOWN ack: callers treat "accept thread
-    // exited" as "server fully stopped".
-    shared.wait_shutdown_complete();
-}
-
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        shared.metrics.inc(&shared.metrics.requests);
-        let response = match decode_request(&line) {
-            Err(e) => {
-                shared.metrics.inc(&shared.metrics.errors);
-                Response::Error(ErrorResponse::fatal(e.to_string()))
-            }
-            Ok(Request::Order(req)) => match run_order(shared, req) {
-                Ok(r) => Response::Order(r),
-                Err(e) => Response::Error(e),
-            },
-            Ok(Request::Batch(reqs)) => {
-                shared.metrics.inc(&shared.metrics.batches);
-                Response::Batch(run_batch(shared, reqs))
-            }
-            Ok(Request::Stats) => Response::Stats(stats_snapshot(shared)),
-            Ok(Request::Shutdown) => {
-                let drained = begin_shutdown(shared);
-                let resp = Response::ShutdownOk { drained };
-                let _ = writeln!(writer, "{}", encode_response(&resp));
-                let _ = writer.flush();
-                shared.mark_shutdown_complete();
-                return;
-            }
-        };
-        if writeln!(writer, "{}", encode_response(&response)).is_err() {
-            break;
-        }
-    }
-}
-
-fn stats_snapshot(shared: &Shared) -> crate::json::Json {
-    let (depth, active) = match shared.pool.lock().unwrap().as_ref() {
-        Some(p) => (p.queue_depth(), p.active()),
-        None => (0, 0),
-    };
-    let cached = shared.cache.lock().unwrap().len();
-    shared.metrics.snapshot(depth, active, cached)
-}
-
-/// Stops accepting connections, drains the pool, and returns how many jobs
-/// the pool completed over its lifetime. Idempotent: later calls return 0.
-fn begin_shutdown(shared: &Arc<Shared>) -> u64 {
-    shared.shutting_down.store(true, AtOrd::SeqCst);
-    // Wake the accept loop so it observes the flag.
-    let _ = TcpStream::connect(shared.addr);
-    let pool = shared.pool.lock().unwrap().take();
-    match pool {
-        Some(p) => p.shutdown_drain(),
-        None => 0,
-    }
-}
-
-type OrderOutcome = Result<OrderResponse, ErrorResponse>;
-
-/// A submitted job: the channel its result will arrive on, plus the
-/// wall-clock deadline the handler enforces.
-struct Pending {
-    rx: mpsc::Receiver<OrderOutcome>,
-    timeout: Duration,
-}
-
-/// Submits one ordering job and waits for its result under the timeout.
-fn run_order(shared: &Arc<Shared>, req: OrderRequest) -> OrderOutcome {
-    let pending = submit_order(shared, req)?;
-    await_order(shared, pending)
-}
-
-/// Pipelined batch: submit everything first, then collect in order, so the
-/// pool overlaps the work across its workers.
-fn run_batch(shared: &Arc<Shared>, reqs: Vec<OrderRequest>) -> Vec<OrderOutcome> {
-    let submitted: Vec<Result<Pending, ErrorResponse>> =
-        reqs.into_iter().map(|r| submit_order(shared, r)).collect();
-    submitted
-        .into_iter()
-        .map(|slot| slot.and_then(|pending| await_order(shared, pending)))
-        .collect()
-}
-
-fn submit_order(shared: &Arc<Shared>, req: OrderRequest) -> Result<Pending, ErrorResponse> {
-    shared.metrics.inc(&shared.metrics.orders);
-    let timeout = req
-        .timeout_ms
-        .map_or(shared.default_timeout, Duration::from_millis);
-    let (tx, rx) = mpsc::channel::<OrderOutcome>();
-    let job_shared = Arc::clone(shared);
-    let submit = {
-        let guard = shared.pool.lock().unwrap();
-        match guard.as_ref() {
-            Some(pool) => pool.try_submit(Box::new(move || {
-                // The receiver may have timed out and gone; ignore send errors.
-                let _ = tx.send(execute_order(&job_shared, &req));
-            })),
-            None => Err(SubmitError::ShuttingDown),
-        }
-    };
-    match submit {
-        Ok(()) => Ok(Pending { rx, timeout }),
-        Err(SubmitError::QueueFull) => {
-            shared.metrics.inc(&shared.metrics.queue_rejections);
-            Err(ErrorResponse::retriable("queue full, retry later"))
-        }
-        Err(SubmitError::ShuttingDown) => {
-            shared.metrics.inc(&shared.metrics.errors);
-            Err(ErrorResponse::fatal("server is shutting down"))
-        }
-    }
-}
-
-fn await_order(shared: &Shared, pending: Pending) -> OrderOutcome {
-    match pending.rx.recv_timeout(pending.timeout) {
-        Ok(outcome) => outcome,
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            shared.metrics.inc(&shared.metrics.timeouts);
-            Err(ErrorResponse::retriable("request timed out"))
-        }
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            shared.metrics.inc(&shared.metrics.errors);
-            Err(ErrorResponse::fatal("worker dropped the request"))
-        }
-    }
-}
-
-/// Loads the matrix pattern from an ORDER request's source.
-fn load_pattern(source: &MatrixSource) -> Result<SymmetricPattern, ErrorResponse> {
-    let fatal =
-        |e: &dyn std::fmt::Display| ErrorResponse::fatal(format!("cannot read matrix: {e}"));
-    let from_csr = |m: sparsemat::csr::CsrMatrix| {
-        m.symmetrize()
-            .and_then(|s| s.pattern())
-            .map_err(|e| fatal(&e))
-    };
-    match source {
-        MatrixSource::Inline { format, payload } => match format {
-            MatrixFormat::MatrixMarket => sparsemat::io::read_matrix_market_str(payload)
-                .map_err(|e| fatal(&e))
-                .and_then(from_csr),
-            MatrixFormat::Chaco => sparsemat::io::read_chaco_str(payload).map_err(|e| fatal(&e)),
-            MatrixFormat::HarwellBoeing => sparsemat::io::read_harwell_boeing_str(payload)
-                .map_err(|e| fatal(&e))
-                .and_then(from_csr),
-        },
-        MatrixSource::Path(path) => match MatrixFormat::from_path(path) {
-            MatrixFormat::MatrixMarket => sparsemat::io::read_matrix_market(path)
-                .map_err(|e| fatal(&e))
-                .and_then(from_csr),
-            MatrixFormat::Chaco => sparsemat::io::read_chaco(path).map_err(|e| fatal(&e)),
-            MatrixFormat::HarwellBoeing => sparsemat::io::read_harwell_boeing(path)
-                .map_err(|e| fatal(&e))
-                .and_then(from_csr),
-        },
-    }
-}
-
-/// Worker-side execution: parse, consult the cache, order, record metrics.
-fn execute_order(shared: &Shared, req: &OrderRequest) -> OrderOutcome {
-    let t0 = Instant::now();
-    let g = match load_pattern(&req.source) {
-        Ok(g) => g,
-        Err(e) => {
-            shared.metrics.inc(&shared.metrics.errors);
-            return Err(e);
-        }
-    };
-    let cached = shared.cache.lock().unwrap().get(&g, req.alg);
-    let (ordering, cache_hit) = match cached {
-        Some(o) => {
-            shared.metrics.inc(&shared.metrics.cache_hits);
-            (o, true)
-        }
-        None => {
-            shared.metrics.inc(&shared.metrics.cache_misses);
-            // Clamp the client-supplied thread count to the machine's actual
-            // parallelism: `0` keeps its "all cores" meaning, anything else
-            // is capped so a hostile request can't make the server spawn an
-            // unbounded number of OS threads. (Decode already rejects values
-            // above `MAX_REQUEST_THREADS` as malformed.)
-            let threads = match req.threads.unwrap_or(shared.solver_threads) {
-                0 => 0,
-                t => t.min(sparsemat::par::available_threads()),
-            };
-            let solver = se_order::SolverOpts::with_threads(threads);
-            let o = match se_order::order_with(&g, req.alg, &solver) {
-                Ok(o) => o,
-                Err(e) => {
-                    shared.metrics.inc(&shared.metrics.errors);
-                    return Err(ErrorResponse::fatal(format!(
-                        "{} ordering failed: {e}",
-                        req.alg.name()
-                    )));
-                }
-            };
-            shared.cache.lock().unwrap().insert(&g, req.alg, &o);
-            (o, false)
-        }
-    };
-    let micros = t0.elapsed().as_micros() as u64;
-    shared.metrics.record_latency(req.alg.name(), micros);
-    Ok(OrderResponse {
-        alg: req.alg.name().to_string(),
-        n: g.n(),
-        nnz: g.nnz_lower_with_diagonal(),
-        stats: ordering.stats,
-        perm: req.include_perm.then(|| ordering.perm.order().to_vec()),
-        cache_hit,
-        micros,
     })
 }

@@ -1,0 +1,60 @@
+//! The session layer: one request/response loop per connection.
+//!
+//! Decodes request lines, dispatches them to the [`Engine`], and encodes
+//! responses under the connection's negotiated [`FrameMode`] — the only
+//! piece of per-connection protocol state. A `HELLO` switches the mode for
+//! every *subsequent* response; the `HELLO` ack itself is always a plain
+//! JSON line, so a client can read it before committing to binary parsing.
+
+use crate::engine::Engine;
+use crate::frame::FrameMode;
+use crate::proto::{decode_request, encode_response_framed, ErrorResponse, Request, Response};
+use crate::transport::Conn;
+use std::sync::Arc;
+
+/// Runs one connection to completion: reads lines until EOF, a write error,
+/// or a SHUTDOWN.
+pub fn run(mut conn: Conn, engine: &Arc<Engine>) {
+    let mut mode = FrameMode::default();
+    loop {
+        let line = match conn.read_line() {
+            Ok(Some(line)) => line,
+            Ok(None) | Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        engine.metrics().inc(&engine.metrics().requests);
+        let response = match decode_request(&line) {
+            Err(e) => {
+                engine.metrics().inc(&engine.metrics().errors);
+                Response::Error(ErrorResponse::fatal(e.to_string()))
+            }
+            Ok(Request::Hello { frames }) => {
+                mode = frames;
+                Response::Hello { frames }
+            }
+            Ok(Request::Order(req)) => match engine.run_order(req) {
+                Ok(r) => Response::Order(r),
+                Err(e) => Response::Error(e),
+            },
+            Ok(Request::Batch(reqs)) => {
+                engine.metrics().inc(&engine.metrics().batches);
+                Response::Batch(engine.run_batch(reqs))
+            }
+            Ok(Request::Stats) => Response::Stats(engine.stats_snapshot()),
+            Ok(Request::Shutdown) => {
+                let drained = engine.begin_shutdown();
+                let resp = Response::ShutdownOk { drained };
+                let (line, frames) = encode_response_framed(&resp, mode);
+                let _ = conn.write_response(&line, &frames);
+                engine.mark_shutdown_complete();
+                return;
+            }
+        };
+        let (line, frames) = encode_response_framed(&response, mode);
+        if conn.write_response(&line, &frames).is_err() {
+            return;
+        }
+    }
+}

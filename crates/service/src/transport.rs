@@ -1,0 +1,108 @@
+//! The transport layer: socket accept, connection limits, and line/frame
+//! I/O.
+//!
+//! Owns the accept loop and the per-connection byte plumbing ([`Conn`]);
+//! everything above it sees lines in and (line, frames) out, never a raw
+//! socket. Connections beyond the configured limit are turned away *at
+//! accept time* with a single retriable `server busy` error line — clients
+//! see explicit backpressure instead of a hung dial.
+
+use crate::engine::Engine;
+use crate::frame::write_frame_bytes;
+use crate::proto::{encode_response, ErrorResponse, FramePayload, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
+use std::sync::Arc;
+
+/// One accepted connection: buffered line reads plus line/frame writes.
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    /// Wraps a stream; fails only if the stream cannot be cloned for the
+    /// write half.
+    pub fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        let writer = stream.try_clone()?;
+        Ok(Conn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Reads the next line; `Ok(None)` is a clean EOF.
+    pub fn read_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line)? {
+            0 => Ok(None),
+            _ => Ok(Some(line)),
+        }
+    }
+
+    /// Writes one response line (adds the newline) followed by its binary
+    /// frames, in order, and flushes — a response is on the wire whole or
+    /// not at all from the client's perspective.
+    pub fn write_response(&mut self, line: &str, frames: &[FramePayload]) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        for f in frames {
+            write_frame_bytes(&mut self.writer, f.bytes())?;
+        }
+        self.writer.flush()
+    }
+}
+
+/// Decrements the live-connection count when a handler exits, however it
+/// exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, AtOrd::SeqCst);
+    }
+}
+
+/// Accepts connections until the engine starts shutting down, spawning one
+/// session thread per connection and enforcing `max_conns`. Runs on the
+/// dedicated accept thread; returns only after the shutdown handshake
+/// completed so callers can treat "accept thread exited" as "server fully
+/// stopped".
+pub fn accept_loop(listener: TcpListener, engine: Arc<Engine>, max_conns: usize) {
+    let active = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        if engine.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if active.fetch_add(1, AtOrd::SeqCst) >= max_conns {
+            active.fetch_sub(1, AtOrd::SeqCst);
+            engine.metrics().inc(&engine.metrics().busy_rejections);
+            reject_busy(stream);
+            continue;
+        }
+        engine.metrics().inc(&engine.metrics().connections);
+        let guard = ConnGuard(Arc::clone(&active));
+        let conn_engine = Arc::clone(&engine);
+        let _ = std::thread::Builder::new()
+            .name("orderd-conn".to_string())
+            .spawn(move || {
+                let _guard = guard;
+                if let Ok(conn) = Conn::new(stream) {
+                    crate::session::run(conn, &conn_engine);
+                }
+            });
+    }
+    // Outlive the drain and the SHUTDOWN ack.
+    engine.wait_shutdown_complete();
+}
+
+/// Writes the one-line retriable busy error and closes the stream.
+fn reject_busy(mut stream: TcpStream) {
+    let resp = Response::Error(ErrorResponse::retriable(
+        "server busy: connection limit reached, retry later",
+    ));
+    let _ = writeln!(stream, "{}", encode_response(&resp));
+    let _ = stream.flush();
+}

@@ -24,6 +24,7 @@ fn chaco_request(g: &SymmetricPattern, alg: se_order::Algorithm) -> OrderRequest
         timeout_ms: None,
         include_perm: true,
         threads: None,
+        compressed: false,
     }
 }
 
@@ -55,7 +56,7 @@ fn order_roundtrip_with_cache_hit_and_stats() {
     assert_eq!(first.n, g.n());
     assert_eq!(first.nnz, g.nnz_lower_with_diagonal());
     assert!(!first.cache_hit, "first request must compute");
-    assert_valid_perm(first.perm.as_ref().unwrap(), g.n());
+    assert_valid_perm(first.perm.as_ref().unwrap().order(), g.n());
 
     // Same pattern + algorithm again: served from the cache, bit-identical.
     let second = client
@@ -128,7 +129,7 @@ fn sixteen_request_batch_all_arrive_in_order() {
             .as_ref()
             .unwrap_or_else(|e| panic!("slot {i} failed: {}", e.error));
         assert_eq!(r.n, g.n(), "slot {i} out of order");
-        assert_valid_perm(r.perm.as_ref().unwrap(), g.n());
+        assert_valid_perm(r.perm.as_ref().unwrap().order(), g.n());
     }
 
     let stats = client.stats().unwrap();
@@ -166,6 +167,7 @@ fn concurrent_clients_share_the_cache() {
                     timeout_ms: None,
                     include_perm: true,
                     threads: None,
+                    compressed: false,
                 };
                 client.order(req).unwrap()
             })
@@ -320,6 +322,7 @@ fn malformed_lines_get_errors_but_the_connection_survives() {
         timeout_ms: None,
         include_perm: true,
         threads: None,
+        compressed: false,
     });
     writeln!(writer, "{}", se_service::proto::encode_request(&req)).unwrap();
     line.clear();

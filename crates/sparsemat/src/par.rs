@@ -165,10 +165,8 @@ fn worker_loop(core: Arc<Core>) {
         // to serve later regions. The payload is re-raised on the caller.
         let panic = job.and_then(|j| {
             // SAFETY: see `Job` — the closure outlives the job and is Sync.
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
-                (j.call)(j.ctx)
-            }))
-            .err()
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (j.call)(j.ctx) }))
+                .err()
         });
         let mut st = core.state.lock().unwrap();
         if let Some(p) = panic {
@@ -240,7 +238,7 @@ impl PoolHandle {
         }
         let caller = {
             let _flag = FlagGuard(IN_POOL_REGION.with(|g| g.replace(true)));
-            catch_unwind(AssertUnwindSafe(|| f()))
+            catch_unwind(AssertUnwindSafe(f))
         };
         let worker_panic = {
             let mut st = self.core.state.lock().unwrap();
