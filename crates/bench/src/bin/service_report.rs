@@ -12,6 +12,11 @@
 //!    NDJSON and in binary mode and report requests/second. Every response
 //!    is checked to carry the same permutation, so the two rates are
 //!    measuring byte plumbing, not different work.
+//! 3. **Trace overhead** (real loopback server, zero cache budget so every
+//!    request computes): median full ORDER latency with `"trace":false` vs
+//!    `"trace":true`. The delta is the span render + wire splice cost; the
+//!    off path is expected to stay within a few percent of the on path
+//!    because the engine records spans on every miss for its histograms.
 //!
 //! Run with `cargo run -p se-bench --release --bin service_report`.
 
@@ -28,6 +33,7 @@ use std::time::Instant;
 const ENCODE_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
 const ENCODE_REPS: usize = 50;
 const HIT_REQUESTS: usize = 300;
+const TRACE_REPS: usize = 15;
 
 fn sample_response(perm: PermPayload, n: usize) -> Response {
     Response::Order(OrderResponse {
@@ -45,6 +51,7 @@ fn sample_response(perm: PermPayload, n: usize) -> Response {
         cache_hit: true,
         micros: 1,
         compression_ratio: None,
+        trace: None,
     })
 }
 
@@ -102,6 +109,8 @@ fn hit_throughput(mode: FrameMode) -> (f64, usize) {
         include_perm: true,
         threads: None,
         compressed: false,
+        trace: false,
+        id: None,
     };
     let mut client = Client::connect(addr).unwrap();
     if mode == FrameMode::Binary {
@@ -123,6 +132,60 @@ fn hit_throughput(mode: FrameMode) -> (f64, usize) {
     (HIT_REQUESTS as f64 / secs, n)
 }
 
+/// Median full-compute ORDER latency (seconds) trace off vs trace on.
+///
+/// The server runs with a zero cache budget so every request takes the
+/// miss path and actually computes the spectral ordering; traced
+/// responses additionally render and splice the span tree.
+fn trace_overhead() -> (f64, f64) {
+    let handle = serve(Config {
+        cache_budget_bytes: 0,
+        ..Config::default()
+    })
+    .expect("bind ephemeral port");
+    let g = meshgen::grid2d(60, 50);
+    let req = |trace: bool| OrderRequest {
+        alg: se_order::Algorithm::Spectral,
+        source: MatrixSource::Inline {
+            format: MatrixFormat::Chaco,
+            payload: sparsemat::io::write_chaco_string(&g),
+        },
+        timeout_ms: None,
+        include_perm: true,
+        threads: None,
+        compressed: false,
+        trace,
+        id: None,
+    };
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    // Server-side wall clock (`micros`), so loopback latency quirks never
+    // pollute the comparison; off/on interleaved to cancel machine drift.
+    let mut off_times = Vec::with_capacity(TRACE_REPS);
+    let mut on_times = Vec::with_capacity(TRACE_REPS);
+    for _ in 0..TRACE_REPS {
+        for trace in [false, true] {
+            let r = client.order(req(trace)).unwrap();
+            assert!(!r.cache_hit, "zero budget must force the miss path");
+            assert_eq!(r.trace.is_some(), trace, "trace presence must match");
+            let secs = r.micros as f64 * 1e-6;
+            if trace {
+                on_times.push(secs);
+            } else {
+                off_times.push(secs);
+            }
+        }
+    }
+    let median = |times: &mut Vec<f64>| -> f64 {
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    let off = median(&mut off_times);
+    let on = median(&mut on_times);
+    client.shutdown().unwrap();
+    handle.join();
+    (off, on)
+}
+
 fn main() {
     println!("==== spectral-orderd serving cost: NDJSON vs binary frames ====\n");
     println!("encode-only timings (best of {ENCODE_REPS}):");
@@ -134,6 +197,15 @@ fn main() {
     let (binary_rps, _) = hit_throughput(FrameMode::Binary);
     println!("  binary: {binary_rps:>9.1} req/s");
 
+    println!("\ntrace overhead (median of {TRACE_REPS} full spectral ORDERs, n = 3000):");
+    let (trace_off_secs, trace_on_secs) = trace_overhead();
+    let trace_ratio = trace_on_secs / trace_off_secs;
+    println!(
+        "  trace off: {:>9.1} µs | trace on: {:>9.1} µs | on/off = {trace_ratio:.3}",
+        trace_off_secs * 1e6,
+        trace_on_secs * 1e6,
+    );
+
     let mut out = String::new();
     let _ = write!(
         out,
@@ -143,7 +215,10 @@ fn main() {
          modes, so the delta is response-side perm encoding + transfer\",\n  \
          \"encode\": [\n    {}\n  ],\n  \
          \"cache_hit_throughput\": {{\"perm_len\":{n},\"requests\":{HIT_REQUESTS},\
-         \"ndjson_rps\":{ndjson_rps:.1},\"binary_rps\":{binary_rps:.1}}}\n}}\n",
+         \"ndjson_rps\":{ndjson_rps:.1},\"binary_rps\":{binary_rps:.1}}},\n  \
+         \"trace_overhead\": {{\"reps\":{TRACE_REPS},\
+         \"off_median_secs\":{trace_off_secs:.9},\"on_median_secs\":{trace_on_secs:.9},\
+         \"on_over_off\":{trace_ratio:.4}}}\n}}\n",
         encode_rows.join(",\n    ")
     );
     let path = "BENCH_service.json";

@@ -11,23 +11,36 @@
 //!   --compressed       order via supervariable compression (multi-DOF models)
 //!   --metrics          print the full metric set (work, sums, frontwidths)
 //!   --json             print the result as one JSON line (service wire format)
+//!   --trace            print the hierarchical span tree of the pipeline
+//!                      (per-level coarsen/Lanczos/RQI timings, iteration
+//!                      counts) to stderr after the result
+//!   --trace-json       print the same span tree as one JSON line on stdout
 //!   --out <file.mtx>   write the permuted matrix
 //!   --perm <file.txt>  write the permutation (1-based, one per line)
 //!   --spy <file.pgm>   write a spy plot of the reordered matrix
 //!
 //! spectral-order serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!                      [--cache-mb N] [--shards N] [--cache-dir PATH]
-//!                      [--max-conns N] [--timeout-ms N] [--threads N]
-//!   run the spectral-orderd ordering daemon in the foreground
+//!                      [--cache-dir-budget BYTES] [--max-conns N]
+//!                      [--timeout-ms N] [--threads N] [--log-requests]
+//!   run the spectral-orderd ordering daemon in the foreground.
+//!   `--cache-dir-budget` bounds the spill directory (oldest entries are
+//!   deleted first); `--log-requests` prints one line per request to stderr.
 //!
 //! spectral-order client --addr HOST:PORT <matrix>... [--alg NAME] [--no-perm]
-//!                      [--threads N] [--compressed] [--binary]
+//!                      [--threads N] [--compressed] [--binary] [--trace]
+//!                      [--id N]
 //! spectral-order client --addr HOST:PORT --stats
+//! spectral-order client --addr HOST:PORT --metrics-text
+//! spectral-order client --addr HOST:PORT --cancel ID
 //! spectral-order client --addr HOST:PORT --shutdown
 //!   talk to a running daemon: one file sends ORDER, several send one
 //!   pipelined BATCH; responses are printed as JSON lines. `--binary`
 //!   negotiates binary permutation frames for the transfer (the printed
-//!   JSON is identical either way).
+//!   JSON is identical either way). `--trace` asks the daemon to return the
+//!   span tree inside each response; `--id` assigns client ids (consecutive
+//!   for a batch) so a second connection can `--cancel` them.
+//!   `--metrics-text` prints the Prometheus-style METRICS exposition.
 //! ```
 //!
 //! Input format by extension: `.mtx` MatrixMarket, `.graph` Chaco/METIS
@@ -50,13 +63,14 @@ fn parse_alg(s: &str) -> Option<Algorithm> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spectral-order <matrix.{{mtx,rsa,rua,graph}}> [--alg NAME] [--threads N] \
-         [--compare] [--compressed] [--metrics] [--json] [--out FILE.mtx] [--perm FILE.txt] \
-         [--spy FILE.pgm]\n\
+         [--compare] [--compressed] [--metrics] [--json] [--trace] [--trace-json] \
+         [--out FILE.mtx] [--perm FILE.txt] [--spy FILE.pgm]\n\
          \x20      spectral-order serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--cache-mb N] [--shards N] [--cache-dir PATH] [--max-conns N] [--timeout-ms N] \
-         [--threads N]\n\
+         [--cache-mb N] [--shards N] [--cache-dir PATH] [--cache-dir-budget BYTES] \
+         [--max-conns N] [--timeout-ms N] [--threads N] [--log-requests]\n\
          \x20      spectral-order client --addr HOST:PORT (<matrix>... [--alg NAME] [--no-perm] \
-         [--threads N] [--compressed] [--binary] | --stats | --shutdown)"
+         [--threads N] [--compressed] [--binary] [--trace] [--id N] | --stats | --metrics-text \
+         | --cancel ID | --shutdown)"
     );
     ExitCode::from(2)
 }
@@ -75,6 +89,8 @@ fn main() -> ExitCode {
     let mut compressed = false;
     let mut metrics = false;
     let mut json = false;
+    let mut trace = false;
+    let mut trace_json = false;
     let mut out: Option<String> = None;
     let mut perm_out: Option<String> = None;
     let mut spy_out: Option<String> = None;
@@ -94,6 +110,8 @@ fn main() -> ExitCode {
             "--compressed" => compressed = true,
             "--metrics" => metrics = true,
             "--json" => json = true,
+            "--trace" => trace = true,
+            "--trace-json" => trace_json = true,
             "--out" => out = it.next(),
             "--perm" => perm_out = it.next(),
             "--spy" => spy_out = it.next(),
@@ -162,7 +180,13 @@ fn main() -> ExitCode {
     }
 
     let t0 = Instant::now();
-    let solver = SolverOpts::with_threads(threads);
+    let tracer = if trace || trace_json {
+        spectral_env::Tracer::enabled()
+    } else {
+        spectral_env::Tracer::disabled()
+    };
+    let mut solver = SolverOpts::with_threads(threads);
+    solver.trace = tracer.clone();
     let mut compression_ratio = None;
     let ordering = if compressed {
         match spectral_env::reorder_pattern_compressed_with(&g, alg, &solver) {
@@ -185,6 +209,7 @@ fn main() -> ExitCode {
             }
         }
     };
+    let span_root = tracer.finish();
     if json {
         // Same record the service emits for ORDER — one tool, one schema.
         let resp = Response::Order(OrderResponse {
@@ -196,6 +221,7 @@ fn main() -> ExitCode {
             cache_hit: false,
             micros: t0.elapsed().as_micros() as u64,
             compression_ratio,
+            trace: span_root.as_ref().map(|r| r.render_json().into()),
         });
         println!("{}", encode_response(&resp));
     } else {
@@ -222,6 +248,14 @@ fn main() -> ExitCode {
             ordering.stats.envelope_size + g.n() as u64,
             se_envelope::symbolic::factor_size(&g, &ordering.perm),
         );
+    }
+    if let Some(root) = &span_root {
+        if trace {
+            eprint!("{}", root.render_text());
+        }
+        if trace_json && !json {
+            println!("{}", root.render_json());
+        }
     }
 
     if let Some(p) = perm_out {
@@ -289,6 +323,11 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Some(v) => cfg.cache_dir = Some(v.into()),
                 None => return usage(),
             },
+            "--cache-dir-budget" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => cfg.cache_dir_budget = Some(v),
+                None => return usage(),
+            },
+            "--log-requests" => cfg.log_requests = true,
             "--max-conns" => match num(&mut it) {
                 Some(v) if v > 0 => cfg.max_conns = v,
                 _ => return usage(),
@@ -329,6 +368,10 @@ fn client_main(args: &[String]) -> ExitCode {
     let mut binary = false;
     let mut stats = false;
     let mut shutdown = false;
+    let mut trace = false;
+    let mut base_id: Option<u64> = None;
+    let mut cancel_id: Option<u64> = None;
+    let mut metrics_text = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -350,6 +393,16 @@ fn client_main(args: &[String]) -> ExitCode {
             "--binary" => binary = true,
             "--stats" => stats = true,
             "--shutdown" => shutdown = true,
+            "--trace" => trace = true,
+            "--id" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => base_id = Some(v),
+                None => return usage(),
+            },
+            "--cancel" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => cancel_id = Some(v),
+                None => return usage(),
+            },
+            "--metrics-text" => metrics_text = true,
             _ if !a.starts_with('-') => files.push(a.clone()),
             _ => return usage(),
         }
@@ -370,6 +423,37 @@ fn client_main(args: &[String]) -> ExitCode {
         }
     }
 
+    if metrics_text {
+        return match client.metrics() {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("client: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(id) = cancel_id {
+        return match client.cancel(id) {
+            Ok(pending) => {
+                eprintln!(
+                    "cancelled id {id} ({})",
+                    if pending {
+                        "was pending"
+                    } else {
+                        "not pending"
+                    }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("client: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if stats {
         return match client.stats() {
             Ok(s) => {
@@ -400,7 +484,7 @@ fn client_main(args: &[String]) -> ExitCode {
 
     // Payloads travel inline so the daemon needs no shared filesystem.
     let mut reqs = Vec::with_capacity(files.len());
-    for path in &files {
+    for (k, path) in files.iter().enumerate() {
         let payload = match std::fs::read_to_string(path) {
             Ok(p) => p,
             Err(e) => {
@@ -418,6 +502,10 @@ fn client_main(args: &[String]) -> ExitCode {
             include_perm,
             threads,
             compressed,
+            trace,
+            // Consecutive ids from the base, so every batch slot stays
+            // individually cancellable.
+            id: base_id.map(|b| b + k as u64),
         });
     }
 

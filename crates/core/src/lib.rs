@@ -53,6 +53,7 @@ pub use se_eigen::multilevel::{fiedler, FiedlerOptions, FiedlerResult};
 pub use se_eigen::SolverOpts;
 pub use se_envelope::EnvelopeMatrix;
 pub use se_order::{Algorithm, OrderError, Ordering, SpectralOptions};
+pub use se_trace::{SpanNode, Tracer};
 pub use sparsemat::{CooMatrix, CsrMatrix, Permutation, SymmetricPattern};
 
 /// Errors from the façade API.

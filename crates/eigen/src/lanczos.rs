@@ -15,6 +15,7 @@ use crate::solver_opts::{
 use crate::tridiag::eigh_tridiag;
 use crate::{EigenError, Result};
 use se_prng::SmallRng;
+use se_trace::Tracer;
 use sparsemat::par::TaskPool;
 
 /// Options controlling the Lanczos iteration.
@@ -32,6 +33,9 @@ pub struct LanczosOptions {
     /// bit-identical for every thread count (deterministic reductions);
     /// default is serial.
     pub pool: TaskPool,
+    /// Span recorder; disabled by default. Records a `lanczos` span with
+    /// the problem size, step and matvec counts.
+    pub trace: Tracer,
 }
 
 impl Default for LanczosOptions {
@@ -42,6 +46,7 @@ impl Default for LanczosOptions {
             seed: DEFAULT_LANCZOS_SEED,
             check_every: DEFAULT_LANCZOS_CHECK_EVERY,
             pool: TaskPool::serial(),
+            trace: Tracer::disabled(),
         }
     }
 }
@@ -75,6 +80,23 @@ fn orthogonalize(w: &mut [f64], basis: &[Vec<f64>], pool: &TaskPool) {
 /// For a connected graph's Laplacian with `deflate = [1/√n]`, the smallest
 /// returned eigenpair is `(λ₂, Fiedler vector)`.
 pub fn lanczos_smallest<Op: SymOp>(
+    op: &Op,
+    deflate: &[Vec<f64>],
+    k: usize,
+    opts: &LanczosOptions,
+) -> Result<LanczosResult> {
+    let mut sp = opts.trace.span("lanczos");
+    sp.attr("n", op.n() as f64);
+    let r = lanczos_inner(op, deflate, k, opts);
+    if let Ok(ref res) = r {
+        sp.attr("iterations", res.iterations as f64);
+        // One operator application per Lanczos step.
+        sp.attr("matvecs", res.iterations as f64);
+    }
+    r
+}
+
+fn lanczos_inner<Op: SymOp>(
     op: &Op,
     deflate: &[Vec<f64>],
     k: usize,

@@ -20,6 +20,7 @@ use crate::solver_opts::{DEFAULT_COARSEST_SIZE, DEFAULT_FIEDLER_TOL, DEFAULT_SMO
 use crate::{EigenError, Result};
 use se_graph::bfs::connected_components;
 use se_graph::coarsen::CoarsenLevels;
+use se_trace::{Tracer, WorkerCounter};
 use sparsemat::par::TaskPool;
 use sparsemat::SymmetricPattern;
 
@@ -52,6 +53,10 @@ pub struct FiedlerOptions {
     /// every thread count; default is serial. Build via
     /// [`crate::SolverOpts`] to configure a thread count in one place.
     pub pool: TaskPool,
+    /// Span recorder threaded through every stage. Like `pool`, inside
+    /// [`fiedler`] this tracer overrides the tracers on `lanczos` and `rqi`.
+    /// Disabled by default; tracing never changes numerical results.
+    pub trace: Tracer,
 }
 
 impl Default for FiedlerOptions {
@@ -67,6 +72,7 @@ impl Default for FiedlerOptions {
                 ..Default::default()
             },
             pool: TaskPool::serial(),
+            trace: Tracer::disabled(),
         }
     }
 }
@@ -124,18 +130,27 @@ pub fn fiedler_lanczos(g: &SymmetricPattern, opts: &LanczosOptions) -> Result<Fi
 pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerResult> {
     check_connected(g)?;
     let pool = &opts.pool;
-    // One pool drives every stage: propagate it into the sub-options.
+    let trace = &opts.trace;
+    let mut sp = trace.span("fiedler");
+    sp.attr("n", g.n() as f64);
+    // One pool (and one tracer) drives every stage: propagate both into the
+    // sub-options.
     let mut lanczos_opts = opts.lanczos.clone();
     lanczos_opts.pool = pool.clone();
+    lanczos_opts.trace = trace.clone();
     let mut rqi_opts = opts.rqi.clone();
     rqi_opts.pool = pool.clone();
+    rqi_opts.trace = trace.clone();
     if g.n() <= opts.coarsest_size.max(2) {
+        sp.attr("levels", 0.0);
         return fiedler_lanczos(g, &lanczos_opts);
     }
-    let hierarchy = CoarsenLevels::build_with(g, opts.coarsest_size, pool);
+    let hierarchy = CoarsenLevels::build_traced(g, opts.coarsest_size, pool, trace);
     if hierarchy.depth() == 0 {
+        sp.attr("levels", 0.0);
         return fiedler_lanczos(g, &lanczos_opts);
     }
+    sp.attr("levels", hierarchy.depth() as f64);
 
     // Solve on the coarsest graph with Lanczos — on the **mass-scaled
     // Galerkin** operator when requested, else on the contracted graph's
@@ -143,6 +158,11 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
     // `PᵀLP x = λ PᵀP x` with `PᵀP = diag(domain sizes)`; we solve the
     // symmetrically scaled standard form `D^{-1/2} PᵀLP D^{-1/2} y = λ y`
     // and map back `x = D^{-1/2} y` (null vector `D^{1/2}·1`).
+    let mut coarsest_sp = trace.span("coarsest_solve");
+    coarsest_sp.attr(
+        "n",
+        hierarchy.coarsest().map_or(g.n(), SymmetricPattern::n) as f64,
+    );
     let mut x = if opts.galerkin {
         let mut lc = g.laplacian();
         let mut sizes = vec![1.0f64; g.n()];
@@ -180,19 +200,23 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
         let coarsest = hierarchy.coarsest().expect("depth >= 1");
         fiedler_lanczos(coarsest, &lanczos_opts)?.vector
     };
+    drop(coarsest_sp);
 
     // Walk back up: levels[k] maps (graph at level k) -> (graph at k+1).
     // The graph at level k is `g` for k = 0 else levels[k-1].coarse.
     for k in (0..hierarchy.depth()).rev() {
+        let mut level_sp = trace.span_at("level", k);
         let fine: &SymmetricPattern = if k == 0 {
             g
         } else {
             &hierarchy.levels[k - 1].coarse
         };
         let map = &hierarchy.levels[k].fine_to_coarse;
+        level_sp.attr("n", map.len() as f64);
         // Interpolate: each fine vertex takes its domain's coarse value.
         let mut xf = vec![0.0f64; map.len()];
         {
+            let _interp_sp = trace.span("interpolate");
             let x = &x;
             pool.for_each_chunk_mut(&mut xf, 1024, |v0, xb| {
                 for (i, xv) in xb.iter_mut().enumerate() {
@@ -200,7 +224,13 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
                 }
             });
         }
-        smooth(fine, &mut xf, opts.smooth_steps, pool);
+        {
+            let mut smooth_sp = trace.span("smooth");
+            smooth_sp.attr("steps", opts.smooth_steps as f64);
+            let updates = trace.worker_counter();
+            smooth(fine, &mut xf, opts.smooth_steps, pool, &updates);
+            smooth_sp.merge_counter("updates", &updates);
+        }
         let lap = LaplacianOp::new(fine);
         let rq_before = lap.rayleigh_quotient(&xf);
         let refined = rayleigh_quotient_iteration(&lap, &xf, &rqi_opts);
@@ -212,6 +242,7 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
         let ok = refined.vector.iter().all(|v| v.is_finite())
             && refined.residual.is_finite()
             && lap.rayleigh_quotient(&refined.vector) <= rq_before * (1.0 + 1e-9) + 1e-14;
+        level_sp.attr("rqi_accepted", f64::from(ok));
         x = if ok { refined.vector } else { xf };
     }
 
@@ -223,6 +254,7 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
     let lap = LaplacianOp::new(g);
     let lam = lap.rayleigh_quotient(&x);
     let residual = eigen_residual(&lap, &x, lam);
+    sp.attr("residual", residual);
     let acceptable = residual <= opts.tol.max(1e-6) * lap.norm_bound() * 10.0;
     if !acceptable {
         if let Ok(fallback) = fiedler_lanczos(g, &lanczos_opts) {
@@ -304,13 +336,25 @@ fn eigen_residual(lap: &LaplacianOp<'_>, x: &[f64], lam: f64) -> f64 {
 /// loop farms out to the pool row-chunk-wise; the recentring mean and the
 /// normalisation use the deterministic chunked reductions. Bit-identical
 /// for every thread count.
-fn smooth(g: &SymmetricPattern, x: &mut [f64], steps: usize, pool: &TaskPool) {
+///
+/// `updates` counts vertex updates without locking: each worker adds its
+/// chunk length into a striped counter (stripe picked by chunk index) that
+/// the caller drains once after the region — counts are thread-count
+/// invariant because the chunk decomposition is.
+fn smooth(
+    g: &SymmetricPattern,
+    x: &mut [f64],
+    steps: usize,
+    pool: &TaskPool,
+    updates: &WorkerCounter,
+) {
     let n = g.n();
     let mut y = vec![0.0; n];
     for _ in 0..steps {
         {
             let x_read: &[f64] = x;
             pool.for_each_chunk_mut(&mut y, 512, |v0, yb| {
+                updates.add(v0 / 512, yb.len() as u64);
                 for (i, yv) in yb.iter_mut().enumerate() {
                     let v = v0 + i;
                     let deg = g.degree(v);

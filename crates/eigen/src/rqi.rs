@@ -12,6 +12,7 @@ use crate::op::{DeflatedOp, LaplacianOp, ShiftedOp, SymOp};
 use crate::solver_opts::{
     DEFAULT_RQI_INNER_MAX_ITER, DEFAULT_RQI_INNER_RTOL, DEFAULT_RQI_MAX_OUTER, DEFAULT_RQI_TOL,
 };
+use se_trace::Tracer;
 use sparsemat::par::TaskPool;
 
 /// Options for [`rayleigh_quotient_iteration`].
@@ -28,6 +29,9 @@ pub struct RqiOptions {
     /// Pool shared with the inner MINRES solves and the residual algebra.
     /// Results are bit-identical for every thread count; default is serial.
     pub pool: TaskPool,
+    /// Span recorder; disabled by default. Records an `rqi` span with outer
+    /// and (summed) inner MINRES iteration counts and the final residual.
+    pub trace: Tracer,
 }
 
 impl Default for RqiOptions {
@@ -38,6 +42,7 @@ impl Default for RqiOptions {
             inner_max_iter: DEFAULT_RQI_INNER_MAX_ITER,
             inner_rtol: DEFAULT_RQI_INNER_RTOL,
             pool: TaskPool::serial(),
+            trace: Tracer::disabled(),
         }
     }
 }
@@ -78,6 +83,8 @@ pub fn rayleigh_quotient_iteration(
 ) -> RqiResult {
     let n = lap.n();
     assert_eq!(x0.len(), n, "rqi: start vector length mismatch");
+    let mut sp = opts.trace.span("rqi");
+    sp.attr("n", n as f64);
     let pool = &opts.pool;
     let ones = crate::op::constant_unit_vector(n);
     let deflate = vec![ones];
@@ -91,6 +98,8 @@ pub fn rayleigh_quotient_iteration(
     if normalize(&mut x, pool) <= 1e-12 * x0_norm.max(1.0) {
         // Degenerate start: return a failure with a zero vector; callers
         // (the multilevel driver) fall back to Lanczos.
+        sp.attr("outer_iterations", 0.0);
+        sp.attr("converged", 0.0);
         return RqiResult {
             lambda: f64::NAN,
             vector: x,
@@ -124,6 +133,9 @@ pub fn rayleigh_quotient_iteration(
             best_lambda = rho;
         }
         if res <= opts.tol * scale {
+            sp.attr("outer_iterations", outer as f64);
+            sp.attr("residual", res);
+            sp.attr("converged", 1.0);
             return RqiResult {
                 lambda: rho,
                 vector: x,
@@ -143,6 +155,7 @@ pub fn rayleigh_quotient_iteration(
                 pool: pool.clone(),
             },
         );
+        sp.add("inner_iterations", out.iterations as f64);
         let mut y = out.x;
         dop.project_pooled(&mut y, pool);
         if normalize(&mut y, pool) < 1e-300 || y.iter().any(|v| !v.is_finite()) {
@@ -152,12 +165,16 @@ pub fn rayleigh_quotient_iteration(
     }
 
     let lambda = best_lambda;
+    let converged = best_res <= opts.tol * scale;
+    sp.attr("outer_iterations", outer as f64);
+    sp.attr("residual", best_res);
+    sp.attr("converged", f64::from(converged));
     RqiResult {
         lambda,
         vector: best_x,
         residual: best_res,
         outer_iterations: outer,
-        converged: best_res <= opts.tol * scale,
+        converged,
     }
 }
 

@@ -16,6 +16,7 @@
 use crate::lanczos::LanczosOptions;
 use crate::multilevel::FiedlerOptions;
 use crate::rqi::RqiOptions;
+use se_trace::Tracer;
 use sparsemat::par::TaskPool;
 
 /// Eigen-residual tolerance of the multilevel Fiedler solver, relative to
@@ -105,6 +106,9 @@ pub struct SolverOpts {
     pub smooth_steps: usize,
     /// Lanczos start-vector seed ([`DEFAULT_LANCZOS_SEED`]).
     pub seed: u64,
+    /// Span recorder threaded through every pipeline stage. Disabled by
+    /// default; an enabled tracer never changes numerical results.
+    pub trace: Tracer,
 }
 
 impl Default for SolverOpts {
@@ -119,6 +123,7 @@ impl Default for SolverOpts {
             coarsest_size: DEFAULT_COARSEST_SIZE,
             smooth_steps: DEFAULT_SMOOTH_STEPS,
             seed: DEFAULT_LANCZOS_SEED,
+            trace: Tracer::disabled(),
         }
     }
 }
@@ -146,6 +151,7 @@ impl SolverOpts {
             seed: self.seed,
             check_every: DEFAULT_LANCZOS_CHECK_EVERY,
             pool: pool.clone(),
+            trace: self.trace.clone(),
         }
     }
 
@@ -157,6 +163,7 @@ impl SolverOpts {
             inner_max_iter: self.inner_max_iter,
             inner_rtol: self.inner_rtol,
             pool: pool.clone(),
+            trace: self.trace.clone(),
         }
     }
 
@@ -173,6 +180,7 @@ impl SolverOpts {
             lanczos: self.lanczos_options(&pool),
             rqi: self.rqi_options(&pool),
             pool,
+            trace: self.trace.clone(),
         }
     }
 }

@@ -8,6 +8,7 @@
 //! 3. adding a coarse edge whenever two domains touch (an edge of the fine
 //!    graph crosses them).
 
+use se_trace::Tracer;
 use sparsemat::par::TaskPool;
 use sparsemat::SymmetricPattern;
 use std::collections::VecDeque;
@@ -242,17 +243,36 @@ impl CoarsenLevels {
     /// (see [`contract_with`]). The hierarchy is identical to the serial one
     /// for every thread count.
     pub fn build_with(g: &SymmetricPattern, target_n: usize, pool: &TaskPool) -> CoarsenLevels {
+        CoarsenLevels::build_traced(g, target_n, pool, &Tracer::disabled())
+    }
+
+    /// [`CoarsenLevels::build_with`] recording a `coarsen` span with one
+    /// `contract` child per level (fine/coarse sizes and seed counts) into
+    /// `trace`. The hierarchy itself is unaffected by tracing.
+    pub fn build_traced(
+        g: &SymmetricPattern,
+        target_n: usize,
+        pool: &TaskPool,
+        trace: &Tracer,
+    ) -> CoarsenLevels {
+        let mut sp = trace.span("coarsen");
+        sp.attr("n", g.n() as f64);
         let mut levels = Vec::new();
         let mut current = g.clone();
         while current.n() > target_n.max(1) {
+            let mut lvl = trace.span_at("contract", levels.len());
+            lvl.attr("n_fine", current.n() as f64);
             let c = contract_with(&current, pool);
             if c.coarse.n() >= current.n() {
                 break; // no edges left to contract (e.g. edgeless graph)
             }
+            lvl.attr("n_coarse", c.coarse.n() as f64);
+            lvl.attr("seeds", c.seeds.len() as f64);
             let next = c.coarse.clone();
             levels.push(c);
             current = next;
         }
+        sp.attr("levels", levels.len() as f64);
         CoarsenLevels { levels }
     }
 

@@ -13,6 +13,7 @@
 //! merging whole classes preserves optimal envelope structure because
 //! members are interchangeable in any ordering.
 
+use se_trace::Tracer;
 use sparsemat::{Permutation, SymmetricPattern};
 use std::collections::HashMap;
 
@@ -61,6 +62,14 @@ impl Compression {
 /// collisions are verified exactly, so the grouping is sound (no
 /// false merges) regardless of hash quality.
 pub fn compress(g: &SymmetricPattern) -> Compression {
+    compress_traced(g, &Tracer::disabled())
+}
+
+/// [`compress`] recording a `compress` span (original size, supervariable
+/// count and compression ratio) into `trace`. The compression itself is
+/// unaffected by tracing.
+pub fn compress_traced(g: &SymmetricPattern, trace: &Tracer) -> Compression {
+    let mut sp = trace.span("compress");
     let n = g.n();
     // Group by closed neighborhood.
     let mut groups: HashMap<Vec<usize>, Vec<usize>> = HashMap::new();
@@ -95,11 +104,15 @@ pub fn compress(g: &SymmetricPattern) -> Compression {
     }
     let quotient =
         SymmetricPattern::from_edges(members.len(), &edges).expect("supervariable ids in range");
-    Compression {
+    let c = Compression {
         quotient,
         super_of,
         members,
-    }
+    };
+    sp.attr("n", n as f64);
+    sp.attr("n_super", c.quotient.n() as f64);
+    sp.attr("ratio", c.ratio());
+    c
 }
 
 /// Convenience: orders `g` by compressing, applying `order_quotient` to the

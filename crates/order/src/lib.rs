@@ -172,6 +172,25 @@ pub fn order(g: &SymmetricPattern, alg: Algorithm) -> Result<Ordering> {
 /// `solver.threads` routes the whole Fiedler pipeline through one shared
 /// thread pool — results are bit-identical for every thread count.
 pub fn order_with(g: &SymmetricPattern, alg: Algorithm, solver: &SolverOpts) -> Result<Ordering> {
+    let mut sp = solver.trace.span("order");
+    sp.attr("n", g.n() as f64);
+    sp.attr("edges", g.num_edges() as f64);
+    let perm = dispatch(g, alg, solver)?;
+    let stats = {
+        let _stats_sp = solver.trace.span("stats");
+        envelope_stats(g, &perm)
+    };
+    Ok(Ordering {
+        algorithm: alg,
+        perm,
+        stats,
+    })
+}
+
+/// Runs the bare algorithm (no envelope evaluation) — shared by
+/// [`order_with`] and [`order_compressed_with`] so each can own the root
+/// `order` span.
+fn dispatch(g: &SymmetricPattern, alg: Algorithm, solver: &SolverOpts) -> Result<Permutation> {
     let spectral_opts = || SpectralOptions {
         fiedler: solver.fiedler_options(),
         force_lanczos: false,
@@ -198,12 +217,7 @@ pub fn order_with(g: &SymmetricPattern, alg: Algorithm, solver: &SolverOpts) -> 
             },
         )?,
     };
-    let stats = envelope_stats(g, &perm);
-    Ok(Ordering {
-        algorithm: alg,
-        perm,
-        stats,
-    })
+    Ok(perm)
 }
 
 /// Orders `g` through **supervariable compression**: vertices with identical
@@ -223,11 +237,22 @@ pub fn order_compressed_with(
     alg: Algorithm,
     solver: &SolverOpts,
 ) -> Result<(Ordering, f64)> {
-    let c = se_graph::compress::compress(g);
+    let trace = &solver.trace;
+    let mut sp = trace.span("order");
+    sp.attr("n", g.n() as f64);
+    sp.attr("edges", g.num_edges() as f64);
+    let c = se_graph::compress::compress_traced(g, trace);
     let ratio = c.ratio();
-    let q_ordering = order_with(&c.quotient, alg, solver)?;
-    let perm = c.expand_ordering(&q_ordering.perm);
-    let stats = envelope_stats(g, &perm);
+    sp.attr("compression_ratio", ratio);
+    let q_perm = dispatch(&c.quotient, alg, solver)?;
+    let perm = {
+        let _expand_sp = trace.span("expand");
+        c.expand_ordering(&q_perm)
+    };
+    let stats = {
+        let _stats_sp = trace.span("stats");
+        envelope_stats(g, &perm)
+    };
     Ok((
         Ordering {
             algorithm: alg,

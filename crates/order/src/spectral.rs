@@ -12,6 +12,7 @@
 use crate::Result;
 use se_eigen::multilevel::{fiedler, FiedlerOptions};
 use se_graph::bfs::{connected_components, induced_subgraph};
+use se_trace::Tracer;
 use sparsemat::envelope::envelope_size;
 use sparsemat::{Permutation, SymmetricPattern};
 
@@ -28,7 +29,9 @@ pub struct SpectralOptions {
 /// Computes the spectral ordering of `g`. Disconnected graphs are handled
 /// per component (components numbered consecutively by smallest vertex).
 pub fn spectral_ordering(g: &SymmetricPattern, opts: &SpectralOptions) -> Result<Permutation> {
+    let mut sp = opts.fiedler.trace.span("spectral");
     let comps = connected_components(g);
+    sp.attr("components", comps.members.len() as f64);
     let mut order = Vec::with_capacity(g.n());
     for members in &comps.members {
         let (sub, map) = induced_subgraph(g, members);
@@ -49,7 +52,7 @@ fn spectral_component(g: &SymmetricPattern, opts: &SpectralOptions) -> Result<Ve
     } else {
         fiedler(g, &opts.fiedler)?
     };
-    Ok(order_by_vector(g, &fr.vector))
+    Ok(order_by_vector_traced(g, &fr.vector, &opts.fiedler.trace))
 }
 
 /// Value-weighted variant of the spectral ordering: uses the **weighted**
@@ -95,9 +98,24 @@ pub fn spectral_ordering_weighted(
 /// nonincreasingly, evaluate both envelopes, return the better visit order.
 /// Exposed so callers with a precomputed Fiedler vector can reuse it.
 pub fn order_by_vector(g: &SymmetricPattern, values: &[f64]) -> Vec<usize> {
-    let asc = Permutation::sorting(values);
-    let desc = asc.reversed();
-    if envelope_size(g, &desc) < envelope_size(g, &asc) {
+    order_by_vector_traced(g, values, &Tracer::disabled())
+}
+
+/// [`order_by_vector`] recording `sort` and `envelope_eval` spans (the
+/// latter with both candidate envelope sizes) into `trace`.
+pub fn order_by_vector_traced(g: &SymmetricPattern, values: &[f64], trace: &Tracer) -> Vec<usize> {
+    let (asc, desc) = {
+        let _sort_sp = trace.span("sort");
+        let asc = Permutation::sorting(values);
+        let desc = asc.reversed();
+        (asc, desc)
+    };
+    let mut sp = trace.span("envelope_eval");
+    let e_asc = envelope_size(g, &asc);
+    let e_desc = envelope_size(g, &desc);
+    sp.attr("envelope_asc", e_asc as f64);
+    sp.attr("envelope_desc", e_desc as f64);
+    if e_desc < e_asc {
         desc.order().to_vec()
     } else {
         asc.order().to_vec()

@@ -22,7 +22,7 @@ use crate::proto::EncodedPerm;
 use se_order::Algorithm;
 use sparsemat::envelope::EnvelopeStats;
 use sparsemat::pattern::SymmetricPattern;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -168,6 +168,25 @@ pub struct ShardedOrderingCache {
     /// Byte budget per shard (total budget / shard count).
     shard_budget: usize,
     dir: Option<PathBuf>,
+    /// On-disk byte budget for the spill directory; `None` disables the
+    /// accounting entirely (the directory then only shrinks via memory-side
+    /// LRU evictions).
+    dir_budget: Option<u64>,
+    dir_state: Mutex<DirState>,
+}
+
+/// Oldest-first byte accounting of the spill directory, used only when a
+/// directory budget is configured. Seeded from file modification times at
+/// open; thereafter insertion order is authoritative.
+#[derive(Default)]
+struct DirState {
+    /// key → spill file size in bytes.
+    sizes: HashMap<u64, u64>,
+    /// Keys oldest-first. May contain stale keys (already deleted through
+    /// a memory-side eviction); they are skipped when popped.
+    order: VecDeque<u64>,
+    /// Sum of `sizes` values.
+    total: u64,
 }
 
 impl ShardedOrderingCache {
@@ -180,6 +199,8 @@ impl ShardedOrderingCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_budget: budget_bytes / shards,
             dir: None,
+            dir_budget: None,
+            dir_state: Mutex::new(DirState::default()),
         }
     }
 
@@ -192,14 +213,118 @@ impl ShardedOrderingCache {
         shards: usize,
         dir: impl Into<PathBuf>,
     ) -> std::io::Result<Self> {
+        Self::open_budgeted(budget_bytes, shards, dir, None)
+    }
+
+    /// Like [`ShardedOrderingCache::open`], additionally bounding the spill
+    /// directory to `dir_budget` bytes: every insert that pushes the
+    /// directory over the budget deletes the **oldest** spill files first
+    /// (insertion order, seeded from file modification times at open) until
+    /// it fits again. A deleted spill only costs a recomputation after the
+    /// next restart; the in-memory entry stays live.
+    pub fn open_budgeted(
+        budget_bytes: usize,
+        shards: usize,
+        dir: impl Into<PathBuf>,
+        dir_budget: Option<u64>,
+    ) -> std::io::Result<Self> {
         let dir: PathBuf = dir.into();
         std::fs::create_dir_all(&dir)?;
         let mut cache = Self::new(budget_bytes, shards);
         cache.dir = Some(dir.clone());
+        cache.dir_budget = dir_budget;
         for e in persist::load_all(&dir) {
             cache.insert_loaded(e);
         }
+        cache.seed_dir_state();
+        cache.trim_dir_to_budget();
         Ok(cache)
+    }
+
+    /// Rebuilds the directory accounting from what is actually on disk,
+    /// oldest modification time first (ties broken by key for determinism).
+    fn seed_dir_state(&self) {
+        let (Some(dir), Some(_)) = (&self.dir, self.dir_budget) else {
+            return;
+        };
+        let Ok(rd) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, u64, u64)> = rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let p = e.path();
+                if p.extension().and_then(|x| x.to_str()) != Some(persist::SPILL_EXT) {
+                    return None;
+                }
+                let key = u64::from_str_radix(p.file_stem()?.to_str()?, 16).ok()?;
+                let md = e.metadata().ok()?;
+                Some((md.modified().ok()?, key, md.len()))
+            })
+            .collect();
+        files.sort();
+        let mut st = self.dir_state.lock().unwrap();
+        *st = DirState::default();
+        for (_, key, size) in files {
+            st.sizes.insert(key, size);
+            st.order.push_back(key);
+            st.total += size;
+        }
+    }
+
+    /// Deletes oldest-first until the directory fits its budget.
+    fn trim_dir_to_budget(&self) {
+        let (Some(dir), Some(budget)) = (&self.dir, self.dir_budget) else {
+            return;
+        };
+        let mut st = self.dir_state.lock().unwrap();
+        while st.total > budget {
+            let Some(oldest) = st.order.pop_front() else {
+                break;
+            };
+            if let Some(size) = st.sizes.remove(&oldest) {
+                st.total -= size;
+                persist::remove(dir, oldest);
+            }
+        }
+    }
+
+    /// Records a freshly written spill file and enforces the directory
+    /// budget (no-op without one).
+    fn note_spill(&self, key: u64) {
+        let (Some(dir), Some(_)) = (&self.dir, self.dir_budget) else {
+            return;
+        };
+        let size = std::fs::metadata(persist::spill_path(dir, key)).map_or(0, |m| m.len());
+        {
+            let mut st = self.dir_state.lock().unwrap();
+            if let Some(old) = st.sizes.insert(key, size) {
+                st.total -= old;
+                st.order.retain(|&k| k != key);
+            }
+            st.order.push_back(key);
+            st.total += size;
+        }
+        self.trim_dir_to_budget();
+    }
+
+    /// Deletes a spill file and drops it from the directory accounting.
+    fn remove_spill(&self, key: u64) {
+        if let Some(dir) = &self.dir {
+            persist::remove(dir, key);
+            if self.dir_budget.is_some() {
+                let mut st = self.dir_state.lock().unwrap();
+                if let Some(size) = st.sizes.remove(&key) {
+                    st.total -= size;
+                }
+            }
+        }
+    }
+
+    /// Bytes the directory accounting currently charges (0 without a
+    /// directory budget).
+    pub fn dir_bytes(&self) -> u64 {
+        self.dir_state.lock().unwrap().total
     }
 
     /// The spill directory, when persistence is on.
@@ -305,15 +430,14 @@ impl ShardedOrderingCache {
                     perm: perm.to_vec(),
                 },
             );
+            self.note_spill(key);
         }
         let evicted = {
             let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
             shard.insert(key, entry, self.shard_budget)
         };
-        if let Some(dir) = &self.dir {
-            for key in evicted {
-                persist::remove(dir, key);
-            }
+        for key in evicted {
+            self.remove_spill(key);
         }
         payload
     }
@@ -329,19 +453,15 @@ impl ShardedOrderingCache {
             e.adjacency_len,
         );
         if entry.bytes > self.shard_budget {
-            if let Some(dir) = &self.dir {
-                persist::remove(dir, e.key);
-            }
+            self.remove_spill(e.key);
             return;
         }
         let evicted = {
             let mut shard = self.shards[self.shard_of(e.key)].lock().unwrap();
             shard.insert(e.key, entry, self.shard_budget)
         };
-        if let Some(dir) = &self.dir {
-            for key in evicted {
-                persist::remove(dir, key);
-            }
+        for key in evicted {
+            self.remove_spill(key);
         }
     }
 

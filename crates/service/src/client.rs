@@ -161,6 +161,24 @@ impl Client {
         }
     }
 
+    /// Fetches the Prometheus-style metrics text exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            _ => Err(ClientError::UnexpectedResponse("a METRICS response")),
+        }
+    }
+
+    /// Cancels the in-flight ORDER with client-assigned `id` (usually from
+    /// a second connection while the first blocks on the ORDER). Returns
+    /// whether the id was still pending.
+    pub fn cancel(&mut self, id: u64) -> Result<bool, ClientError> {
+        match self.roundtrip(&Request::Cancel { id })? {
+            Response::CancelOk { pending } => Ok(pending),
+            _ => Err(ClientError::UnexpectedResponse("a CANCEL ack")),
+        }
+    }
+
     /// Asks the server to drain and exit; returns the drained-job count.
     pub fn shutdown(&mut self) -> Result<u64, ClientError> {
         match self.roundtrip(&Request::Shutdown)? {

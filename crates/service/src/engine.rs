@@ -14,7 +14,9 @@ use crate::proto::{
     ErrorResponse, MatrixFormat, MatrixSource, OrderRequest, OrderResponse, PermPayload,
 };
 use crate::server::Config;
+use se_trace::Tracer;
 use sparsemat::pattern::SymmetricPattern;
+use std::collections::{HashSet, VecDeque};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering as AtOrd};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -36,9 +38,32 @@ pub struct Engine {
     shutdown_complete: (Mutex<bool>, Condvar),
     default_timeout: Duration,
     solver_threads: usize,
+    log_requests: bool,
+    cancel: Mutex<CancelState>,
     /// The listener's bound address — poked by [`Engine::begin_shutdown`]
     /// to wake the blocking accept loop.
     addr: SocketAddr,
+}
+
+/// Upper bound on remembered-but-unconsumed cancel marks. Marks are only
+/// set for ids that are pending, and the pending job consumes its mark, so
+/// this cap matters only when a queued job is dropped without ever running
+/// (e.g. the pool dies mid-shutdown) — it keeps that leak bounded.
+const CANCEL_SET_CAP: usize = 1024;
+
+/// Which client-assigned request ids are in flight and which have been
+/// cancelled. One mutex guards both sets so a cancel can never race a job's
+/// completion check: either the cancel lands while the id is pending (the
+/// job will observe it and suppress its response) or the job already
+/// finished (the cancel reports nothing to do).
+#[derive(Default)]
+struct CancelState {
+    /// Ids of ORDER requests currently queued or running.
+    pending: HashSet<u64>,
+    /// Ids cancelled but not yet observed by their job.
+    cancelled: HashSet<u64>,
+    /// Insertion order of `cancelled`, for the bounded-capacity eviction.
+    fifo: VecDeque<u64>,
 }
 
 /// A submitted job: the channel its result will arrive on, plus the
@@ -54,7 +79,12 @@ impl Engine {
     /// cannot be created.
     pub fn new(cfg: &Config, addr: SocketAddr) -> std::io::Result<Engine> {
         let cache = match &cfg.cache_dir {
-            Some(dir) => ShardedOrderingCache::open(cfg.cache_budget_bytes, cfg.cache_shards, dir)?,
+            Some(dir) => ShardedOrderingCache::open_budgeted(
+                cfg.cache_budget_bytes,
+                cfg.cache_shards,
+                dir,
+                cfg.cache_dir_budget,
+            )?,
             None => ShardedOrderingCache::new(cfg.cache_budget_bytes, cfg.cache_shards),
         };
         Ok(Engine {
@@ -65,6 +95,8 @@ impl Engine {
             shutdown_complete: (Mutex::new(false), Condvar::new()),
             default_timeout: Duration::from_millis(cfg.default_timeout_ms),
             solver_threads: cfg.solver_threads,
+            log_requests: cfg.log_requests,
+            cancel: Mutex::new(CancelState::default()),
             addr,
         })
     }
@@ -127,6 +159,53 @@ impl Engine {
         )
     }
 
+    /// Cancels the in-flight ORDER with client-assigned `id`. Returns
+    /// whether the id was still pending: a queued job is dropped before it
+    /// computes, a running one finishes but its response is replaced by an
+    /// error line. Cancelling an unknown (or already completed) id is a
+    /// no-op reporting `false`.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut st = self.cancel.lock().unwrap();
+        if !st.pending.contains(&id) {
+            return false;
+        }
+        if st.cancelled.insert(id) {
+            st.fifo.push_back(id);
+            if st.fifo.len() > CANCEL_SET_CAP {
+                if let Some(old) = st.fifo.pop_front() {
+                    st.cancelled.remove(&old);
+                }
+            }
+        }
+        true
+    }
+
+    fn register_pending(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.cancel.lock().unwrap().pending.insert(id);
+        }
+    }
+
+    fn unregister_pending(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            let mut st = self.cancel.lock().unwrap();
+            st.pending.remove(&id);
+            st.cancelled.remove(&id);
+        }
+    }
+
+    /// Job-side cancellation check: consumes the cancel mark for `id` if one
+    /// is set. With `finishing` the pending registration is dropped either
+    /// way (the job is done with the id).
+    fn consume_cancel(&self, id: u64, finishing: bool) -> bool {
+        let mut st = self.cancel.lock().unwrap();
+        let hit = st.cancelled.remove(&id);
+        if hit || finishing {
+            st.pending.remove(&id);
+        }
+        hit
+    }
+
     /// Submits one ordering job and waits for its result under the timeout.
     pub fn run_order(self: &Arc<Self>, req: OrderRequest) -> OrderOutcome {
         let pending = self.submit_order(req)?;
@@ -151,13 +230,34 @@ impl Engine {
             .map_or(self.default_timeout, Duration::from_millis);
         let (tx, rx) = mpsc::channel::<OrderOutcome>();
         let job_engine = Arc::clone(self);
+        let req_id = req.id;
+        self.register_pending(req_id);
         let submit = {
             let guard = self.pool.lock().unwrap();
             match guard.as_ref() {
                 Some(pool) => pool.try_submit(Box::new(move || {
+                    // A queued job whose id was cancelled is dropped before
+                    // it computes; one cancelled mid-run finishes but its
+                    // response is suppressed. Both paths answer the
+                    // submitter with the same error line.
+                    let outcome = if req
+                        .id
+                        .is_some_and(|id| job_engine.consume_cancel(id, false))
+                    {
+                        job_engine.metrics.inc(&job_engine.metrics.cancelled);
+                        Err(ErrorResponse::fatal("request cancelled"))
+                    } else {
+                        let out = job_engine.execute_order(&req);
+                        if req.id.is_some_and(|id| job_engine.consume_cancel(id, true)) {
+                            job_engine.metrics.inc(&job_engine.metrics.cancelled);
+                            Err(ErrorResponse::fatal("request cancelled"))
+                        } else {
+                            out
+                        }
+                    };
                     // The receiver may have timed out and gone; ignore send
                     // errors.
-                    let _ = tx.send(job_engine.execute_order(&req));
+                    let _ = tx.send(outcome);
                 })),
                 None => Err(SubmitError::ShuttingDown),
             }
@@ -165,10 +265,12 @@ impl Engine {
         match submit {
             Ok(()) => Ok(Pending { rx, timeout }),
             Err(SubmitError::QueueFull) => {
+                self.unregister_pending(req_id);
                 self.metrics.inc(&self.metrics.queue_rejections);
                 Err(ErrorResponse::retriable("queue full, retry later"))
             }
             Err(SubmitError::ShuttingDown) => {
+                self.unregister_pending(req_id);
                 self.metrics.inc(&self.metrics.errors);
                 Err(ErrorResponse::fatal("server is shutting down"))
             }
@@ -203,54 +305,85 @@ impl Engine {
                 return Err(e);
             }
         };
-        let (stats, payload, compression_ratio, cache_hit) =
-            match self.cache.get(&g, req.alg, req.compressed) {
-                Some(hit) => {
-                    self.metrics.inc(&self.metrics.cache_hits);
-                    (hit.stats, hit.payload, hit.compression_ratio, true)
+        // A traced request bypasses the cache lookup — its span tree must
+        // describe an actual computation — but the computed ordering is
+        // still inserted below for future untraced hits. The trace subtree
+        // itself is never cached.
+        let cached = if req.trace {
+            None
+        } else {
+            self.cache.get(&g, req.alg, req.compressed)
+        };
+        let (stats, payload, compression_ratio, cache_hit, trace) = match cached {
+            Some(hit) => {
+                self.metrics.inc(&self.metrics.cache_hits);
+                (hit.stats, hit.payload, hit.compression_ratio, true, None)
+            }
+            None => {
+                self.metrics.inc(&self.metrics.cache_misses);
+                // Clamp the client-supplied thread count to the machine's
+                // actual parallelism: `0` keeps its "all cores" meaning,
+                // anything else is capped so a hostile request can't make
+                // the server spawn an unbounded number of OS threads.
+                // (Decode already rejects values above
+                // `MAX_REQUEST_THREADS` as malformed.)
+                let threads = match req.threads.unwrap_or(self.solver_threads) {
+                    0 => 0,
+                    t => t.min(sparsemat::par::available_threads()),
+                };
+                let mut solver = se_order::SolverOpts::with_threads(threads);
+                // Every computed ordering runs under an enabled tracer: its
+                // span tree feeds the per-stage histograms METRICS exposes
+                // and, when the request asked, the response's trace field.
+                // An enabled tracer never changes numerical results.
+                let tracer = Tracer::enabled();
+                solver.trace = tracer.clone();
+                let computed = if req.compressed {
+                    se_order::order_compressed_with(&g, req.alg, &solver)
+                        .map(|(o, ratio)| (o, Some(ratio)))
+                } else {
+                    se_order::order_with(&g, req.alg, &solver).map(|o| (o, None))
+                };
+                let (o, ratio) = match computed {
+                    Ok(v) => v,
+                    Err(e) => {
+                        self.metrics.inc(&self.metrics.errors);
+                        return Err(ErrorResponse::fatal(format!(
+                            "{} ordering failed: {e}",
+                            req.alg.name()
+                        )));
+                    }
+                };
+                let payload =
+                    self.cache
+                        .insert(&g, req.alg, req.compressed, o.perm.order(), o.stats, ratio);
+                let root = tracer.finish();
+                if let Some(root) = &root {
+                    for name in root.stage_names() {
+                        self.metrics
+                            .record_stage_latency(name, root.stage_micros(name));
+                    }
                 }
-                None => {
-                    self.metrics.inc(&self.metrics.cache_misses);
-                    // Clamp the client-supplied thread count to the machine's
-                    // actual parallelism: `0` keeps its "all cores" meaning,
-                    // anything else is capped so a hostile request can't make
-                    // the server spawn an unbounded number of OS threads.
-                    // (Decode already rejects values above
-                    // `MAX_REQUEST_THREADS` as malformed.)
-                    let threads = match req.threads.unwrap_or(self.solver_threads) {
-                        0 => 0,
-                        t => t.min(sparsemat::par::available_threads()),
-                    };
-                    let solver = se_order::SolverOpts::with_threads(threads);
-                    let computed = if req.compressed {
-                        se_order::order_compressed_with(&g, req.alg, &solver)
-                            .map(|(o, ratio)| (o, Some(ratio)))
-                    } else {
-                        se_order::order_with(&g, req.alg, &solver).map(|o| (o, None))
-                    };
-                    let (o, ratio) = match computed {
-                        Ok(v) => v,
-                        Err(e) => {
-                            self.metrics.inc(&self.metrics.errors);
-                            return Err(ErrorResponse::fatal(format!(
-                                "{} ordering failed: {e}",
-                                req.alg.name()
-                            )));
-                        }
-                    };
-                    let payload = self.cache.insert(
-                        &g,
-                        req.alg,
-                        req.compressed,
-                        o.perm.order(),
-                        o.stats,
-                        ratio,
-                    );
-                    (o.stats, payload, ratio, false)
-                }
-            };
+                let trace = if req.trace {
+                    root.map(|r| Arc::<str>::from(r.render_json()))
+                } else {
+                    None
+                };
+                (o.stats, payload, ratio, false, trace)
+            }
+        };
         let micros = t0.elapsed().as_micros() as u64;
         self.metrics.record_latency(req.alg.name(), micros);
+        if self.log_requests {
+            eprintln!(
+                "[spectral-orderd] op=order id={} alg={} n={} nnz={} cache={} micros={micros}",
+                req.id.map_or_else(|| "-".to_string(), |i| i.to_string()),
+                req.alg.name(),
+                g.n(),
+                g.nnz_lower_with_diagonal(),
+                if cache_hit { "hit" } else { "miss" },
+            );
+        }
         Ok(OrderResponse {
             alg: req.alg.name().to_string(),
             n: g.n(),
@@ -260,7 +393,24 @@ impl Engine {
             cache_hit,
             micros,
             compression_ratio,
+            trace,
         })
+    }
+
+    /// The METRICS exposition: the live counters, pool depth and per-shard
+    /// cache stats rendered as Prometheus text
+    /// ([`Metrics::render_prometheus`]).
+    pub fn metrics_text(&self) -> String {
+        let (depth, active) = match self.pool.lock().unwrap().as_ref() {
+            Some(p) => (p.queue_depth(), p.active()),
+            None => (0, 0),
+        };
+        self.metrics.render_prometheus(
+            depth,
+            active,
+            &self.cache.shard_stats(),
+            self.cache.dir().is_some(),
+        )
     }
 }
 

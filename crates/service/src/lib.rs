@@ -23,12 +23,16 @@
 //!   and the test harness.
 //!
 //! The wire protocol ([`proto`]) is newline-delimited JSON — commands
-//! `HELLO`, `ORDER`, `BATCH`, `STATS`, `SHUTDOWN` — with optional
-//! length-prefixed binary permutation frames after HELLO negotiation.
-//! Responses are bit-identical in content across both frame modes and any
-//! shard count. Everything is built on `std` alone (`std::net`, threads,
-//! channels); the JSON layer ([`json`]) is hand-rolled so the service adds
-//! no external dependencies to the workspace.
+//! `HELLO`, `ORDER`, `BATCH`, `STATS`, `METRICS`, `CANCEL`, `SHUTDOWN` —
+//! with optional length-prefixed binary permutation frames after HELLO
+//! negotiation. Responses are bit-identical in content across both frame
+//! modes and any shard count. `ORDER` accepts `"trace":true` to return the
+//! hierarchical span tree of the computation (`se_trace`), `METRICS`
+//! exposes the counters and per-stage latency histograms as Prometheus
+//! text, and `CANCEL` revokes a queued request by client-assigned id.
+//! Everything is built on `std` alone (`std::net`, threads, channels); the
+//! JSON layer ([`json`]) is hand-rolled so the service adds no external
+//! dependencies to the workspace.
 
 pub mod cache;
 pub mod client;

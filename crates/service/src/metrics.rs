@@ -34,6 +34,18 @@ impl Histogram {
         self.count
     }
 
+    /// The raw bucket counts (bucket `i` counts `[2^i, 2^(i+1))` µs, the
+    /// last bucket open-ended) — what the Prometheus exposition renders as
+    /// cumulative `_bucket` lines.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Sum of every recorded observation in µs.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros
+    }
+
     /// Upper-bound estimate of the `q`-quantile (0 < q <= 1) in µs: the
     /// upper edge of the bucket containing the quantile rank.
     pub fn quantile_micros(&self, q: f64) -> u64 {
@@ -90,8 +102,15 @@ pub struct Metrics {
     pub connections: AtomicU64,
     /// Connections turned away at the limit with a retriable busy error.
     pub busy_rejections: AtomicU64,
+    /// ORDER requests whose response was suppressed by a CANCEL (dropped
+    /// while queued or finished-but-discarded).
+    pub cancelled: AtomicU64,
     /// name() → latency histogram, one per algorithm seen.
     latency: Mutex<Vec<(String, Histogram)>>,
+    /// Pipeline stage name → histogram of per-request time spent in that
+    /// stage (summed over the span subtree), harvested from the tracer on
+    /// every computed (cache-miss) ordering.
+    stage_latency: Mutex<Vec<(String, Histogram)>>,
 }
 
 impl Metrics {
@@ -107,13 +126,23 @@ impl Metrics {
 
     /// Records a completed ordering's latency under its algorithm name.
     pub fn record_latency(&self, alg_name: &str, micros: u64) {
-        let mut table = self.latency.lock().unwrap();
-        match table.iter_mut().find(|(name, _)| name == alg_name) {
+        Self::record_keyed(&self.latency, alg_name, micros);
+    }
+
+    /// Records the per-request time one pipeline stage took (the subtree
+    /// sum for that stage name from the request's span trace).
+    pub fn record_stage_latency(&self, stage: &str, micros: u64) {
+        Self::record_keyed(&self.stage_latency, stage, micros);
+    }
+
+    fn record_keyed(table: &Mutex<Vec<(String, Histogram)>>, key: &str, micros: u64) {
+        let mut table = table.lock().unwrap();
+        match table.iter_mut().find(|(name, _)| name == key) {
             Some((_, h)) => h.record(micros),
             None => {
                 let mut h = Histogram::default();
                 h.record(micros);
-                table.push((alg_name.to_string(), h));
+                table.push((key.to_string(), h));
             }
         }
     }
@@ -125,6 +154,16 @@ impl Metrics {
             .unwrap()
             .iter()
             .find(|(name, _)| name == alg_name)
+            .map_or(0, |(_, h)| h.count())
+    }
+
+    /// Total recorded per-stage observations for `stage`.
+    pub fn stage_latency_count(&self, stage: &str) -> u64 {
+        self.stage_latency
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(name, _)| name == stage)
             .map_or(0, |(_, h)| h.count())
     }
 
@@ -176,12 +215,204 @@ impl Metrics {
             ("errors", load(&self.errors)),
             ("connections", load(&self.connections)),
             ("busy_rejections", load(&self.busy_rejections)),
+            ("cancelled", load(&self.cancelled)),
             ("queue_depth", Json::Num(queue_depth as f64)),
             ("active_jobs", Json::Num(active as f64)),
             ("cached_orderings", Json::Num(cached_entries as f64)),
             ("cache", cache_obj),
             ("latency_us_by_algorithm", Json::Obj(latency)),
         ])
+    }
+
+    /// Renders the metrics in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP`/`# TYPE` headers, counters and gauges as
+    /// single samples, histograms as cumulative `_bucket{le="…"}` series
+    /// with `_sum` and `_count`. Latency histograms are labelled by
+    /// algorithm, per-stage solver-time histograms by pipeline stage, cache
+    /// gauges by shard.
+    pub fn render_prometheus(
+        &self,
+        queue_depth: usize,
+        active: usize,
+        cache: &[crate::cache::ShardStats],
+        persistent: bool,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        counter(
+            "se_requests_total",
+            "Request lines received (any command).",
+            load(&self.requests),
+        );
+        counter(
+            "se_orders_total",
+            "Individual ORDER executions (batch members count individually).",
+            load(&self.orders),
+        );
+        counter(
+            "se_batches_total",
+            "BATCH commands received.",
+            load(&self.batches),
+        );
+        counter(
+            "se_cache_hits_total",
+            "Orderings served from the cache.",
+            load(&self.cache_hits),
+        );
+        counter(
+            "se_cache_misses_total",
+            "Orderings computed because the cache missed.",
+            load(&self.cache_misses),
+        );
+        counter(
+            "se_queue_rejections_total",
+            "Submissions rejected with queue-full backpressure.",
+            load(&self.queue_rejections),
+        );
+        counter(
+            "se_timeouts_total",
+            "Requests that exceeded their wall-clock timeout.",
+            load(&self.timeouts),
+        );
+        counter(
+            "se_errors_total",
+            "Requests that failed (parse errors, bad input, I/O).",
+            load(&self.errors),
+        );
+        counter(
+            "se_connections_total",
+            "Connections accepted.",
+            load(&self.connections),
+        );
+        counter(
+            "se_busy_rejections_total",
+            "Connections turned away at the connection limit.",
+            load(&self.busy_rejections),
+        );
+        counter(
+            "se_cancelled_total",
+            "ORDER requests whose response was suppressed by a CANCEL.",
+            load(&self.cancelled),
+        );
+
+        let mut gauge = |name: &str, help: &str, v: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        gauge(
+            "se_queue_depth",
+            "Jobs waiting in the worker pool queue.",
+            queue_depth as f64,
+        );
+        gauge(
+            "se_active_jobs",
+            "Jobs currently executing on pool workers.",
+            active as f64,
+        );
+        gauge(
+            "se_cache_persistent",
+            "Whether the ordering cache spills to disk (1) or not (0).",
+            u8::from(persistent) as f64,
+        );
+
+        type ShardField = fn(&crate::cache::ShardStats) -> f64;
+        let shard_fields: [(&str, &str, ShardField); 4] = [
+            (
+                "se_cache_shard_entries",
+                "Cached orderings per cache shard.",
+                |s| s.entries as f64,
+            ),
+            (
+                "se_cache_shard_bytes",
+                "Bytes charged against each shard's budget.",
+                |s| s.bytes as f64,
+            ),
+            (
+                "se_cache_shard_hits",
+                "Lookups answered per cache shard.",
+                |s| s.hits as f64,
+            ),
+            (
+                "se_cache_shard_misses",
+                "Lookups each cache shard could not answer.",
+                |s| s.misses as f64,
+            ),
+        ];
+        for (metric, help, value) in shard_fields {
+            let _ = writeln!(out, "# HELP {metric} {help}");
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            for (i, s) in cache.iter().enumerate() {
+                let _ = writeln!(out, "{metric}{{shard=\"{i}\"}} {}", value(s));
+            }
+        }
+
+        let histogram_family = |out: &mut String,
+                                metric: &str,
+                                help: &str,
+                                label: &str,
+                                table: &[(String, Histogram)]| {
+            let _ = writeln!(out, "# HELP {metric} {help}");
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            for (key, h) in table {
+                let mut cumulative = 0u64;
+                for (i, &c) in h.buckets().iter().enumerate().take(HISTOGRAM_BUCKETS - 1) {
+                    cumulative += c;
+                    let le = 1u64 << (i + 1);
+                    let _ = writeln!(
+                        out,
+                        "{metric}_bucket{{{label}=\"{key}\",le=\"{le}\"}} {cumulative}"
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{metric}_bucket{{{label}=\"{key}\",le=\"+Inf\"}} {}",
+                    h.count()
+                );
+                let _ = writeln!(out, "{metric}_sum{{{label}=\"{key}\"}} {}", h.sum_micros());
+                let _ = writeln!(out, "{metric}_count{{{label}=\"{key}\"}} {}", h.count());
+            }
+        };
+        let sorted = |table: &Mutex<Vec<(String, Histogram)>>| {
+            let table = table.lock().unwrap();
+            let mut rows: Vec<(String, Histogram)> = table
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        Histogram {
+                            buckets: h.buckets,
+                            count: h.count,
+                            sum_micros: h.sum_micros,
+                            max_micros: h.max_micros,
+                        },
+                    )
+                })
+                .collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            rows
+        };
+        histogram_family(
+            &mut out,
+            "se_order_latency_microseconds",
+            "End-to-end ORDER latency by algorithm.",
+            "alg",
+            &sorted(&self.latency),
+        );
+        histogram_family(
+            &mut out,
+            "se_stage_latency_microseconds",
+            "Per-request solver time by pipeline stage (span subtree sums).",
+            "stage",
+            &sorted(&self.stage_latency),
+        );
+        out
     }
 }
 

@@ -6,6 +6,8 @@
 //! * `ORDER` — order one matrix (inline payload or server-side path),
 //! * `BATCH` — a pipelined vector of ORDER requests answered in one line,
 //! * `STATS` — live metrics snapshot,
+//! * `CANCEL` — cancel a queued/running ORDER by its client-assigned id,
+//! * `METRICS` — Prometheus-style text exposition of the server's metrics,
 //! * `SHUTDOWN` — graceful drain; the server finishes queued work first.
 //!
 //! ```text
@@ -127,6 +129,16 @@ pub struct OrderRequest {
     /// (see `se_order::order_compressed_with`). Changes the resulting
     /// permutation, so — unlike `threads` — it **is** part of the cache key.
     pub compressed: bool,
+    /// Record a hierarchical span trace of the pipeline and return it as a
+    /// `trace` subtree in the response. Traced requests always recompute
+    /// (the cache is bypassed on lookup, though the resulting ordering is
+    /// still inserted) and the trace itself is never cached.
+    pub trace: bool,
+    /// Optional client-assigned request id, echoed nowhere but usable as
+    /// the target of a later `CANCEL` command (typically from a second
+    /// connection). Ids are only tracked while the request is queued or
+    /// running; reusing an id after completion is harmless.
+    pub id: Option<u64>,
 }
 
 /// Upper bound accepted for the wire `threads` field.
@@ -149,6 +161,8 @@ impl OrderRequest {
             include_perm: true,
             threads: None,
             compressed: false,
+            trace: false,
+            id: None,
         }
     }
 }
@@ -167,6 +181,15 @@ pub enum Request {
     Batch(Vec<OrderRequest>),
     /// Metrics snapshot.
     Stats,
+    /// Cancel a previously submitted ORDER by its client-assigned `id`.
+    /// Queued requests are dropped; running ones finish but their response
+    /// is suppressed (the submitter gets an error line instead).
+    Cancel {
+        /// The `id` of the ORDER request to cancel.
+        id: u64,
+    },
+    /// Prometheus-style text exposition of the server's metrics.
+    Metrics,
     /// Graceful drain and exit.
     Shutdown,
 }
@@ -277,6 +300,12 @@ pub struct OrderResponse {
     /// Supervariable compression ratio (`n / n_supervariables`); present
     /// only when the request set `compressed: true`.
     pub compression_ratio: Option<f64>,
+    /// Pre-rendered compact JSON of the span tree (`se_trace::SpanNode`
+    /// rendered with `render_json`); present only when the request set
+    /// `trace: true`. Spliced verbatim into the response line and never
+    /// cached. Decoding re-renders the subtree, so the text may differ in
+    /// float formatting while describing the identical tree.
+    pub trace: Option<Arc<str>>,
 }
 
 /// An error outcome.
@@ -320,6 +349,14 @@ pub enum Response {
     Batch(Vec<Result<OrderResponse, ErrorResponse>>),
     /// STATS snapshot (opaque JSON, schema documented in `metrics`).
     Stats(Json),
+    /// METRICS result: Prometheus-style text exposition.
+    Metrics(String),
+    /// CANCEL acknowledged.
+    CancelOk {
+        /// Whether the id was still pending (queued or running) when the
+        /// cancel landed; `false` means there was nothing to cancel.
+        pending: bool,
+    },
     /// SHUTDOWN acknowledged; `drained` jobs finished before the ack.
     ShutdownOk {
         /// Jobs completed during the drain.
@@ -418,6 +455,9 @@ fn order_body_to_json(r: &OrderResponse, mode: FrameMode, frames: &mut Vec<Frame
     if let Some(ratio) = r.compression_ratio {
         pairs.push(("compression_ratio", Json::Num(ratio)));
     }
+    if let Some(trace) = &r.trace {
+        pairs.push(("trace", Json::Raw(Arc::clone(trace))));
+    }
     match (&r.perm, mode) {
         (None, _) | (Some(PermPayload::Framed), _) => {}
         (Some(p), FrameMode::Ndjson) => {
@@ -478,6 +518,7 @@ fn order_response_from_json(v: &Json) -> Result<OrderResponse, ProtoError> {
         cache_hit: v.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
         micros: v.get("micros").and_then(Json::as_u64).unwrap_or(0),
         compression_ratio: v.get("compression_ratio").and_then(Json::as_f64),
+        trace: v.get("trace").map(|t| t.to_string_compact().into()),
     })
 }
 
@@ -523,6 +564,15 @@ pub fn encode_response_framed(r: &Response, mode: FrameMode) -> (String, Vec<Fra
             ),
         ]),
         Response::Stats(s) => Json::obj(vec![("ok", Json::Bool(true)), ("stats", s.clone())]),
+        Response::Metrics(text) => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("metrics", Json::Str(text.clone())),
+        ]),
+        Response::CancelOk { pending } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("cancelled", Json::Bool(true)),
+            ("pending", Json::Bool(*pending)),
+        ]),
         Response::ShutdownOk { drained } => Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("shutdown", Json::Bool(true)),
@@ -585,6 +635,14 @@ pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
             drained: v.get("drained").and_then(Json::as_u64).unwrap_or(0),
         });
     }
+    if v.get("cancelled").and_then(Json::as_bool) == Some(true) {
+        return Ok(Response::CancelOk {
+            pending: v.get("pending").and_then(Json::as_bool).unwrap_or(false),
+        });
+    }
+    if let Some(text) = v.get("metrics").and_then(Json::as_str) {
+        return Ok(Response::Metrics(text.to_string()));
+    }
     if let Some(s) = v.get("stats") {
         // An ORDER response also carries "stats"; disambiguate by "alg".
         if v.get("alg").is_none() {
@@ -626,6 +684,12 @@ pub fn encode_request(r: &Request) -> String {
         if o.compressed {
             pairs.push(("compressed".to_string(), Json::Bool(true)));
         }
+        if o.trace {
+            pairs.push(("trace".to_string(), Json::Bool(true)));
+        }
+        if let Some(id) = o.id {
+            pairs.push(("id".to_string(), Json::Num(id as f64)));
+        }
         pairs
     }
     let v = match r {
@@ -642,6 +706,11 @@ pub fn encode_request(r: &Request) -> String {
             ),
         ]),
         Request::Stats => Json::obj(vec![("cmd", Json::Str("STATS".to_string()))]),
+        Request::Cancel { id } => Json::obj(vec![
+            ("cmd", Json::Str("CANCEL".to_string())),
+            ("id", Json::Num(*id as f64)),
+        ]),
+        Request::Metrics => Json::obj(vec![("cmd", Json::Str("METRICS".to_string()))]),
         Request::Shutdown => Json::obj(vec![("cmd", Json::Str("SHUTDOWN".to_string()))]),
     };
     v.to_string_compact()
@@ -696,6 +765,10 @@ fn order_request_from_json(v: &Json) -> Result<OrderRequest, ProtoError> {
             Some(t as usize)
         }
     };
+    let id = match v.get("id") {
+        None => None,
+        Some(i) => Some(i.as_u64().ok_or_else(|| shape("id must be an integer"))?),
+    };
     Ok(OrderRequest {
         alg,
         source,
@@ -706,6 +779,8 @@ fn order_request_from_json(v: &Json) -> Result<OrderRequest, ProtoError> {
             .unwrap_or(true),
         threads,
         compressed: v.get("compressed").and_then(Json::as_bool).unwrap_or(false),
+        trace: v.get("trace").and_then(Json::as_bool).unwrap_or(false),
+        id,
     })
 }
 
@@ -744,6 +819,14 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
                 .map(Request::Batch)
         }
         "STATS" => Ok(Request::Stats),
+        "CANCEL" => {
+            let id = v
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| shape("CANCEL needs an integer id"))?;
+            Ok(Request::Cancel { id })
+        }
+        "METRICS" => Ok(Request::Metrics),
         "SHUTDOWN" => Ok(Request::Shutdown),
         other => Err(shape(format!("unknown cmd '{other}'"))),
     }
@@ -777,6 +860,8 @@ mod tests {
             include_perm: false,
             threads: Some(4),
             compressed: true,
+            trace: true,
+            id: Some(77),
         });
         let line = encode_request(&req);
         assert!(!line.contains('\n'));
@@ -834,6 +919,8 @@ mod tests {
             include_perm: true,
             threads: None,
             compressed: false,
+            trace: false,
+            id: None,
         };
         let req = Request::Batch(vec![one.clone(), one]);
         let line = encode_request(&req);
@@ -842,8 +929,86 @@ mod tests {
 
     #[test]
     fn control_requests_roundtrip() {
-        for r in [Request::Stats, Request::Shutdown] {
+        for r in [
+            Request::Stats,
+            Request::Metrics,
+            Request::Cancel { id: 42 },
+            Request::Shutdown,
+        ] {
             assert_eq!(decode_request(&encode_request(&r)).unwrap(), r);
+        }
+        assert!(decode_request(r#"{"cmd":"CANCEL"}"#).is_err());
+        assert!(decode_request(r#"{"cmd":"CANCEL","id":"seven"}"#).is_err());
+    }
+
+    #[test]
+    fn trace_and_id_default_off() {
+        match decode_request(r#"{"cmd":"ORDER","path":"/m.mtx"}"#).unwrap() {
+            Request::Order(o) => {
+                assert!(!o.trace);
+                assert_eq!(o.id, None);
+            }
+            other => panic!("expected ORDER, got {other:?}"),
+        }
+        match decode_request(r#"{"cmd":"ORDER","path":"/m.mtx","trace":true,"id":9}"#).unwrap() {
+            Request::Order(o) => {
+                assert!(o.trace);
+                assert_eq!(o.id, Some(9));
+            }
+            other => panic!("expected ORDER, got {other:?}"),
+        }
+        // An untraced response line carries no trace field at all.
+        let resp = Response::Order(OrderResponse {
+            alg: "RCM".into(),
+            n: 2,
+            nnz: 3,
+            stats: sample_stats(),
+            perm: None,
+            cache_hit: false,
+            micros: 1,
+            compression_ratio: None,
+            trace: None,
+        });
+        assert!(!encode_response(&resp).contains("trace"));
+    }
+
+    #[test]
+    fn traced_response_splices_and_survives_roundtrip() {
+        let tree =
+            r#"{"name":"order","wall_micros":12,"children":[{"name":"stats","wall_micros":3}]}"#;
+        let resp = Response::Order(OrderResponse {
+            alg: "SPECTRAL".into(),
+            n: 4,
+            nnz: 10,
+            stats: sample_stats(),
+            perm: Some(vec![2, 0, 3, 1].into()),
+            cache_hit: false,
+            micros: 512,
+            compression_ratio: None,
+            trace: Some(tree.into()),
+        });
+        let line = encode_response(&resp);
+        assert!(line.contains(r#""trace":{"name":"order""#));
+        match decode_response(&line).unwrap() {
+            Response::Order(o) => {
+                let t = o.trace.expect("trace subtree");
+                // Decoding re-renders the subtree; it stays an object with
+                // the same structure.
+                assert!(t.contains(r#""name":"order""#));
+                assert!(t.contains(r#""name":"stats""#));
+            }
+            other => panic!("expected ORDER, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_and_cancel_responses_roundtrip() {
+        let m =
+            Response::Metrics("# HELP se_requests_total requests\nse_requests_total 3\n".into());
+        assert_eq!(decode_response(&encode_response(&m)).unwrap(), m);
+        for pending in [true, false] {
+            let c = Response::CancelOk { pending };
+            assert_eq!(decode_response(&encode_response(&c)).unwrap(), c);
         }
     }
 
@@ -858,6 +1023,7 @@ mod tests {
             cache_hit: true,
             micros: 512,
             compression_ratio: Some(2.5),
+            trace: None,
         });
         assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
     }
@@ -874,6 +1040,7 @@ mod tests {
             cache_hit: false,
             micros: 9,
             compression_ratio: None,
+            trace: None,
         };
         let cached = OrderResponse {
             perm: Some(PermPayload::Cached(Arc::new(EncodedPerm::new(perm)))),
@@ -911,6 +1078,7 @@ mod tests {
             cache_hit: false,
             micros: 11,
             compression_ratio: None,
+            trace: None,
         });
         let (line, frames) = encode_response_framed(&resp, FrameMode::Binary);
         assert_eq!(frames.len(), 1);
@@ -938,6 +1106,7 @@ mod tests {
                 cache_hit: false,
                 micros: 88,
                 compression_ratio: None,
+                trace: None,
             }),
             Err(ErrorResponse::retriable("queue full")),
         ]);

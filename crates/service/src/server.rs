@@ -31,6 +31,11 @@ pub struct Config {
     /// Spill directory for cache persistence; `None` keeps the cache purely
     /// in memory. Entries in the directory are reloaded at startup.
     pub cache_dir: Option<PathBuf>,
+    /// On-disk byte budget for the spill directory; `None` leaves the
+    /// directory bounded only by the in-memory budget's evictions. When
+    /// set, inserting a spill file deletes the oldest files first until the
+    /// directory fits the budget again.
+    pub cache_dir_budget: Option<u64>,
     /// Maximum simultaneously connected clients; connections beyond the
     /// limit get one retriable `server busy` error line and are closed.
     pub max_conns: usize,
@@ -42,6 +47,9 @@ pub struct Config {
     /// the cache key deliberately ignores it. Effective only with the
     /// `parallel` feature; otherwise every job runs serially.
     pub solver_threads: usize,
+    /// Emit one log line per completed ORDER (id, algorithm, n/nnz, cache
+    /// hit/miss, total µs) on stderr.
+    pub log_requests: bool,
 }
 
 impl Default for Config {
@@ -53,9 +61,11 @@ impl Default for Config {
             cache_budget_bytes: 32 << 20,
             cache_shards: 8,
             cache_dir: None,
+            cache_dir_budget: None,
             max_conns: 1024,
             default_timeout_ms: 30_000,
             solver_threads: 1,
+            log_requests: false,
         }
     }
 }

@@ -43,6 +43,10 @@ pub fn run(mut conn: Conn, engine: &Arc<Engine>) {
                 Response::Batch(engine.run_batch(reqs))
             }
             Ok(Request::Stats) => Response::Stats(engine.stats_snapshot()),
+            Ok(Request::Cancel { id }) => Response::CancelOk {
+                pending: engine.cancel(id),
+            },
+            Ok(Request::Metrics) => Response::Metrics(engine.metrics_text()),
             Ok(Request::Shutdown) => {
                 let drained = engine.begin_shutdown();
                 let resp = Response::ShutdownOk { drained };

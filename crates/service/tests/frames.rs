@@ -21,6 +21,8 @@ fn chaco_request(g: &SymmetricPattern, alg: se_order::Algorithm) -> OrderRequest
         include_perm: true,
         threads: None,
         compressed: false,
+        trace: false,
+        id: None,
     }
 }
 

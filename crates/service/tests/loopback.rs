@@ -25,6 +25,8 @@ fn chaco_request(g: &SymmetricPattern, alg: se_order::Algorithm) -> OrderRequest
         include_perm: true,
         threads: None,
         compressed: false,
+        trace: false,
+        id: None,
     }
 }
 
@@ -168,6 +170,8 @@ fn concurrent_clients_share_the_cache() {
                     include_perm: true,
                     threads: None,
                     compressed: false,
+                    trace: false,
+                    id: None,
                 };
                 client.order(req).unwrap()
             })
@@ -323,6 +327,8 @@ fn malformed_lines_get_errors_but_the_connection_survives() {
         include_perm: true,
         threads: None,
         compressed: false,
+        trace: false,
+        id: None,
     });
     writeln!(writer, "{}", se_service::proto::encode_request(&req)).unwrap();
     line.clear();

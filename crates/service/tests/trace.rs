@@ -1,0 +1,321 @@
+//! End-to-end tests for the observability surface: traced ORDERs return
+//! the span tree over the wire and bypass the cache without poisoning it,
+//! tracing never perturbs results, METRICS exposes a parseable
+//! Prometheus-style text exposition, CANCEL suppresses queued work, and
+//! the spill-directory budget caps disk use across restarts.
+
+use se_service::json::{self, Json};
+use se_service::proto::{MatrixFormat, MatrixSource, OrderRequest};
+use se_service::{serve, Client, ClientError, Config};
+use sparsemat::io::write_chaco_string;
+use sparsemat::pattern::SymmetricPattern;
+
+fn chaco_request(g: &SymmetricPattern, alg: se_order::Algorithm) -> OrderRequest {
+    OrderRequest {
+        alg,
+        source: MatrixSource::Inline {
+            format: MatrixFormat::Chaco,
+            payload: write_chaco_string(g),
+        },
+        timeout_ms: None,
+        include_perm: true,
+        threads: None,
+        compressed: false,
+        trace: false,
+        id: None,
+    }
+}
+
+fn span_names(node: &Json, out: &mut Vec<String>) {
+    if let Some(name) = node.get("name").and_then(Json::as_str) {
+        out.push(name.to_string());
+    }
+    if let Some(children) = node.get("children").and_then(Json::as_arr) {
+        for c in children {
+            span_names(c, out);
+        }
+    }
+}
+
+/// `"trace":true` returns the span tree, recomputes even on a warm cache,
+/// and leaves the cache serving untraced repeats; tracing never changes
+/// the permutation.
+#[test]
+fn traced_orders_return_the_span_tree_and_bypass_the_cache() {
+    let handle = serve(Config::default()).expect("bind");
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let g = meshgen::grid2d(13, 11);
+
+    let first = client
+        .order(chaco_request(&g, se_order::Algorithm::Spectral))
+        .unwrap();
+    assert!(!first.cache_hit);
+    assert!(first.trace.is_none(), "untraced orders carry no trace");
+
+    let hit = client
+        .order(chaco_request(&g, se_order::Algorithm::Spectral))
+        .unwrap();
+    assert!(hit.cache_hit);
+    assert!(hit.trace.is_none());
+
+    let mut req = chaco_request(&g, se_order::Algorithm::Spectral);
+    req.trace = true;
+    let traced = client.order(req).unwrap();
+    assert!(
+        !traced.cache_hit,
+        "a traced request must describe an actual computation"
+    );
+    let tree = json::parse(traced.trace.as_deref().expect("a trace subtree")).expect("valid JSON");
+    assert_eq!(tree.get("name").and_then(Json::as_str), Some("order"));
+    assert!(tree.get("wall_us").and_then(Json::as_u64).is_some());
+    let mut names = Vec::new();
+    span_names(&tree, &mut names);
+    for stage in [
+        "order",
+        "spectral",
+        "fiedler",
+        "coarsen",
+        "sort",
+        "envelope_eval",
+    ] {
+        assert!(
+            names.iter().any(|n| n == stage),
+            "missing {stage} in {names:?}"
+        );
+    }
+    assert_eq!(
+        traced.perm, first.perm,
+        "tracing must not perturb the permutation"
+    );
+
+    let again = client
+        .order(chaco_request(&g, se_order::Algorithm::Spectral))
+        .unwrap();
+    assert!(again.cache_hit, "the traced run must not evict the entry");
+    assert_eq!(again.perm, first.perm);
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// Hand-rolled Prometheus text-format checks: every sample line parses,
+/// every family announces HELP and TYPE first, the per-stage histograms
+/// exist, buckets are cumulative and agree with `_count`.
+#[test]
+fn metrics_exposition_is_wellformed() {
+    let handle = serve(Config::default()).expect("bind");
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let g = meshgen::grid2d(12, 10);
+    client
+        .order(chaco_request(&g, se_order::Algorithm::Spectral))
+        .unwrap();
+    client
+        .order(chaco_request(&g, se_order::Algorithm::Spectral))
+        .unwrap();
+
+    let text = client.metrics().unwrap();
+    let mut announced: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.splitn(3, ' ');
+            let kind = words.next().unwrap();
+            let family = words.next().expect("a family name");
+            assert!(matches!(kind, "HELP" | "TYPE"), "bad comment: {line}");
+            assert!(words.next().is_some(), "no text after the family: {line}");
+            if kind == "TYPE" {
+                announced.push(family);
+            }
+            continue;
+        }
+        // Sample: `name value` or `name{labels} value`, value a number.
+        let (series, value) = line.rsplit_once(' ').expect("a sample line");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name in: {line}"
+        );
+        assert!(value.parse::<f64>().is_ok(), "bad value in: {line}");
+        let family = name
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count");
+        assert!(
+            announced.contains(&family),
+            "sample before its TYPE line: {line}"
+        );
+    }
+
+    for must in [
+        "\nse_requests_total ",
+        "\nse_orders_total 2",
+        "\nse_cache_hits_total 1",
+        "\nse_cache_misses_total 1",
+        "\nse_cancelled_total 0",
+        "\nse_queue_depth ",
+        "se_cache_shard_entries{shard=\"0\"}",
+        "se_order_latency_microseconds_bucket{alg=\"SPECTRAL\",le=\"+Inf\"} 2",
+        "se_order_latency_microseconds_count{alg=\"SPECTRAL\"} 2",
+        "se_stage_latency_microseconds_bucket{stage=\"fiedler\"",
+        "se_stage_latency_microseconds_bucket{stage=\"coarsen\"",
+    ] {
+        assert!(text.contains(must), "missing `{}` in:\n{text}", must.trim());
+    }
+
+    // Buckets are cumulative: counts never decrease as `le` widens.
+    let fiedler: Vec<f64> = text
+        .lines()
+        .filter(|l| l.starts_with("se_stage_latency_microseconds_bucket{stage=\"fiedler\""))
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+        .collect();
+    assert!(!fiedler.is_empty());
+    assert!(
+        fiedler.windows(2).all(|w| w[0] <= w[1]),
+        "buckets must be cumulative: {fiedler:?}"
+    );
+    assert_eq!(*fiedler.last().unwrap(), 1.0, "+Inf bucket equals count");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// CANCEL from a second connection: the queued request never runs (its
+/// client gets the fatal `request cancelled` error), the busy worker's
+/// request completes untouched, and the cancelled counter ticks.
+#[test]
+fn cancel_suppresses_a_queued_order() {
+    let handle = serve(Config {
+        workers: 1,
+        ..Config::default()
+    })
+    .expect("bind");
+    let addr = handle.local_addr();
+
+    // Connection A occupies the only worker with a slow spectral order.
+    let slow = meshgen::grid2d(70, 60);
+    let slow_req = chaco_request(&slow, se_order::Algorithm::Spectral);
+    let a = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.order(slow_req)
+    });
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // Connection B queues a small order with a client id.
+    let mut queued = chaco_request(&meshgen::grid2d(6, 5), se_order::Algorithm::Rcm);
+    queued.id = Some(9);
+    let b = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.order(queued)
+    });
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // Connection C cancels it while it waits behind the slow job.
+    let mut control = Client::connect(addr).unwrap();
+    assert!(control.cancel(9).unwrap(), "id 9 must still be pending");
+    assert!(!control.cancel(999).unwrap(), "unknown ids are not pending");
+
+    match b.join().unwrap() {
+        Err(ClientError::Server(e)) => {
+            assert!(!e.retriable);
+            assert!(e.error.contains("cancelled"), "got: {}", e.error);
+        }
+        other => panic!("expected the cancelled error, got {other:?}"),
+    }
+    let slow_result = a.join().unwrap().expect("the running order completes");
+    assert!(!slow_result.cache_hit);
+
+    let stats = control.stats().unwrap();
+    assert_eq!(stats.get("cancelled").and_then(Json::as_u64), Some(1));
+
+    control.shutdown().unwrap();
+    handle.join();
+}
+
+/// `cache_dir_budget` bounds the spill directory: oldest entries are
+/// deleted first, the bound holds across a restart, and the surviving
+/// newest entry still serves hits.
+#[test]
+fn spill_dir_budget_caps_disk_use_and_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("se-dirbudget-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Four same-size meshes (n = 108) so every spill file is comparable.
+    let meshes = [
+        meshgen::grid2d(12, 9),
+        meshgen::grid2d(18, 6),
+        meshgen::grid2d(27, 4),
+        meshgen::grid2d(36, 3),
+    ];
+    let dir_bytes = |dir: &std::path::Path| -> u64 {
+        std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.flatten()
+                    .filter_map(|e| e.metadata().ok().map(|m| m.len()))
+                    .sum()
+            })
+            .unwrap_or(0)
+    };
+
+    // Calibrate: one unbudgeted insert tells us a spill entry's size.
+    let handle = serve(Config {
+        cache_dir: Some(dir.clone()),
+        ..Config::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client
+        .order(chaco_request(&meshes[0], se_order::Algorithm::Rcm))
+        .unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+    let entry_size = dir_bytes(&dir);
+    assert!(entry_size > 0, "the insert must spill to disk");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Room for two entries (plus slack), then insert four.
+    let budget = entry_size * 5 / 2;
+    let cfg = || Config {
+        cache_dir: Some(dir.clone()),
+        cache_dir_budget: Some(budget),
+        ..Config::default()
+    };
+    let handle = serve(cfg()).expect("bind");
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    for g in &meshes {
+        let r = client
+            .order(chaco_request(g, se_order::Algorithm::Rcm))
+            .unwrap();
+        assert!(!r.cache_hit);
+    }
+    client.shutdown().unwrap();
+    handle.join();
+    assert!(
+        dir_bytes(&dir) <= budget,
+        "dir holds {} bytes over the {budget}-byte budget",
+        dir_bytes(&dir)
+    );
+    let files = std::fs::read_dir(&dir).unwrap().count();
+    assert!(files < meshes.len(), "oldest spills must have been deleted");
+    assert!(files >= 1, "the newest spill must survive");
+
+    // Restart over the same directory: the budget still holds, the newest
+    // entry hits, the oldest was deleted and misses.
+    let handle = serve(cfg()).expect("bind");
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let newest = client
+        .order(chaco_request(&meshes[3], se_order::Algorithm::Rcm))
+        .unwrap();
+    assert!(
+        newest.cache_hit,
+        "the newest entry must survive the restart"
+    );
+    let oldest = client
+        .order(chaco_request(&meshes[0], se_order::Algorithm::Rcm))
+        .unwrap();
+    assert!(!oldest.cache_hit, "the oldest entry must have been deleted");
+    assert!(
+        dir_bytes(&dir) <= budget,
+        "the budget holds after re-inserts"
+    );
+    client.shutdown().unwrap();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
