@@ -17,6 +17,11 @@
 //!    `"trace":true`. The delta is the span render + wire splice cost; the
 //!    off path is expected to stay within a few percent of the on path
 //!    because the engine records spans on every miss for its histograms.
+//! 4. **Degraded-path latency** (real loopback server, fault plane armed):
+//!    median SPECTRAL ORDER latency on a healthy server vs one whose
+//!    Lanczos/RQI convergence sites always fire, so every request walks
+//!    the degradation ladder down to the RCM rung. Shows what a client
+//!    pays (or saves — RCM is cheap) when the eigensolver misbehaves.
 //!
 //! Run with `cargo run -p se-bench --release --bin service_report`.
 
@@ -24,7 +29,7 @@ use se_service::proto::{
     encode_response_framed, EncodedPerm, MatrixFormat, MatrixSource, OrderRequest, OrderResponse,
     PermPayload, Response,
 };
-use se_service::{serve, Client, Config, FrameMode};
+use se_service::{serve, sites, Client, Config, FaultPlane, FrameMode};
 use sparsemat::envelope::EnvelopeStats;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -34,6 +39,7 @@ const ENCODE_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
 const ENCODE_REPS: usize = 50;
 const HIT_REQUESTS: usize = 300;
 const TRACE_REPS: usize = 15;
+const DEGRADED_REPS: usize = 15;
 
 fn sample_response(perm: PermPayload, n: usize) -> Response {
     Response::Order(OrderResponse {
@@ -51,6 +57,7 @@ fn sample_response(perm: PermPayload, n: usize) -> Response {
         cache_hit: true,
         micros: 1,
         compression_ratio: None,
+        degraded: None,
         trace: None,
     })
 }
@@ -186,6 +193,62 @@ fn trace_overhead() -> (f64, f64) {
     (off, on)
 }
 
+/// Median full-compute SPECTRAL ORDER latency (seconds): healthy server vs
+/// one whose fault plane forces Lanczos and RQI non-convergence, so every
+/// request walks the degradation ladder (spectral → Lanczos-only → RCM)
+/// and is answered by the RCM rung with `"degraded":true`.
+fn degraded_overhead() -> (f64, f64) {
+    let run = |faulty: bool| -> f64 {
+        let faults = if faulty {
+            let f = FaultPlane::seeded(7);
+            f.arm(sites::LANCZOS_CONVERGE);
+            f.arm(sites::RQI_CONVERGE);
+            f
+        } else {
+            FaultPlane::disabled()
+        };
+        let handle = serve(Config {
+            cache_budget_bytes: 0,
+            faults,
+            ..Config::default()
+        })
+        .expect("bind ephemeral port");
+        let g = meshgen::grid2d(60, 50);
+        let req = || OrderRequest {
+            alg: se_order::Algorithm::Spectral,
+            source: MatrixSource::Inline {
+                format: MatrixFormat::Chaco,
+                payload: sparsemat::io::write_chaco_string(&g),
+            },
+            timeout_ms: None,
+            include_perm: true,
+            threads: None,
+            compressed: false,
+            trace: false,
+            id: None,
+        };
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        let mut times = Vec::with_capacity(DEGRADED_REPS);
+        for _ in 0..DEGRADED_REPS {
+            let r = client.order(req()).unwrap();
+            assert!(!r.cache_hit, "zero budget must force the miss path");
+            if faulty {
+                assert_eq!(r.degraded.as_deref(), Some("not_converged"));
+                assert_eq!(r.alg, se_order::Algorithm::Rcm.name());
+            } else {
+                assert!(r.degraded.is_none(), "healthy server must not degrade");
+            }
+            times.push(r.micros as f64 * 1e-6);
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        client.shutdown().unwrap();
+        handle.join();
+        median
+    };
+    (run(false), run(true))
+}
+
 fn main() {
     println!("==== spectral-orderd serving cost: NDJSON vs binary frames ====\n");
     println!("encode-only timings (best of {ENCODE_REPS}):");
@@ -206,6 +269,16 @@ fn main() {
         trace_on_secs * 1e6,
     );
 
+    println!("\ndegraded-path latency (median of {DEGRADED_REPS} SPECTRAL ORDERs, n = 3000):");
+    let (healthy_secs, degraded_secs) = degraded_overhead();
+    let degraded_ratio = degraded_secs / healthy_secs;
+    println!(
+        "  healthy spectral: {:>9.1} µs | RCM fallback: {:>9.1} µs | \
+         fallback/healthy = {degraded_ratio:.3}",
+        healthy_secs * 1e6,
+        degraded_secs * 1e6,
+    );
+
     let mut out = String::new();
     let _ = write!(
         out,
@@ -218,7 +291,11 @@ fn main() {
          \"ndjson_rps\":{ndjson_rps:.1},\"binary_rps\":{binary_rps:.1}}},\n  \
          \"trace_overhead\": {{\"reps\":{TRACE_REPS},\
          \"off_median_secs\":{trace_off_secs:.9},\"on_median_secs\":{trace_on_secs:.9},\
-         \"on_over_off\":{trace_ratio:.4}}}\n}}\n",
+         \"on_over_off\":{trace_ratio:.4}}},\n  \
+         \"degraded_path\": {{\"reps\":{DEGRADED_REPS},\
+         \"healthy_median_secs\":{healthy_secs:.9},\
+         \"rcm_fallback_median_secs\":{degraded_secs:.9},\
+         \"fallback_over_healthy\":{degraded_ratio:.4}}}\n}}\n",
         encode_rows.join(",\n    ")
     );
     let path = "BENCH_service.json";

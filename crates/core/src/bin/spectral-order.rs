@@ -23,13 +23,18 @@
 //!                      [--cache-mb N] [--shards N] [--cache-dir PATH]
 //!                      [--cache-dir-budget BYTES] [--max-conns N]
 //!                      [--timeout-ms N] [--threads N] [--log-requests]
+//!                      [--rate-limit RPS[:BURST]] [--io-timeout MS]
 //!   run the spectral-orderd ordering daemon in the foreground.
 //!   `--cache-dir-budget` bounds the spill directory (oldest entries are
-//!   deleted first); `--log-requests` prints one line per request to stderr.
+//!   deleted first); `--log-requests` prints one line per request to stderr;
+//!   `--rate-limit` token-buckets each client IP (fatal "rate limited"
+//!   error when exceeded; BURST defaults to 2*RPS); `--io-timeout` bounds
+//!   every socket read/write so a stalling (slow-loris) client is
+//!   disconnected instead of pinning a connection slot.
 //!
 //! spectral-order client --addr HOST:PORT <matrix>... [--alg NAME] [--no-perm]
 //!                      [--threads N] [--compressed] [--binary] [--trace]
-//!                      [--id N]
+//!                      [--id N] [--retry N]
 //! spectral-order client --addr HOST:PORT --stats
 //! spectral-order client --addr HOST:PORT --metrics-text
 //! spectral-order client --addr HOST:PORT --cancel ID
@@ -41,6 +46,10 @@
 //!   span tree inside each response; `--id` assigns client ids (consecutive
 //!   for a batch) so a second connection can `--cancel` them.
 //!   `--metrics-text` prints the Prometheus-style METRICS exposition.
+//!   `--retry N` (single ORDER only) retries retriable failures — server
+//!   busy, connection refused/reset — up to N attempts on fresh
+//!   connections with decorrelated-jitter backoff; fatal errors (bad
+//!   input, rate limited) never retry, and CANCEL is never retried.
 //! ```
 //!
 //! Input format by extension: `.mtx` MatrixMarket, `.graph` Chaco/METIS
@@ -67,10 +76,11 @@ fn usage() -> ExitCode {
          [--out FILE.mtx] [--perm FILE.txt] [--spy FILE.pgm]\n\
          \x20      spectral-order serve [--addr HOST:PORT] [--workers N] [--queue N] \
          [--cache-mb N] [--shards N] [--cache-dir PATH] [--cache-dir-budget BYTES] \
-         [--max-conns N] [--timeout-ms N] [--threads N] [--log-requests]\n\
+         [--max-conns N] [--timeout-ms N] [--threads N] [--log-requests] \
+         [--rate-limit RPS[:BURST]] [--io-timeout MS]\n\
          \x20      spectral-order client --addr HOST:PORT (<matrix>... [--alg NAME] [--no-perm] \
-         [--threads N] [--compressed] [--binary] [--trace] [--id N] | --stats | --metrics-text \
-         | --cancel ID | --shutdown)"
+         [--threads N] [--compressed] [--binary] [--trace] [--id N] [--retry N] | --stats \
+         | --metrics-text | --cancel ID | --shutdown)"
     );
     ExitCode::from(2)
 }
@@ -187,12 +197,17 @@ fn main() -> ExitCode {
     };
     let mut solver = SolverOpts::with_threads(threads);
     solver.trace = tracer.clone();
-    let mut compression_ratio = None;
-    let ordering = if compressed {
-        match spectral_env::reorder_pattern_compressed_with(&g, alg, &solver) {
-            Ok((o, ratio)) => {
-                eprintln!("supervariable compression ratio: {ratio:.2}");
-                compression_ratio = Some(ratio);
+    // Order through the degradation ladder: a misbehaving eigensolver
+    // falls back (spectral → Lanczos-only → RCM) instead of failing, and
+    // the fallback is reported. A healthy run is bit-identical to the
+    // direct path.
+    let outcome = if compressed {
+        match spectral_env::reorder_pattern_compressed_degraded_with(&g, alg, &solver) {
+            Ok(o) => {
+                eprintln!(
+                    "supervariable compression ratio: {:.2}",
+                    o.compression_ratio
+                );
                 o
             }
             Err(e) => {
@@ -201,7 +216,7 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        match spectral_env::reorder_pattern_with(&g, alg, &solver) {
+        match spectral_env::reorder_pattern_degraded_with(&g, alg, &solver) {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("{} ordering failed: {e}", alg.name());
@@ -209,11 +224,20 @@ fn main() -> ExitCode {
             }
         }
     };
+    let compression_ratio = compressed.then_some(outcome.compression_ratio);
+    let ordering = outcome.ordering;
+    if let Some(reason) = &outcome.degraded {
+        eprintln!(
+            "warning: {} degraded to {} ({reason})",
+            alg.name(),
+            ordering.algorithm.name()
+        );
+    }
     let span_root = tracer.finish();
     if json {
         // Same record the service emits for ORDER — one tool, one schema.
         let resp = Response::Order(OrderResponse {
-            alg: alg.name().to_string(),
+            alg: ordering.algorithm.name().to_string(),
             n: g.n(),
             nnz: g.nnz_lower_with_diagonal(),
             stats: ordering.stats,
@@ -221,13 +245,14 @@ fn main() -> ExitCode {
             cache_hit: false,
             micros: t0.elapsed().as_micros() as u64,
             compression_ratio,
+            degraded: outcome.degraded,
             trace: span_root.as_ref().map(|r| r.render_json().into()),
         });
         println!("{}", encode_response(&resp));
     } else {
         println!(
             "{}: envelope = {}, bandwidth = {}, 1-sum = {}, work = {}",
-            alg.name(),
+            ordering.algorithm.name(),
             ordering.stats.envelope_size,
             ordering.stats.bandwidth,
             ordering.stats.one_sum,
@@ -290,6 +315,18 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses `RPS` or `RPS:BURST`; a missing burst defaults to `2 * RPS`.
+fn parse_rate_limit(v: &str) -> Option<(u64, u64)> {
+    let (rps, burst) = match v.split_once(':') {
+        Some((r, b)) => (r.parse().ok()?, b.parse().ok()?),
+        None => {
+            let r: u64 = v.parse().ok()?;
+            (r, r.saturating_mul(2))
+        }
+    };
+    (rps > 0 && burst > 0).then_some((rps, burst))
+}
+
 /// `spectral-order serve` — run the daemon in the foreground.
 fn serve_main(args: &[String]) -> ExitCode {
     let mut cfg = se_service::Config::default();
@@ -340,6 +377,14 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Some(v) => cfg.solver_threads = v,
                 None => return usage(),
             },
+            "--rate-limit" => match it.next().and_then(|v| parse_rate_limit(v)) {
+                Some(limit) => cfg.rate_limit = Some(limit),
+                None => return usage(),
+            },
+            "--io-timeout" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.io_timeout_ms = Some(v as u64),
+                _ => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -372,6 +417,7 @@ fn client_main(args: &[String]) -> ExitCode {
     let mut base_id: Option<u64> = None;
     let mut cancel_id: Option<u64> = None;
     let mut metrics_text = false;
+    let mut retry: Option<u32> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -403,6 +449,10 @@ fn client_main(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--metrics-text" => metrics_text = true,
+            "--retry" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(v) if v > 0 => retry = Some(v),
+                _ => return usage(),
+            },
             _ if !a.starts_with('-') => files.push(a.clone()),
             _ => return usage(),
         }
@@ -510,7 +560,26 @@ fn client_main(args: &[String]) -> ExitCode {
     }
 
     if reqs.len() == 1 {
-        match client.order(reqs.remove(0)) {
+        let req = reqs.remove(0);
+        // `--retry` reconnects per attempt (a busy server closes the
+        // socket at accept time), so it bypasses the already-open
+        // connection and dials fresh through the retry helper.
+        let result = match retry {
+            Some(attempts) => {
+                let policy = se_service::RetryPolicy {
+                    max_attempts: attempts,
+                    ..Default::default()
+                };
+                let mode = if binary {
+                    se_service::FrameMode::Binary
+                } else {
+                    se_service::FrameMode::Ndjson
+                };
+                se_service::order_with_retry(&addr, mode, &req, &policy)
+            }
+            None => client.order(req),
+        };
+        match result {
             Ok(r) => {
                 println!("{}", encode_response(&Response::Order(r)));
                 ExitCode::SUCCESS

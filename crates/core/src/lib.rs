@@ -52,7 +52,8 @@ pub use report::{compare_orderings, Comparison, ComparisonRow};
 pub use se_eigen::multilevel::{fiedler, FiedlerOptions, FiedlerResult};
 pub use se_eigen::SolverOpts;
 pub use se_envelope::EnvelopeMatrix;
-pub use se_order::{Algorithm, OrderError, Ordering, SpectralOptions};
+pub use se_faults::{Budget, FaultPlane};
+pub use se_order::{Algorithm, LadderOutcome, OrderError, Ordering, SpectralOptions};
 pub use se_trace::{SpanNode, Tracer};
 pub use sparsemat::{CooMatrix, CsrMatrix, Permutation, SymmetricPattern};
 
@@ -157,6 +158,31 @@ pub fn reorder_pattern_compressed_with(
     solver: &SolverOpts,
 ) -> Result<(Ordering, f64)> {
     Ok(se_order::order_compressed_with(g, alg, solver)?)
+}
+
+/// [`reorder_pattern_with`] through the **graceful-degradation ladder**:
+/// when the requested eigensolver-backed algorithm cannot finish
+/// (non-convergence, exhausted [`Budget`], injected fault), falls back to
+/// Lanczos-only and then to RCM instead of failing, and reports which rung
+/// ran and why in the returned [`LadderOutcome`]. With a healthy solve the
+/// result is bit-identical to [`reorder_pattern_with`].
+pub fn reorder_pattern_degraded_with(
+    g: &SymmetricPattern,
+    alg: Algorithm,
+    solver: &SolverOpts,
+) -> Result<LadderOutcome> {
+    Ok(se_order::order_degraded_with(g, alg, solver)?)
+}
+
+/// [`reorder_pattern_compressed_with`] through the graceful-degradation
+/// ladder (see [`reorder_pattern_degraded_with`]); the outcome carries the
+/// compression ratio.
+pub fn reorder_pattern_compressed_degraded_with(
+    g: &SymmetricPattern,
+    alg: Algorithm,
+    solver: &SolverOpts,
+) -> Result<LadderOutcome> {
+    Ok(se_order::order_compressed_degraded_with(g, alg, solver)?)
 }
 
 /// Computes the Fiedler vector of a matrix's adjacency graph with the

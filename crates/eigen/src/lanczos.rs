@@ -14,6 +14,7 @@ use crate::solver_opts::{
 };
 use crate::tridiag::eigh_tridiag;
 use crate::{EigenError, Result};
+use se_faults::{sites, Budget, FaultPlane};
 use se_prng::SmallRng;
 use se_trace::Tracer;
 use sparsemat::par::TaskPool;
@@ -36,6 +37,12 @@ pub struct LanczosOptions {
     /// Span recorder; disabled by default. Records a `lanczos` span with
     /// the problem size, step and matvec counts.
     pub trace: Tracer,
+    /// Cooperative budget checked at the top of every Lanczos step; an
+    /// exhausted budget aborts with [`EigenError::Budget`] within one step.
+    pub budget: Budget,
+    /// Fault plane: the [`sites::LANCZOS_CONVERGE`] site forces a
+    /// non-convergence report.
+    pub faults: FaultPlane,
 }
 
 impl Default for LanczosOptions {
@@ -47,6 +54,8 @@ impl Default for LanczosOptions {
             check_every: DEFAULT_LANCZOS_CHECK_EVERY,
             pool: TaskPool::serial(),
             trace: Tracer::disabled(),
+            budget: Budget::unlimited(),
+            faults: FaultPlane::disabled(),
         }
     }
 }
@@ -88,10 +97,16 @@ pub fn lanczos_smallest<Op: SymOp>(
     let mut sp = opts.trace.span("lanczos");
     sp.attr("n", op.n() as f64);
     let r = lanczos_inner(op, deflate, k, opts);
-    if let Ok(ref res) = r {
-        sp.attr("iterations", res.iterations as f64);
-        // One operator application per Lanczos step.
-        sp.attr("matvecs", res.iterations as f64);
+    match &r {
+        Ok(res) => {
+            sp.attr("iterations", res.iterations as f64);
+            // One operator application per Lanczos step.
+            sp.attr("matvecs", res.iterations as f64);
+        }
+        // A budget abort is bounded by one iteration: the trace records it
+        // so tests (and operators) can see where the solve stopped.
+        Err(EigenError::Budget { .. }) => sp.attr("budget_abort", 1.0),
+        Err(_) => {}
     }
     r
 }
@@ -108,6 +123,12 @@ fn lanczos_inner<Op: SymOp>(
         return Err(EigenError::TooSmall { n });
     }
     let kdim = opts.max_iter.min(free_dim);
+    if opts.faults.should_fail(sites::LANCZOS_CONVERGE) {
+        return Err(EigenError::NoConvergence {
+            what: "Lanczos (injected fault)",
+            iters: 0,
+        });
+    }
     let scale = op.norm_bound();
     let pool = &opts.pool;
     let mut rng = SmallRng::seed_from_u64(opts.seed);
@@ -180,7 +201,14 @@ fn lanczos_inner<Op: SymOp>(
     };
 
     for j in 0..kdim {
+        if let Err(cause) = opts.budget.check() {
+            return Err(EigenError::Budget {
+                stage: "lanczos",
+                cause,
+            });
+        }
         op.apply_pooled(&basis[j], &mut w, pool);
+        opts.budget.charge_matvecs(1);
         let a_j = pool.dot(&basis[j], &w);
         alpha.push(a_j);
         // Three-term recurrence, then full reorthogonalization (twice —

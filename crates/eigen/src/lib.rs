@@ -70,6 +70,20 @@ pub enum EigenError {
     },
     /// An internal invariant failed (a bug or pathological input).
     Numerical(String),
+    /// The cooperative [`se_faults::Budget`] aborted the solve at an
+    /// iteration boundary (deadline, cancellation, or matvec cap).
+    Budget {
+        /// The pipeline stage that observed the exhausted budget.
+        stage: &'static str,
+        /// What ran out.
+        cause: se_faults::Exceeded,
+    },
+    /// A deterministic fault injected through [`se_faults::FaultPlane`]
+    /// fired at `site` (chaos testing only; never on a disabled plane).
+    Fault {
+        /// The fault site that fired.
+        site: &'static str,
+    },
 }
 
 impl std::fmt::Display for EigenError {
@@ -81,6 +95,10 @@ impl std::fmt::Display for EigenError {
             EigenError::Disconnected => write!(f, "graph is disconnected"),
             EigenError::TooSmall { n } => write!(f, "problem too small (n = {n})"),
             EigenError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            EigenError::Budget { stage, cause } => {
+                write!(f, "solve aborted in {stage}: budget exceeded ({cause})")
+            }
+            EigenError::Fault { site } => write!(f, "injected fault at {site}"),
         }
     }
 }

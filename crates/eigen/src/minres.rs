@@ -9,6 +9,7 @@
 
 use crate::op::SymOp;
 use crate::solver_opts::{DEFAULT_MINRES_MAX_ITER, DEFAULT_MINRES_RTOL};
+use se_faults::Budget;
 use sparsemat::par::TaskPool;
 
 /// Options for [`minres`].
@@ -21,6 +22,9 @@ pub struct MinresOptions {
     /// Pool for matvecs and dot products. Results are bit-identical for
     /// every thread count; default is serial.
     pub pool: TaskPool,
+    /// Cooperative budget checked once per iteration. An exhausted budget
+    /// breaks out with the best iterate so far (`converged == false`).
+    pub budget: Budget,
 }
 
 impl Default for MinresOptions {
@@ -29,6 +33,7 @@ impl Default for MinresOptions {
             max_iter: DEFAULT_MINRES_MAX_ITER,
             rtol: DEFAULT_MINRES_RTOL,
             pool: TaskPool::serial(),
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -83,6 +88,9 @@ pub fn minres<Op: SymOp>(op: &Op, b: &[f64], opts: &MinresOptions) -> MinresOutc
     let mut converged = false;
 
     for itn in 1..=opts.max_iter {
+        if opts.budget.check().is_err() {
+            break; // cooperative abort: keep the best iterate so far
+        }
         iterations = itn;
         let s = 1.0 / beta;
         for (vi, yi) in v.iter_mut().zip(&y) {
@@ -90,6 +98,7 @@ pub fn minres<Op: SymOp>(op: &Op, b: &[f64], opts: &MinresOptions) -> MinresOutc
         }
         let mut ay = vec![0.0; n];
         op.apply_pooled(&v, &mut ay, pool);
+        opts.budget.charge_matvecs(1);
         y = ay;
         if itn >= 2 {
             let c = beta / oldb;

@@ -18,6 +18,7 @@ use crate::op::{constant_unit_vector, LaplacianOp, SymOp};
 use crate::rqi::{rayleigh_quotient_iteration, RqiOptions};
 use crate::solver_opts::{DEFAULT_COARSEST_SIZE, DEFAULT_FIEDLER_TOL, DEFAULT_SMOOTH_STEPS};
 use crate::{EigenError, Result};
+use se_faults::{sites, Budget, FaultPlane};
 use se_graph::bfs::connected_components;
 use se_graph::coarsen::CoarsenLevels;
 use se_trace::{Tracer, WorkerCounter};
@@ -57,6 +58,18 @@ pub struct FiedlerOptions {
     /// [`fiedler`] this tracer overrides the tracers on `lanczos` and `rqi`.
     /// Disabled by default; tracing never changes numerical results.
     pub trace: Tracer,
+    /// Cooperative budget checked at every stage boundary — before the
+    /// hierarchy build, before the coarsest solve, and at the top of every
+    /// refinement level — plus inside Lanczos/RQI/MINRES iterations. Like
+    /// `pool`, inside [`fiedler`] this budget overrides the budgets on
+    /// `lanczos` and `rqi`. [`Budget::unlimited`] (the default) is a strict
+    /// no-op.
+    pub budget: Budget,
+    /// Deterministic fault plane; like `pool`, inside [`fiedler`] it
+    /// overrides the planes on `lanczos` and `rqi`. The
+    /// [`sites::ALLOC_BUDGET`] site simulates an allocation-budget breach
+    /// before the hierarchy is built.
+    pub faults: FaultPlane,
 }
 
 impl Default for FiedlerOptions {
@@ -73,6 +86,8 @@ impl Default for FiedlerOptions {
             },
             pool: TaskPool::serial(),
             trace: Tracer::disabled(),
+            budget: Budget::unlimited(),
+            faults: FaultPlane::disabled(),
         }
     }
 }
@@ -138,14 +153,36 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
     let mut lanczos_opts = opts.lanczos.clone();
     lanczos_opts.pool = pool.clone();
     lanczos_opts.trace = trace.clone();
+    lanczos_opts.budget = opts.budget.clone();
+    lanczos_opts.faults = opts.faults.clone();
     let mut rqi_opts = opts.rqi.clone();
     rqi_opts.pool = pool.clone();
     rqi_opts.trace = trace.clone();
+    rqi_opts.budget = opts.budget.clone();
+    rqi_opts.faults = opts.faults.clone();
     if g.n() <= opts.coarsest_size.max(2) {
         sp.attr("levels", 0.0);
         return fiedler_lanczos(g, &lanczos_opts);
     }
-    let hierarchy = CoarsenLevels::build_traced(g, opts.coarsest_size, pool, trace);
+    if opts.faults.should_fail(sites::ALLOC_BUDGET) {
+        return Err(EigenError::Fault {
+            site: sites::ALLOC_BUDGET,
+        });
+    }
+    if let Err(cause) = opts.budget.check() {
+        return Err(EigenError::Budget {
+            stage: "multilevel",
+            cause,
+        });
+    }
+    let hierarchy = CoarsenLevels::build_guarded(
+        g,
+        opts.coarsest_size,
+        pool,
+        trace,
+        &opts.budget,
+        &opts.faults,
+    );
     if hierarchy.depth() == 0 {
         sp.attr("levels", 0.0);
         return fiedler_lanczos(g, &lanczos_opts);
@@ -158,6 +195,13 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
     // `PᵀLP x = λ PᵀP x` with `PᵀP = diag(domain sizes)`; we solve the
     // symmetrically scaled standard form `D^{-1/2} PᵀLP D^{-1/2} y = λ y`
     // and map back `x = D^{-1/2} y` (null vector `D^{1/2}·1`).
+    if let Err(cause) = opts.budget.check() {
+        sp.attr("budget_abort", 1.0);
+        return Err(EigenError::Budget {
+            stage: "multilevel",
+            cause,
+        });
+    }
     let mut coarsest_sp = trace.span("coarsest_solve");
     coarsest_sp.attr(
         "n",
@@ -205,6 +249,13 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
     // Walk back up: levels[k] maps (graph at level k) -> (graph at k+1).
     // The graph at level k is `g` for k = 0 else levels[k-1].coarse.
     for k in (0..hierarchy.depth()).rev() {
+        if let Err(cause) = opts.budget.check() {
+            sp.attr("budget_abort", 1.0);
+            return Err(EigenError::Budget {
+                stage: "multilevel",
+                cause,
+            });
+        }
         let mut level_sp = trace.span_at("level", k);
         let fine: &SymmetricPattern = if k == 0 {
             g

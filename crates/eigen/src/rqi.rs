@@ -12,6 +12,7 @@ use crate::op::{DeflatedOp, LaplacianOp, ShiftedOp, SymOp};
 use crate::solver_opts::{
     DEFAULT_RQI_INNER_MAX_ITER, DEFAULT_RQI_INNER_RTOL, DEFAULT_RQI_MAX_OUTER, DEFAULT_RQI_TOL,
 };
+use se_faults::{sites, Budget, FaultPlane};
 use se_trace::Tracer;
 use sparsemat::par::TaskPool;
 
@@ -32,6 +33,13 @@ pub struct RqiOptions {
     /// Span recorder; disabled by default. Records an `rqi` span with outer
     /// and (summed) inner MINRES iteration counts and the final residual.
     pub trace: Tracer,
+    /// Cooperative budget checked at every outer-step boundary (and inside
+    /// the inner MINRES solves); an exhausted budget stops refinement and
+    /// returns the best pair found so far.
+    pub budget: Budget,
+    /// Fault plane: the [`sites::RQI_CONVERGE`] site forces an unconverged
+    /// result.
+    pub faults: FaultPlane,
 }
 
 impl Default for RqiOptions {
@@ -43,6 +51,8 @@ impl Default for RqiOptions {
             inner_rtol: DEFAULT_RQI_INNER_RTOL,
             pool: TaskPool::serial(),
             trace: Tracer::disabled(),
+            budget: Budget::unlimited(),
+            faults: FaultPlane::disabled(),
         }
     }
 }
@@ -85,6 +95,17 @@ pub fn rayleigh_quotient_iteration(
     assert_eq!(x0.len(), n, "rqi: start vector length mismatch");
     let mut sp = opts.trace.span("rqi");
     sp.attr("n", n as f64);
+    if opts.faults.should_fail(sites::RQI_CONVERGE) {
+        sp.attr("outer_iterations", 0.0);
+        sp.attr("converged", 0.0);
+        return RqiResult {
+            lambda: f64::NAN,
+            vector: vec![0.0; n],
+            residual: f64::INFINITY,
+            outer_iterations: 0,
+            converged: false,
+        };
+    }
     let pool = &opts.pool;
     let ones = crate::op::constant_unit_vector(n);
     let deflate = vec![ones];
@@ -116,11 +137,16 @@ pub fn rayleigh_quotient_iteration(
     let mut outer = 0usize;
 
     for _ in 0..opts.max_outer {
+        if opts.budget.check().is_err() {
+            sp.attr("budget_abort", 1.0);
+            break; // cooperative abort: keep the best pair so far
+        }
         outer += 1;
         let rho = lap.rayleigh_quotient(&x);
         // Residual of the current pair.
         let mut qx = vec![0.0; n];
         lap.apply_pooled(&x, &mut qx, pool);
+        opts.budget.charge_matvecs(1);
         let res: f64 = qx
             .iter()
             .zip(&x)
@@ -153,6 +179,7 @@ pub fn rayleigh_quotient_iteration(
                 max_iter: opts.inner_max_iter,
                 rtol: opts.inner_rtol,
                 pool: pool.clone(),
+                budget: opts.budget.clone(),
             },
         );
         sp.add("inner_iterations", out.iterations as f64);

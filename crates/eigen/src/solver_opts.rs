@@ -16,6 +16,7 @@
 use crate::lanczos::LanczosOptions;
 use crate::multilevel::FiedlerOptions;
 use crate::rqi::RqiOptions;
+use se_faults::{Budget, FaultPlane};
 use se_trace::Tracer;
 use sparsemat::par::TaskPool;
 
@@ -109,6 +110,14 @@ pub struct SolverOpts {
     /// Span recorder threaded through every pipeline stage. Disabled by
     /// default; an enabled tracer never changes numerical results.
     pub trace: Tracer,
+    /// Cooperative deadline/cancel/matvec-cap token, checked at every
+    /// solver iteration boundary. [`Budget::unlimited`] (the default) is a
+    /// strict no-op.
+    pub budget: Budget,
+    /// Deterministic fault-injection plane threaded through every stage.
+    /// [`FaultPlane::disabled`] (the default) is a strict no-op; solver
+    /// results are bit-identical with a disabled plane.
+    pub faults: FaultPlane,
 }
 
 impl Default for SolverOpts {
@@ -124,6 +133,8 @@ impl Default for SolverOpts {
             smooth_steps: DEFAULT_SMOOTH_STEPS,
             seed: DEFAULT_LANCZOS_SEED,
             trace: Tracer::disabled(),
+            budget: Budget::unlimited(),
+            faults: FaultPlane::disabled(),
         }
     }
 }
@@ -152,6 +163,8 @@ impl SolverOpts {
             check_every: DEFAULT_LANCZOS_CHECK_EVERY,
             pool: pool.clone(),
             trace: self.trace.clone(),
+            budget: self.budget.clone(),
+            faults: self.faults.clone(),
         }
     }
 
@@ -164,6 +177,8 @@ impl SolverOpts {
             inner_rtol: self.inner_rtol,
             pool: pool.clone(),
             trace: self.trace.clone(),
+            budget: self.budget.clone(),
+            faults: self.faults.clone(),
         }
     }
 
@@ -181,6 +196,8 @@ impl SolverOpts {
             rqi: self.rqi_options(&pool),
             pool,
             trace: self.trace.clone(),
+            budget: self.budget.clone(),
+            faults: self.faults.clone(),
         }
     }
 }

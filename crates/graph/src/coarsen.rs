@@ -8,6 +8,7 @@
 //! 3. adding a coarse edge whenever two domains touch (an edge of the fine
 //!    graph crosses them).
 
+use se_faults::{sites, Budget, FaultPlane};
 use se_trace::Tracer;
 use sparsemat::par::TaskPool;
 use sparsemat::SymmetricPattern;
@@ -255,11 +256,42 @@ impl CoarsenLevels {
         pool: &TaskPool,
         trace: &Tracer,
     ) -> CoarsenLevels {
+        CoarsenLevels::build_guarded(
+            g,
+            target_n,
+            pool,
+            trace,
+            &Budget::unlimited(),
+            &FaultPlane::disabled(),
+        )
+    }
+
+    /// [`CoarsenLevels::build_traced`] under a cooperative [`Budget`] and a
+    /// [`FaultPlane`]. An exhausted budget stops contracting early — a
+    /// shallower hierarchy is still a valid hierarchy, so this degrades
+    /// rather than fails. The [`sites::COARSEN_STAGNATE`] fault site forces
+    /// the stagnation break (as if contraction stopped making progress),
+    /// which callers must already handle.
+    pub fn build_guarded(
+        g: &SymmetricPattern,
+        target_n: usize,
+        pool: &TaskPool,
+        trace: &Tracer,
+        budget: &Budget,
+        faults: &FaultPlane,
+    ) -> CoarsenLevels {
         let mut sp = trace.span("coarsen");
         sp.attr("n", g.n() as f64);
         let mut levels = Vec::new();
         let mut current = g.clone();
         while current.n() > target_n.max(1) {
+            if budget.check().is_err() {
+                sp.attr("budget_abort", 1.0);
+                break; // shallower hierarchy; the solver copes
+            }
+            if faults.should_fail(sites::COARSEN_STAGNATE) {
+                break; // injected stagnation
+            }
             let mut lvl = trace.span_at("contract", levels.len());
             lvl.attr("n_fine", current.n() as f64);
             let c = contract_with(&current, pool);

@@ -11,6 +11,12 @@
 //!   --max-conns N       connection limit; excess clients get a retriable
 //!                       "server busy" error (default 1024)
 //!   --timeout-ms N      default per-request wall-clock timeout (default 30000)
+//!   --rate-limit RPS[:BURST]
+//!                       per-client-IP token-bucket limit; clients over the
+//!                       limit get a fatal "rate limited" error (default: off;
+//!                       BURST defaults to 2*RPS)
+//!   --io-timeout MS     per-connection socket read/write timeout, bounding
+//!                       slow-loris clients (default: off)
 //! ```
 //!
 //! The daemon prints `listening on ADDR` once ready and exits after a
@@ -23,9 +29,21 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: spectral-orderd [--addr HOST:PORT] [--workers N] [--queue N] \
          [--cache-mb N] [--shards N] [--cache-dir PATH] [--max-conns N] \
-         [--timeout-ms N]"
+         [--timeout-ms N] [--rate-limit RPS[:BURST]] [--io-timeout MS]"
     );
     ExitCode::from(2)
+}
+
+/// Parses `RPS` or `RPS:BURST`; a missing burst defaults to `2 * RPS`.
+fn parse_rate_limit(v: &str) -> Option<(u64, u64)> {
+    let (rps, burst) = match v.split_once(':') {
+        Some((r, b)) => (r.parse().ok()?, b.parse().ok()?),
+        None => {
+            let r: u64 = v.parse().ok()?;
+            (r, r.saturating_mul(2))
+        }
+    };
+    (rps > 0 && burst > 0).then_some((rps, burst))
 }
 
 fn main() -> ExitCode {
@@ -69,6 +87,14 @@ fn main() -> ExitCode {
             },
             "--timeout-ms" => match num(&mut it) {
                 Some(v) if v > 0 => cfg.default_timeout_ms = v as u64,
+                _ => return usage(),
+            },
+            "--rate-limit" => match it.next().as_deref().and_then(parse_rate_limit) {
+                Some(limit) => cfg.rate_limit = Some(limit),
+                None => return usage(),
+            },
+            "--io-timeout" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.io_timeout_ms = Some(v as u64),
                 _ => return usage(),
             },
             "--help" | "-h" => {

@@ -19,6 +19,7 @@
 
 use crate::persist::{self, PersistedEntry};
 use crate::proto::EncodedPerm;
+use se_faults::{lock_unpoisoned, FaultPlane};
 use se_order::Algorithm;
 use sparsemat::envelope::EnvelopeStats;
 use sparsemat::pattern::SymmetricPattern;
@@ -88,12 +89,29 @@ pub struct CacheHit {
     pub payload: Arc<EncodedPerm>,
     /// Compression ratio when the entry was computed with `compressed`.
     pub compression_ratio: Option<f64>,
+    /// Machine-readable degradation reason carried by entries computed on
+    /// a fallback rung (only `not_converged` entries are ever cached — the
+    /// other reasons are transient and recomputed instead).
+    pub degraded: Option<Arc<str>>,
+}
+
+/// The result descriptors an [`insert`](ShardedOrderingCache::insert)
+/// records alongside the permutation itself.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderingMeta<'a> {
+    /// Envelope statistics of the ordering.
+    pub stats: EnvelopeStats,
+    /// Compression ratio when the quotient path ran (`None` = plain).
+    pub compression_ratio: Option<f64>,
+    /// Degradation reason to cache with the entry, if any.
+    pub degraded: Option<&'a str>,
 }
 
 struct Entry {
     stats: EnvelopeStats,
     payload: Arc<EncodedPerm>,
     compression_ratio: Option<f64>,
+    degraded: Option<Arc<str>>,
     /// Collision guard: a hit must also match the pattern's coarse shape.
     n: usize,
     adjacency_len: usize,
@@ -173,6 +191,9 @@ pub struct ShardedOrderingCache {
     /// LRU evictions).
     dir_budget: Option<u64>,
     dir_state: Mutex<DirState>,
+    /// Fault plane threaded into every spill write ([`crate::persist`]);
+    /// disabled by default.
+    faults: FaultPlane,
 }
 
 /// Oldest-first byte accounting of the spill directory, used only when a
@@ -201,7 +222,14 @@ impl ShardedOrderingCache {
             dir: None,
             dir_budget: None,
             dir_state: Mutex::new(DirState::default()),
+            faults: FaultPlane::disabled(),
         }
+    }
+
+    /// Installs the fault plane spill writes run under (chaos tests inject
+    /// torn/corrupted writes through it). Call before sharing the cache.
+    pub fn set_faults(&mut self, faults: FaultPlane) {
+        self.faults = faults;
     }
 
     /// A persistent cache spilling to `dir`: the directory is created if
@@ -263,7 +291,7 @@ impl ShardedOrderingCache {
             })
             .collect();
         files.sort();
-        let mut st = self.dir_state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.dir_state);
         *st = DirState::default();
         for (_, key, size) in files {
             st.sizes.insert(key, size);
@@ -277,7 +305,7 @@ impl ShardedOrderingCache {
         let (Some(dir), Some(budget)) = (&self.dir, self.dir_budget) else {
             return;
         };
-        let mut st = self.dir_state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.dir_state);
         while st.total > budget {
             let Some(oldest) = st.order.pop_front() else {
                 break;
@@ -297,7 +325,7 @@ impl ShardedOrderingCache {
         };
         let size = std::fs::metadata(persist::spill_path(dir, key)).map_or(0, |m| m.len());
         {
-            let mut st = self.dir_state.lock().unwrap();
+            let mut st = lock_unpoisoned(&self.dir_state);
             if let Some(old) = st.sizes.insert(key, size) {
                 st.total -= old;
                 st.order.retain(|&k| k != key);
@@ -313,7 +341,7 @@ impl ShardedOrderingCache {
         if let Some(dir) = &self.dir {
             persist::remove(dir, key);
             if self.dir_budget.is_some() {
-                let mut st = self.dir_state.lock().unwrap();
+                let mut st = lock_unpoisoned(&self.dir_state);
                 if let Some(size) = st.sizes.remove(&key) {
                     st.total -= size;
                 }
@@ -324,7 +352,7 @@ impl ShardedOrderingCache {
     /// Bytes the directory accounting currently charges (0 without a
     /// directory budget).
     pub fn dir_bytes(&self) -> u64 {
-        self.dir_state.lock().unwrap().total
+        lock_unpoisoned(&self.dir_state).total
     }
 
     /// The spill directory, when persistence is on.
@@ -347,14 +375,17 @@ impl ShardedOrderingCache {
         stats: EnvelopeStats,
         payload: Arc<EncodedPerm>,
         compression_ratio: Option<f64>,
+        degraded: Option<Arc<str>>,
         n: usize,
         adjacency_len: usize,
     ) -> Entry {
-        let bytes = payload.heap_bytes() + ENTRY_OVERHEAD;
+        let bytes =
+            payload.heap_bytes() + ENTRY_OVERHEAD + degraded.as_ref().map_or(0, |r| r.len());
         Entry {
             stats,
             payload,
             compression_ratio,
+            degraded,
             n,
             adjacency_len,
             bytes,
@@ -366,7 +397,7 @@ impl ShardedOrderingCache {
     /// recency and counting the shard's hit/miss.
     pub fn get(&self, g: &SymmetricPattern, alg: Algorithm, compressed: bool) -> Option<CacheHit> {
         let key = pattern_key(g, alg, compressed);
-        let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
+        let mut shard = lock_unpoisoned(&self.shards[self.shard_of(key)]);
         let tick = shard.next_tick;
         let hit = match shard.entries.get_mut(&key) {
             Some(e) if e.n == g.n() && e.adjacency_len == g.adjacency_len() => {
@@ -376,6 +407,7 @@ impl ShardedOrderingCache {
                     stats: e.stats,
                     payload: Arc::clone(&e.payload),
                     compression_ratio: e.compression_ratio,
+                    degraded: e.degraded.clone(),
                 };
                 shard.lru.remove(&old_tick);
                 shard.lru.insert(tick, key);
@@ -403,14 +435,19 @@ impl ShardedOrderingCache {
         alg: Algorithm,
         compressed: bool,
         perm: &[usize],
-        stats: EnvelopeStats,
-        compression_ratio: Option<f64>,
+        meta: OrderingMeta<'_>,
     ) -> Arc<EncodedPerm> {
+        let OrderingMeta {
+            stats,
+            compression_ratio,
+            degraded,
+        } = meta;
         let payload = Arc::new(EncodedPerm::new(perm.to_vec()));
         let entry = Self::entry_from(
             stats,
             Arc::clone(&payload),
             compression_ratio,
+            degraded.map(Arc::from),
             g.n(),
             g.adjacency_len(),
         );
@@ -427,13 +464,15 @@ impl ShardedOrderingCache {
                     adjacency_len: g.adjacency_len(),
                     stats,
                     compression_ratio,
+                    degraded: degraded.map(str::to_string),
                     perm: perm.to_vec(),
                 },
+                &self.faults,
             );
             self.note_spill(key);
         }
         let evicted = {
-            let mut shard = self.shards[self.shard_of(key)].lock().unwrap();
+            let mut shard = lock_unpoisoned(&self.shards[self.shard_of(key)]);
             shard.insert(key, entry, self.shard_budget)
         };
         for key in evicted {
@@ -449,6 +488,7 @@ impl ShardedOrderingCache {
             e.stats,
             Arc::new(EncodedPerm::new(e.perm)),
             e.compression_ratio,
+            e.degraded.map(Arc::from),
             e.n,
             e.adjacency_len,
         );
@@ -457,7 +497,7 @@ impl ShardedOrderingCache {
             return;
         }
         let evicted = {
-            let mut shard = self.shards[self.shard_of(e.key)].lock().unwrap();
+            let mut shard = lock_unpoisoned(&self.shards[self.shard_of(e.key)]);
             shard.insert(e.key, entry, self.shard_budget)
         };
         for key in evicted {
@@ -469,7 +509,7 @@ impl ShardedOrderingCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().entries.len())
+            .map(|s| lock_unpoisoned(s).entries.len())
             .sum()
     }
 
@@ -482,7 +522,7 @@ impl ShardedOrderingCache {
     pub fn used_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().used_bytes)
+            .map(|s| lock_unpoisoned(s).used_bytes)
             .sum()
     }
 
@@ -491,7 +531,7 @@ impl ShardedOrderingCache {
         self.shards
             .iter()
             .map(|s| {
-                let s = s.lock().unwrap();
+                let s = lock_unpoisoned(s);
                 ShardStats {
                     entries: s.entries.len(),
                     bytes: s.used_bytes,
@@ -514,7 +554,17 @@ mod tests {
 
     fn insert_ordering(cache: &ShardedOrderingCache, g: &SymmetricPattern, alg: Algorithm) {
         let o = se_order::order(g, alg).unwrap();
-        cache.insert(g, alg, false, o.perm.order(), o.stats, None);
+        cache.insert(
+            g,
+            alg,
+            false,
+            o.perm.order(),
+            OrderingMeta {
+                stats: o.stats,
+                compression_ratio: None,
+                degraded: None,
+            },
+        );
     }
 
     fn entry_cost(n: usize) -> usize {
@@ -566,10 +616,14 @@ mod tests {
                 Algorithm::Rcm,
                 false,
                 ordering.perm.order(),
-                ordering.stats,
-                None,
+                OrderingMeta {
+                    stats: ordering.stats,
+                    compression_ratio: None,
+                    degraded: None,
+                },
             );
             let hit = cache.get(&g, Algorithm::Rcm, false).expect("hit");
+            assert!(hit.degraded.is_none());
             assert_eq!(hit.payload.order(), ordering.perm.order());
             assert_eq!(hit.stats, ordering.stats);
             assert_eq!(
@@ -677,8 +731,11 @@ mod tests {
                 Algorithm::Rcm,
                 false,
                 ordering.perm.order(),
-                ordering.stats,
-                None,
+                OrderingMeta {
+                    stats: ordering.stats,
+                    compression_ratio: None,
+                    degraded: None,
+                },
             );
             assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
         }
@@ -705,5 +762,55 @@ mod tests {
         assert_eq!(remaining.len(), 1);
         assert_eq!(remaining[0].n, 31);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_reason_survives_hit_and_persistence_reopen() {
+        let dir = std::env::temp_dir().join(format!("se-cache-deg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = path(24);
+        let o = se_order::order(&g, Algorithm::Rcm).unwrap();
+        {
+            let cache = ShardedOrderingCache::open(1 << 20, 2, &dir).unwrap();
+            cache.insert(
+                &g,
+                Algorithm::Rcm,
+                false,
+                o.perm.order(),
+                OrderingMeta {
+                    stats: o.stats,
+                    compression_ratio: None,
+                    degraded: Some("not_converged"),
+                },
+            );
+            let hit = cache.get(&g, Algorithm::Rcm, false).expect("hit");
+            assert_eq!(hit.degraded.as_deref(), Some("not_converged"));
+        }
+        let reopened = ShardedOrderingCache::open(1 << 20, 2, &dir).unwrap();
+        let hit = reopened.get(&g, Algorithm::Rcm, false).expect("reloaded");
+        assert_eq!(hit.degraded.as_deref(), Some("not_converged"));
+        assert_eq!(hit.payload.order(), o.perm.order());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_survives_a_poisoned_shard_lock() {
+        let cache = Arc::new(ShardedOrderingCache::new(1 << 20, 1));
+        let g = path(22);
+        insert_ordering(&cache, &g, Algorithm::Rcm);
+        // Poison the only shard's mutex by panicking while holding it.
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shards[0].lock().unwrap();
+            panic!("poison the shard");
+        })
+        .join();
+        assert!(cache.shards[0].lock().is_err(), "lock must be poisoned");
+        // The cache still serves hits and accepts inserts.
+        assert!(cache.get(&g, Algorithm::Rcm, false).is_some());
+        let other = path(23);
+        insert_ordering(&cache, &other, Algorithm::Rcm);
+        assert!(cache.get(&other, Algorithm::Rcm, false).is_some());
+        assert_eq!(cache.len(), 2);
     }
 }

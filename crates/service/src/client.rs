@@ -11,8 +11,10 @@ use crate::proto::{
     decode_response, encode_request, ErrorResponse, OrderRequest, OrderResponse, PermPayload,
     ProtoError, Request, Response,
 };
+use se_prng::SmallRng;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -43,11 +45,127 @@ impl std::fmt::Display for ClientError {
     }
 }
 
+impl ClientError {
+    /// Whether retrying the request on a *fresh* connection can succeed:
+    /// the server said so explicitly (`"retriable": true`, e.g. `server
+    /// busy` or a queue-full rejection) or the connection itself failed in
+    /// a transient way — refused during a restart, reset/aborted by a
+    /// dying peer, or torn down mid-exchange (a busy rejection closes the
+    /// socket at accept time, so the client's next write sees
+    /// `BrokenPipe` and its next read `UnexpectedEof`, depending on who
+    /// wins the race). Protocol errors, fatal server errors (including
+    /// `rate limited`) and unexpected replies are not retriable.
+    pub fn is_retriable(&self) -> bool {
+        use std::io::ErrorKind;
+        match self {
+            ClientError::Server(e) => e.retriable,
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                ErrorKind::ConnectionRefused
+                    | ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+                    | ErrorKind::BrokenPipe
+                    | ErrorKind::UnexpectedEof
+            ),
+            _ => false,
+        }
+    }
+}
+
 impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+/// Retry policy for [`order_with_retry`]: decorrelated-jitter exponential
+/// backoff. The delay before attempt `k+1` is drawn uniformly from
+/// `[base, prev * 3]` and capped at `cap`, where `prev` is the previous
+/// delay — each client's retry schedule decorrelates from every other's,
+/// avoiding the thundering-herd resonance of synchronized exponential
+/// backoff, while still growing geometrically in expectation.
+///
+/// The jitter stream is seeded, so a given `(policy, seed)` pair produces
+/// one reproducible schedule — the same determinism contract as the rest
+/// of the crate.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (≥ 1; 1 means no retries).
+    pub max_attempts: u32,
+    /// Lower bound of every backoff delay.
+    pub base: Duration,
+    /// Upper bound of every backoff delay.
+    pub cap: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            seed: 0x5e_0b_ac_0f,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delays this policy would sleep between attempts, in
+    /// order (`max_attempts - 1` of them). Deterministic in the seed.
+    pub fn delays(&self) -> Vec<Duration> {
+        let base = self.base.min(self.cap);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut prev = base;
+        (1..self.max_attempts.max(1))
+            .map(|_| {
+                let hi = (prev.as_secs_f64() * 3.0).max(base.as_secs_f64());
+                let secs = if hi > base.as_secs_f64() {
+                    rng.gen_range(base.as_secs_f64()..hi)
+                } else {
+                    base.as_secs_f64()
+                };
+                prev = Duration::from_secs_f64(secs).min(self.cap);
+                prev
+            })
+            .collect()
+    }
+}
+
+/// Dials `addr`, negotiates `frames`, and runs one ORDER — retrying on a
+/// fresh connection with decorrelated-jitter backoff while the failure is
+/// [retriable](ClientError::is_retriable) and attempts remain.
+///
+/// A fresh connection per attempt is deliberate: the server's busy
+/// rejection closes the socket at accept time, so the old connection is
+/// useless. Fatal errors (bad input, `rate limited`) and protocol errors
+/// surface immediately. CANCEL is intentionally not retried anywhere —
+/// re-sending it after an ambiguous failure could cancel an unrelated
+/// request that reused the id.
+pub fn order_with_retry(
+    addr: impl ToSocketAddrs,
+    frames: FrameMode,
+    req: &OrderRequest,
+    policy: &RetryPolicy,
+) -> Result<OrderResponse, ClientError> {
+    let delays = policy.delays();
+    let mut attempt = 0usize;
+    loop {
+        let result = Client::connect(&addr).and_then(|mut c| {
+            c.hello(frames)?;
+            c.order(req.clone())
+        });
+        match result {
+            Ok(r) => return Ok(r),
+            Err(e) if e.is_retriable() && attempt < delays.len() => {
+                std::thread::sleep(delays[attempt]);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -185,5 +303,83 @@ impl Client {
             Response::ShutdownOk { drained } => Ok(drained),
             _ => Err(ClientError::UnexpectedResponse("a SHUTDOWN ack")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delays_are_deterministic_bounded_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            seed: 7,
+        };
+        let delays = policy.delays();
+        assert_eq!(delays.len(), 7);
+        assert_eq!(delays, policy.delays(), "same seed, same schedule");
+        for d in &delays {
+            assert!(
+                *d >= policy.base && *d <= policy.cap,
+                "out of bounds: {d:?}"
+            );
+        }
+        // Decorrelated jitter must actually vary, and a different seed must
+        // produce a different schedule.
+        assert!(delays.windows(2).any(|w| w[0] != w[1]));
+        let reseeded = RetryPolicy { seed: 8, ..policy };
+        assert_ne!(delays, reseeded.delays());
+    }
+
+    #[test]
+    fn single_attempt_policy_never_sleeps() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        assert!(policy.delays().is_empty());
+    }
+
+    #[test]
+    fn retriability_classification() {
+        use std::io::{Error, ErrorKind};
+        assert!(ClientError::Server(ErrorResponse::retriable("busy")).is_retriable());
+        assert!(!ClientError::Server(ErrorResponse::fatal("rate limited")).is_retriable());
+        assert!(ClientError::Io(Error::from(ErrorKind::ConnectionRefused)).is_retriable());
+        assert!(ClientError::Io(Error::from(ErrorKind::ConnectionReset)).is_retriable());
+        // A busy rejection closes the socket; the race decides which of
+        // these the client observes — both mean "dial again".
+        assert!(ClientError::Io(Error::from(ErrorKind::BrokenPipe)).is_retriable());
+        assert!(ClientError::Io(Error::from(ErrorKind::UnexpectedEof)).is_retriable());
+        assert!(!ClientError::Io(Error::from(ErrorKind::PermissionDenied)).is_retriable());
+        assert!(!ClientError::UnexpectedResponse("an ORDER response").is_retriable());
+    }
+
+    #[test]
+    fn refused_connection_exhausts_attempts_quickly() {
+        // Port 1 on loopback is almost certainly closed; the retry loop
+        // must surface the refusal after its attempts, not hang.
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 1,
+        };
+        let req = OrderRequest {
+            alg: se_order::Algorithm::Rcm,
+            source: crate::proto::MatrixSource::Path("/nonexistent.mtx".to_string()),
+            timeout_ms: None,
+            include_perm: false,
+            threads: None,
+            compressed: false,
+            trace: false,
+            id: None,
+        };
+        let err = order_with_retry("127.0.0.1:1", FrameMode::Ndjson, &req, &policy)
+            .expect_err("no server is listening");
+        assert!(matches!(err, ClientError::Io(_)));
     }
 }

@@ -14,9 +14,10 @@ use crate::proto::{
     ErrorResponse, MatrixFormat, MatrixSource, OrderRequest, OrderResponse, PermPayload,
 };
 use crate::server::Config;
+use se_faults::{lock_unpoisoned, sites, Budget, FaultPlane};
 use se_trace::Tracer;
 use sparsemat::pattern::SymmetricPattern;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering as AtOrd};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -40,6 +41,9 @@ pub struct Engine {
     solver_threads: usize,
     log_requests: bool,
     cancel: Mutex<CancelState>,
+    /// Deterministic fault-injection plane shared by every worker
+    /// ([`FaultPlane::disabled`] in production).
+    faults: FaultPlane,
     /// The listener's bound address — poked by [`Engine::begin_shutdown`]
     /// to wake the blocking accept loop.
     addr: SocketAddr,
@@ -64,6 +68,11 @@ struct CancelState {
     cancelled: HashSet<u64>,
     /// Insertion order of `cancelled`, for the bounded-capacity eviction.
     fifo: VecDeque<u64>,
+    /// Per-request solver budgets, registered while the id is pending. A
+    /// CANCEL flips the budget's shared cancel flag, so a solve that is
+    /// already running aborts at its next iteration boundary instead of
+    /// computing to completion.
+    budgets: HashMap<u64, Budget>,
 }
 
 /// A submitted job: the channel its result will arrive on, plus the
@@ -78,7 +87,7 @@ impl Engine {
     /// listener address. Fails only when a cache directory is configured and
     /// cannot be created.
     pub fn new(cfg: &Config, addr: SocketAddr) -> std::io::Result<Engine> {
-        let cache = match &cfg.cache_dir {
+        let mut cache = match &cfg.cache_dir {
             Some(dir) => ShardedOrderingCache::open_budgeted(
                 cfg.cache_budget_bytes,
                 cfg.cache_shards,
@@ -87,6 +96,7 @@ impl Engine {
             )?,
             None => ShardedOrderingCache::new(cfg.cache_budget_bytes, cfg.cache_shards),
         };
+        cache.set_faults(cfg.faults.clone());
         Ok(Engine {
             pool: Mutex::new(Some(WorkerPool::new(cfg.workers, cfg.queue_capacity))),
             cache,
@@ -97,8 +107,14 @@ impl Engine {
             solver_threads: cfg.solver_threads,
             log_requests: cfg.log_requests,
             cancel: Mutex::new(CancelState::default()),
+            faults: cfg.faults.clone(),
             addr,
         })
+    }
+
+    /// The engine's fault-injection plane (shared with every worker).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
     }
 
     /// The live metrics.
@@ -137,7 +153,7 @@ impl Engine {
         self.shutting_down.store(true, AtOrd::SeqCst);
         // Wake the accept loop so it observes the flag.
         let _ = TcpStream::connect(self.addr);
-        let pool = self.pool.lock().unwrap().take();
+        let pool = lock_unpoisoned(&self.pool).take();
         match pool {
             Some(p) => p.shutdown_drain(),
             None => 0,
@@ -147,7 +163,7 @@ impl Engine {
     /// The STATS snapshot: metrics counters + pool depth + per-shard cache
     /// counters.
     pub fn stats_snapshot(&self) -> crate::json::Json {
-        let (depth, active) = match self.pool.lock().unwrap().as_ref() {
+        let (depth, active) = match lock_unpoisoned(&self.pool).as_ref() {
             Some(p) => (p.queue_depth(), p.active()),
             None => (0, 0),
         };
@@ -165,9 +181,14 @@ impl Engine {
     /// error line. Cancelling an unknown (or already completed) id is a
     /// no-op reporting `false`.
     pub fn cancel(&self, id: u64) -> bool {
-        let mut st = self.cancel.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.cancel);
         if !st.pending.contains(&id) {
             return false;
+        }
+        // Reach into a solve that is already running: the budget's shared
+        // cancel flag makes it abort at its next iteration boundary.
+        if let Some(budget) = st.budgets.get(&id) {
+            budget.cancel();
         }
         if st.cancelled.insert(id) {
             st.fifo.push_back(id);
@@ -180,17 +201,20 @@ impl Engine {
         true
     }
 
-    fn register_pending(&self, id: Option<u64>) {
+    fn register_pending(&self, id: Option<u64>, budget: &Budget) {
         if let Some(id) = id {
-            self.cancel.lock().unwrap().pending.insert(id);
+            let mut st = lock_unpoisoned(&self.cancel);
+            st.pending.insert(id);
+            st.budgets.insert(id, budget.clone());
         }
     }
 
     fn unregister_pending(&self, id: Option<u64>) {
         if let Some(id) = id {
-            let mut st = self.cancel.lock().unwrap();
+            let mut st = lock_unpoisoned(&self.cancel);
             st.pending.remove(&id);
             st.cancelled.remove(&id);
+            st.budgets.remove(&id);
         }
     }
 
@@ -198,10 +222,11 @@ impl Engine {
     /// is set. With `finishing` the pending registration is dropped either
     /// way (the job is done with the id).
     fn consume_cancel(&self, id: u64, finishing: bool) -> bool {
-        let mut st = self.cancel.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.cancel);
         let hit = st.cancelled.remove(&id);
         if hit || finishing {
             st.pending.remove(&id);
+            st.budgets.remove(&id);
         }
         hit
     }
@@ -228,12 +253,18 @@ impl Engine {
         let timeout = req
             .timeout_ms
             .map_or(self.default_timeout, Duration::from_millis);
+        // The solver gets a slightly earlier deadline than the session's
+        // wall-clock timeout: the reserved slice pays for queueing and
+        // response encoding, so a solve that would blow the timeout instead
+        // aborts cooperatively and degrades to a cheaper rung in time to
+        // still answer.
+        let budget = Budget::new(Some(solver_deadline(timeout)), None);
         let (tx, rx) = mpsc::channel::<OrderOutcome>();
         let job_engine = Arc::clone(self);
         let req_id = req.id;
-        self.register_pending(req_id);
+        self.register_pending(req_id, &budget);
         let submit = {
-            let guard = self.pool.lock().unwrap();
+            let guard = lock_unpoisoned(&self.pool);
             match guard.as_ref() {
                 Some(pool) => pool.try_submit(Box::new(move || {
                     // A queued job whose id was cancelled is dropped before
@@ -247,7 +278,7 @@ impl Engine {
                         job_engine.metrics.inc(&job_engine.metrics.cancelled);
                         Err(ErrorResponse::fatal("request cancelled"))
                     } else {
-                        let out = job_engine.execute_order(&req);
+                        let out = job_engine.execute_order(&req, &budget);
                         if req.id.is_some_and(|id| job_engine.consume_cancel(id, true)) {
                             job_engine.metrics.inc(&job_engine.metrics.cancelled);
                             Err(ErrorResponse::fatal("request cancelled"))
@@ -295,9 +326,18 @@ impl Engine {
     /// metrics. A hit returns the cache's pre-encoded payload
     /// ([`PermPayload::Cached`]) so the session writes the stored bytes
     /// without re-encoding; a miss inserts and reuses the freshly encoded
-    /// payload the same way.
-    fn execute_order(&self, req: &OrderRequest) -> OrderOutcome {
+    /// payload the same way. The ordering runs through the graceful-
+    /// degradation ladder under `budget`, so an exhausted deadline, a
+    /// CANCEL or an injected solver fault yields a valid (degraded)
+    /// permutation instead of an error whenever possible.
+    fn execute_order(&self, req: &OrderRequest, budget: &Budget) -> OrderOutcome {
         let t0 = Instant::now();
+        // Chaos site: a worker thread dying mid-request. The pool catches
+        // the panic (the submitter sees "worker dropped the request"), and
+        // every shared lock recovers from the poisoning.
+        if self.faults.should_fail(sites::WORKER_PANIC) {
+            panic!("injected worker panic ({})", sites::WORKER_PANIC);
+        }
         let g = match load_pattern(&req.source) {
             Ok(g) => g,
             Err(e) => {
@@ -314,10 +354,20 @@ impl Engine {
         } else {
             self.cache.get(&g, req.alg, req.compressed)
         };
-        let (stats, payload, compression_ratio, cache_hit, trace) = match cached {
+        let (stats, payload, compression_ratio, cache_hit, trace, alg_name, degraded) = match cached
+        {
             Some(hit) => {
                 self.metrics.inc(&self.metrics.cache_hits);
-                (hit.stats, hit.payload, hit.compression_ratio, true, None)
+                let degraded = hit.degraded.map(|r| r.to_string());
+                (
+                    hit.stats,
+                    hit.payload,
+                    hit.compression_ratio,
+                    true,
+                    None,
+                    req.alg.name().to_string(),
+                    degraded,
+                )
             }
             None => {
                 self.metrics.inc(&self.metrics.cache_misses);
@@ -338,13 +388,14 @@ impl Engine {
                 // An enabled tracer never changes numerical results.
                 let tracer = Tracer::enabled();
                 solver.trace = tracer.clone();
+                solver.budget = budget.clone();
+                solver.faults = self.faults.clone();
                 let computed = if req.compressed {
-                    se_order::order_compressed_with(&g, req.alg, &solver)
-                        .map(|(o, ratio)| (o, Some(ratio)))
+                    se_order::order_compressed_degraded_with(&g, req.alg, &solver)
                 } else {
-                    se_order::order_with(&g, req.alg, &solver).map(|o| (o, None))
+                    se_order::order_degraded_with(&g, req.alg, &solver)
                 };
-                let (o, ratio) = match computed {
+                let outcome = match computed {
                     Ok(v) => v,
                     Err(e) => {
                         self.metrics.inc(&self.metrics.errors);
@@ -354,9 +405,37 @@ impl Engine {
                         )));
                     }
                 };
-                let payload =
-                    self.cache
-                        .insert(&g, req.alg, req.compressed, o.perm.order(), o.stats, ratio);
+                if let Some(reason) = &outcome.degraded {
+                    self.metrics.inc_degraded(reason);
+                }
+                if let Some(stage) = outcome.budget_abort_stage {
+                    self.metrics.inc_budget_abort(stage);
+                }
+                let o = outcome.ordering;
+                let ratio = req.compressed.then_some(outcome.compression_ratio);
+                // Cache clean results always. Among degraded ones, only
+                // `not_converged` is a deterministic property of the matrix
+                // worth remembering; deadline/cancel/fault degradations are
+                // transient and must be recomputed next time.
+                let cacheable = match outcome.degraded.as_deref() {
+                    None | Some("not_converged") => true,
+                    Some(_) => false,
+                };
+                let payload = if cacheable {
+                    self.cache.insert(
+                        &g,
+                        req.alg,
+                        req.compressed,
+                        o.perm.order(),
+                        crate::cache::OrderingMeta {
+                            stats: o.stats,
+                            compression_ratio: ratio,
+                            degraded: outcome.degraded.as_deref(),
+                        },
+                    )
+                } else {
+                    Arc::new(crate::proto::EncodedPerm::new(o.perm.order().to_vec()))
+                };
                 let root = tracer.finish();
                 if let Some(root) = &root {
                     for name in root.stage_names() {
@@ -369,7 +448,17 @@ impl Engine {
                 } else {
                     None
                 };
-                (o.stats, payload, ratio, false, trace)
+                (
+                    o.stats,
+                    payload,
+                    ratio,
+                    false,
+                    trace,
+                    // A degraded response names the algorithm that actually
+                    // produced the permutation (e.g. RCM on rung 3).
+                    o.algorithm.name().to_string(),
+                    outcome.degraded,
+                )
             }
         };
         let micros = t0.elapsed().as_micros() as u64;
@@ -385,7 +474,7 @@ impl Engine {
             );
         }
         Ok(OrderResponse {
-            alg: req.alg.name().to_string(),
+            alg: alg_name,
             n: g.n(),
             nnz: g.nnz_lower_with_diagonal(),
             stats,
@@ -393,6 +482,7 @@ impl Engine {
             cache_hit,
             micros,
             compression_ratio,
+            degraded,
             trace,
         })
     }
@@ -401,7 +491,7 @@ impl Engine {
     /// cache stats rendered as Prometheus text
     /// ([`Metrics::render_prometheus`]).
     pub fn metrics_text(&self) -> String {
-        let (depth, active) = match self.pool.lock().unwrap().as_ref() {
+        let (depth, active) = match lock_unpoisoned(&self.pool).as_ref() {
             Some(p) => (p.queue_depth(), p.active()),
             None => (0, 0),
         };
@@ -412,6 +502,18 @@ impl Engine {
             self.cache.dir().is_some(),
         )
     }
+}
+
+/// The solver-budget deadline carved out of a request's wall-clock
+/// timeout: an eighth of the timeout (clamped to 50–500 ms, and never more
+/// than half the timeout) is reserved for queueing and response encoding.
+/// [`Engine::await_order`] still enforces the full timeout on the session
+/// side, so sub-reserve timeouts behave exactly as before.
+fn solver_deadline(timeout: Duration) -> Duration {
+    let reserve = (timeout / 8)
+        .clamp(Duration::from_millis(50), Duration::from_millis(500))
+        .min(timeout / 2);
+    timeout - reserve
 }
 
 /// Loads the matrix pattern from an ORDER request's source.

@@ -218,6 +218,33 @@ mod tests {
     }
 
     #[test]
+    fn fault_plane_corrupted_frames_never_panic() {
+        use se_faults::{sites, FaultPlane};
+        let perm: Vec<usize> = (0..64).rev().collect();
+        let good = encode_perm_frame(&perm);
+        let faults = FaultPlane::seeded(0xF0A7);
+        faults.arm_times(sites::WIRE_CORRUPT, 256);
+        let mut rejected = 0;
+        for _ in 0..256 {
+            let mut bytes = good.clone();
+            assert!(faults.corrupt(sites::WIRE_CORRUPT, &mut bytes));
+            match read_perm_frame(&mut bytes.as_slice()) {
+                // A flip in the payload *bits* of an in-range element can
+                // yield another valid permutation-frame payload; what the
+                // decoder must guarantee is error-or-value, never a panic
+                // or an out-of-range element.
+                Ok(decoded) => assert!(decoded.iter().all(|&v| v < perm.len())),
+                Err(_) => rejected += 1,
+            }
+        }
+        assert_eq!(faults.fired(sites::WIRE_CORRUPT), 256);
+        assert!(rejected > 0, "corruption must be detectable");
+        // The untouched frame still decodes — corruption never leaks into
+        // the caller's buffer lifecycle.
+        assert_eq!(read_perm_frame(&mut good.as_slice()).unwrap(), perm);
+    }
+
+    #[test]
     fn json_rendering_matches_format_macro() {
         for perm in [vec![], vec![0], vec![12, 7, 1000, 3]] {
             let expect = format!(

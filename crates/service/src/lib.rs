@@ -29,10 +29,32 @@
 //! modes and any shard count. `ORDER` accepts `"trace":true` to return the
 //! hierarchical span tree of the computation (`se_trace`), `METRICS`
 //! exposes the counters and per-stage latency histograms as Prometheus
-//! text, and `CANCEL` revokes a queued request by client-assigned id.
-//! Everything is built on `std` alone (`std::net`, threads, channels); the
-//! JSON layer ([`json`]) is hand-rolled so the service adds no external
-//! dependencies to the workspace.
+//! text, and `CANCEL` revokes a queued or *running* request by
+//! client-assigned id (running solves observe the flipped [`Budget`] at
+//! their next iteration boundary). Everything is built on `std` alone
+//! (`std::net`, threads, channels); the JSON layer ([`json`]) is
+//! hand-rolled so the service adds no external dependencies to the
+//! workspace.
+//!
+//! # Robustness
+//!
+//! The service degrades instead of failing wherever it can:
+//!
+//! * every ORDER runs under a cooperative deadline [`Budget`] derived from
+//!   its timeout, checked at solver iteration boundaries;
+//! * when the spectral pipeline cannot finish (non-convergence, exhausted
+//!   budget, injected fault), the engine walks a degradation ladder —
+//!   spectral → Lanczos-only → RCM — and still returns a valid
+//!   permutation, marked `"degraded"` with a machine-readable reason and
+//!   counted in `se_degraded_orders_total{reason=...}`;
+//! * a deterministic fault-injection plane ([`FaultPlane`], disabled by
+//!   default and bit-transparent when disabled) drives the chaos test
+//!   suite through the full stack, including spill-file corruption and
+//!   torn writes;
+//! * per-client-IP token-bucket rate limiting ([`transport::RateLimiter`],
+//!   `Config::rate_limit`), socket I/O timeouts against slow-loris clients
+//!   (`Config::io_timeout_ms`), and a decorrelated-jitter client retry
+//!   helper ([`client::order_with_retry`]) round out the edges.
 
 pub mod cache;
 pub mod client;
@@ -47,6 +69,8 @@ pub mod server;
 pub mod session;
 pub mod transport;
 
-pub use client::{Client, ClientError};
+pub use client::{order_with_retry, Client, ClientError, RetryPolicy};
 pub use frame::FrameMode;
+pub use se_faults::{sites, Budget, FaultPlane};
 pub use server::{serve, Config, ServerHandle};
+pub use transport::RateLimiter;

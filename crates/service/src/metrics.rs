@@ -2,6 +2,7 @@
 //! histograms, snapshotted as JSON by the STATS command.
 
 use crate::json::Json;
+use se_faults::lock_unpoisoned;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -105,6 +106,14 @@ pub struct Metrics {
     /// ORDER requests whose response was suppressed by a CANCEL (dropped
     /// while queued or finished-but-discarded).
     pub cancelled: AtomicU64,
+    /// Requests rejected by per-client rate limiting.
+    pub rate_limited: AtomicU64,
+    /// Degraded ORDER responses by machine-readable reason
+    /// (`not_converged`, `deadline`, `cancelled`, `matvec_cap`,
+    /// `numerical`, `fault:<site>`).
+    degraded_orders: Mutex<Vec<(String, u64)>>,
+    /// Solver budget aborts by the stage that observed exhaustion.
+    budget_aborts: Mutex<Vec<(String, u64)>>,
     /// name() → latency histogram, one per algorithm seen.
     latency: Mutex<Vec<(String, Histogram)>>,
     /// Pipeline stage name → histogram of per-request time spent in that
@@ -136,7 +145,7 @@ impl Metrics {
     }
 
     fn record_keyed(table: &Mutex<Vec<(String, Histogram)>>, key: &str, micros: u64) {
-        let mut table = table.lock().unwrap();
+        let mut table = lock_unpoisoned(table);
         match table.iter_mut().find(|(name, _)| name == key) {
             Some((_, h)) => h.record(micros),
             None => {
@@ -147,11 +156,46 @@ impl Metrics {
         }
     }
 
+    /// Counts one degraded ORDER response under its machine-readable
+    /// reason.
+    pub fn inc_degraded(&self, reason: &str) {
+        Self::bump_keyed(&self.degraded_orders, reason);
+    }
+
+    /// Counts one budget-driven solver abort under the stage that observed
+    /// the exhausted budget.
+    pub fn inc_budget_abort(&self, stage: &str) {
+        Self::bump_keyed(&self.budget_aborts, stage);
+    }
+
+    /// Degraded responses counted for `reason`.
+    pub fn degraded_count(&self, reason: &str) -> u64 {
+        Self::keyed_value(&self.degraded_orders, reason)
+    }
+
+    /// Budget aborts counted for `stage`.
+    pub fn budget_abort_count(&self, stage: &str) -> u64 {
+        Self::keyed_value(&self.budget_aborts, stage)
+    }
+
+    fn bump_keyed(table: &Mutex<Vec<(String, u64)>>, key: &str) {
+        let mut table = lock_unpoisoned(table);
+        match table.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v += 1,
+            None => table.push((key.to_string(), 1)),
+        }
+    }
+
+    fn keyed_value(table: &Mutex<Vec<(String, u64)>>, key: &str) -> u64 {
+        lock_unpoisoned(table)
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0, |(_, v)| *v)
+    }
+
     /// Total recorded latency observations for `alg_name`.
     pub fn latency_count(&self, alg_name: &str) -> u64 {
-        self.latency
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.latency)
             .iter()
             .find(|(name, _)| name == alg_name)
             .map_or(0, |(_, h)| h.count())
@@ -159,9 +203,7 @@ impl Metrics {
 
     /// Total recorded per-stage observations for `stage`.
     pub fn stage_latency_count(&self, stage: &str) -> u64 {
-        self.stage_latency
-            .lock()
-            .unwrap()
+        lock_unpoisoned(&self.stage_latency)
             .iter()
             .find(|(name, _)| name == stage)
             .map_or(0, |(_, h)| h.count())
@@ -180,7 +222,15 @@ impl Metrics {
         persistent: bool,
     ) -> Json {
         let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
-        let table = self.latency.lock().unwrap();
+        let keyed_json = |table: &Mutex<Vec<(String, u64)>>| {
+            let mut rows: Vec<(String, Json)> = lock_unpoisoned(table)
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            Json::Obj(rows)
+        };
+        let table = lock_unpoisoned(&self.latency);
         let mut latency: Vec<(String, Json)> = table
             .iter()
             .map(|(name, h)| (name.clone(), h.to_json()))
@@ -216,6 +266,9 @@ impl Metrics {
             ("connections", load(&self.connections)),
             ("busy_rejections", load(&self.busy_rejections)),
             ("cancelled", load(&self.cancelled)),
+            ("rate_limited", load(&self.rate_limited)),
+            ("degraded_orders", keyed_json(&self.degraded_orders)),
+            ("budget_aborts", keyed_json(&self.budget_aborts)),
             ("queue_depth", Json::Num(queue_depth as f64)),
             ("active_jobs", Json::Num(active as f64)),
             ("cached_orderings", Json::Num(cached_entries as f64)),
@@ -300,6 +353,34 @@ impl Metrics {
             "ORDER requests whose response was suppressed by a CANCEL.",
             load(&self.cancelled),
         );
+        counter(
+            "se_rate_limited_total",
+            "Requests rejected by per-client rate limiting.",
+            load(&self.rate_limited),
+        );
+
+        let mut labeled_counter =
+            |name: &str, help: &str, label: &str, table: &Mutex<Vec<(String, u64)>>| {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let mut rows = lock_unpoisoned(table).clone();
+                rows.sort_by(|a, b| a.0.cmp(&b.0));
+                for (k, v) in rows {
+                    let _ = writeln!(out, "{name}{{{label}=\"{k}\"}} {v}");
+                }
+            };
+        labeled_counter(
+            "se_degraded_orders_total",
+            "Degraded ORDER responses by machine-readable reason.",
+            "reason",
+            &self.degraded_orders,
+        );
+        labeled_counter(
+            "se_budget_aborts_total",
+            "Solver budget aborts by the stage that observed exhaustion.",
+            "stage",
+            &self.budget_aborts,
+        );
 
         let mut gauge = |name: &str, help: &str, v: f64| {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -380,7 +461,7 @@ impl Metrics {
             }
         };
         let sorted = |table: &Mutex<Vec<(String, Histogram)>>| {
-            let table = table.lock().unwrap();
+            let table = lock_unpoisoned(table);
             let mut rows: Vec<(String, Histogram)> = table
                 .iter()
                 .map(|(name, h)| {
@@ -494,5 +575,36 @@ mod tests {
             Some(1)
         );
         assert_eq!(m.latency_count("RCM"), 2);
+    }
+
+    #[test]
+    fn degradation_and_rate_limit_counters_surface_everywhere() {
+        let m = Metrics::new();
+        m.inc(&m.rate_limited);
+        m.inc_degraded("not_converged");
+        m.inc_degraded("not_converged");
+        m.inc_degraded("deadline");
+        m.inc_budget_abort("lanczos");
+        assert_eq!(m.degraded_count("not_converged"), 2);
+        assert_eq!(m.degraded_count("unknown"), 0);
+        assert_eq!(m.budget_abort_count("lanczos"), 1);
+        let snap = m.snapshot(0, 0, &[], false);
+        assert_eq!(snap.get("rate_limited").and_then(Json::as_u64), Some(1));
+        let degraded = snap.get("degraded_orders").expect("degraded table");
+        assert_eq!(
+            degraded.get("not_converged").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(degraded.get("deadline").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            snap.get("budget_aborts")
+                .and_then(|t| t.get("lanczos"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let text = m.render_prometheus(0, 0, &[], false);
+        assert!(text.contains("se_rate_limited_total 1"));
+        assert!(text.contains("se_degraded_orders_total{reason=\"not_converged\"} 2"));
+        assert!(text.contains("se_budget_aborts_total{stage=\"lanczos\"} 1"));
     }
 }

@@ -14,18 +14,25 @@
 //! 8       8     u64 cache key (FNV-1a of pattern+algorithm+compressed)
 //! 16      8     u64 n (collision guard)
 //! 24      8     u64 adjacency length (collision guard)
-//! 32      8     u64 flags: bit 0 = compression ratio present
+//! 32      8     u64 flags: bit 0 = compression ratio present,
+//!               bit 1 = degradation reason appended after the perm frame
 //! 40      8     f64 compression ratio bits (0 when absent)
 //! 48      40    EnvelopeStats: envelope_size, envelope_work, bandwidth,
 //!               one_sum, two_sum_sq (5 × u64)
 //! 88      …     permutation as one binary perm frame (see [`crate::frame`])
+//! …       4+…   when flags bit 1: u32 length + UTF-8 degradation reason
 //! ```
 //!
 //! A file that fails any validation (magic, version, frame integrity,
 //! key/filename mismatch) is skipped at load time — a corrupt spill file
-//! costs a recomputation, never a wrong answer.
+//! costs a recomputation, never a wrong answer. [`save`] threads the
+//! process's [`FaultPlane`] through the write so chaos tests can inject
+//! bit flips ([`se_faults::sites::PERSIST_CORRUPT`]) and torn writes
+//! ([`se_faults::sites::PERSIST_TORN`]) at the exact byte layer where real
+//! disk faults would land.
 
 use crate::frame::{encode_perm_frame, read_perm_frame};
+use se_faults::{sites, FaultPlane};
 use sparsemat::envelope::EnvelopeStats;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -52,6 +59,9 @@ pub struct PersistedEntry {
     pub stats: EnvelopeStats,
     /// Supervariable compression ratio, when the entry was compressed.
     pub compression_ratio: Option<f64>,
+    /// Machine-readable degradation reason, when the cached ordering came
+    /// from a fallback rung of the degradation ladder.
+    pub degraded: Option<String>,
     /// The permutation, new position → old index.
     pub perm: Vec<usize>,
 }
@@ -63,7 +73,13 @@ pub fn spill_path(dir: &Path, key: u64) -> PathBuf {
 
 /// Writes one entry atomically (temp file + rename). Fsync is deliberately
 /// skipped: losing a spill on power failure costs one recomputation.
-pub fn save(dir: &Path, entry: &PersistedEntry) -> io::Result<()> {
+///
+/// `faults` injects byte-level failures between encoding and the write:
+/// [`sites::PERSIST_CORRUPT`] flips bits in the encoded buffer,
+/// [`sites::PERSIST_TORN`] truncates the write to a PRNG-chosen shorter
+/// length. Both produce files that [`load`] rejects (or, for flips in
+/// undetectable padding, returns verbatim) — never a panic.
+pub fn save(dir: &Path, entry: &PersistedEntry, faults: &FaultPlane) -> io::Result<()> {
     let mut buf = Vec::with_capacity(88 + 16 + entry.perm.len() * 8);
     buf.extend_from_slice(&SPILL_MAGIC);
     buf.push(SPILL_VERSION);
@@ -71,7 +87,8 @@ pub fn save(dir: &Path, entry: &PersistedEntry) -> io::Result<()> {
     buf.extend_from_slice(&entry.key.to_le_bytes());
     buf.extend_from_slice(&(entry.n as u64).to_le_bytes());
     buf.extend_from_slice(&(entry.adjacency_len as u64).to_le_bytes());
-    let flags: u64 = entry.compression_ratio.is_some() as u64;
+    let flags: u64 =
+        entry.compression_ratio.is_some() as u64 | (entry.degraded.is_some() as u64) << 1;
     buf.extend_from_slice(&flags.to_le_bytes());
     buf.extend_from_slice(
         &entry
@@ -90,12 +107,20 @@ pub fn save(dir: &Path, entry: &PersistedEntry) -> io::Result<()> {
         buf.extend_from_slice(&v.to_le_bytes());
     }
     buf.extend_from_slice(&encode_perm_frame(&entry.perm));
+    if let Some(reason) = &entry.degraded {
+        buf.extend_from_slice(&(reason.len() as u32).to_le_bytes());
+        buf.extend_from_slice(reason.as_bytes());
+    }
+    faults.corrupt(sites::PERSIST_CORRUPT, &mut buf);
+    let write_len = faults
+        .torn_len(sites::PERSIST_TORN, buf.len())
+        .unwrap_or(buf.len());
 
     let final_path = spill_path(dir, entry.key);
     let tmp_path = final_path.with_extension("tmp");
     {
         let mut f = std::fs::File::create(&tmp_path)?;
-        f.write_all(&buf)?;
+        f.write_all(&buf[..write_len])?;
     }
     std::fs::rename(&tmp_path, &final_path)
 }
@@ -143,12 +168,28 @@ pub fn load(path: &Path) -> io::Result<PersistedEntry> {
     if perm.len() != n {
         return Err(bad("permutation length disagrees with header"));
     }
+    let degraded = if flags & 2 != 0 {
+        let mut len_bytes = [0u8; 4];
+        f.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        // A reason is a short token like `not_converged` or `fault:<site>`;
+        // anything huge is a corrupt length word, not a real reason.
+        if len > 4096 {
+            return Err(bad("oversized degradation reason"));
+        }
+        let mut reason = vec![0u8; len];
+        f.read_exact(&mut reason)?;
+        Some(String::from_utf8(reason).map_err(|_| bad("degradation reason is not UTF-8"))?)
+    } else {
+        None
+    };
     Ok(PersistedEntry {
         key,
         n,
         adjacency_len,
         stats,
         compression_ratio: (flags & 1 != 0).then(|| f64::from_bits(ratio_bits)),
+        degraded,
         perm,
     })
 }
@@ -191,18 +232,26 @@ mod tests {
                 two_sum_sq: 50,
             },
             compression_ratio: ratio,
+            degraded: None,
             perm: vec![2, 0, 3, 1],
         }
     }
 
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("se-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn save_load_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("se-persist-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("roundtrip");
+        let clean = FaultPlane::disabled();
         let a = sample(0xABCD, None);
         let b = sample(0x1234, Some(2.5));
-        save(&dir, &a).unwrap();
-        save(&dir, &b).unwrap();
+        save(&dir, &a, &clean).unwrap();
+        save(&dir, &b, &clean).unwrap();
         assert_eq!(load(&spill_path(&dir, 0xABCD)).unwrap(), a);
         let all = load_all(&dir);
         assert_eq!(all, vec![b.clone(), a.clone()], "sorted by key");
@@ -211,6 +260,69 @@ mod tests {
         // Corrupt files are skipped, not fatal.
         std::fs::write(spill_path(&dir, 0x9999), b"garbage").unwrap();
         assert_eq!(load_all(&dir).len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degradation_reason_roundtrips() {
+        let dir = temp_dir("degraded");
+        let mut e = sample(0x77, Some(1.5));
+        e.degraded = Some("not_converged".to_string());
+        save(&dir, &e, &FaultPlane::disabled()).unwrap();
+        assert_eq!(load(&spill_path(&dir, 0x77)).unwrap(), e);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_is_rejected_at_load() {
+        let dir = temp_dir("torn");
+        let faults = FaultPlane::seeded(42);
+        faults.arm(sites::PERSIST_TORN);
+        let mut e = sample(0x55, None);
+        e.degraded = Some("deadline".to_string());
+        save(&dir, &e, &faults).unwrap();
+        assert_eq!(faults.fired(sites::PERSIST_TORN), 1);
+        // The file is strictly shorter than the full encoding, so some
+        // read_exact hits EOF — a clean error, never a panic.
+        assert!(load(&spill_path(&dir, 0x55)).is_err());
+        assert!(load_all(&dir).is_empty(), "torn spill files are skipped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_spill_never_panics_and_is_usually_rejected() {
+        // Drive many corrupted writes through the fault plane: load must
+        // never panic, and a file it does accept must carry a plausible
+        // permutation (the frame layer validates structure).
+        let dir = temp_dir("corrupt");
+        let faults = FaultPlane::seeded(1234);
+        faults.arm(sites::PERSIST_CORRUPT);
+        for round in 0..64u64 {
+            let e = sample(round, (round % 2 == 0).then_some(2.0));
+            save(&dir, &e, &faults).unwrap();
+            if let Ok(back) = load(&spill_path(&dir, round)) {
+                assert_eq!(back.perm.len(), back.n, "accepted file is coherent");
+            }
+        }
+        // load_all applies the same validation plus the filename check.
+        for e in load_all(&dir) {
+            assert_eq!(e.perm.len(), e.n);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_truncations_of_a_valid_file_all_fail_cleanly() {
+        let dir = temp_dir("trunc");
+        let mut e = sample(0x31, Some(3.0));
+        e.degraded = Some("fault:graph.coarsen.stagnate".to_string());
+        save(&dir, &e, &FaultPlane::disabled()).unwrap();
+        let full = std::fs::read(spill_path(&dir, 0x31)).unwrap();
+        let cut_path = spill_path(&dir, 0x32);
+        for cut in 0..full.len() {
+            std::fs::write(&cut_path, &full[..cut]).unwrap();
+            assert!(load(&cut_path).is_err(), "prefix of {cut} bytes accepted");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -300,6 +300,14 @@ pub struct OrderResponse {
     /// Supervariable compression ratio (`n / n_supervariables`); present
     /// only when the request set `compressed: true`.
     pub compression_ratio: Option<f64>,
+    /// `Some(reason)` when the degradation ladder produced the result with
+    /// a fallback rung instead of the requested algorithm. The reason is
+    /// machine-readable (`"not_converged"`, `"deadline"`, `"cancelled"`,
+    /// `"matvec_cap"`, `"numerical"` or `"fault:<site>"`); on the wire it
+    /// appears as `"degraded":true,"degraded_reason":"…"` and both keys are
+    /// omitted entirely on the (common) non-degraded path, keeping those
+    /// response bytes unchanged.
+    pub degraded: Option<String>,
     /// Pre-rendered compact JSON of the span tree (`se_trace::SpanNode`
     /// rendered with `render_json`); present only when the request set
     /// `trace: true`. Spliced verbatim into the response line and never
@@ -455,6 +463,10 @@ fn order_body_to_json(r: &OrderResponse, mode: FrameMode, frames: &mut Vec<Frame
     if let Some(ratio) = r.compression_ratio {
         pairs.push(("compression_ratio", Json::Num(ratio)));
     }
+    if let Some(reason) = &r.degraded {
+        pairs.push(("degraded", Json::Bool(true)));
+        pairs.push(("degraded_reason", Json::Str(reason.clone())));
+    }
     if let Some(trace) = &r.trace {
         pairs.push(("trace", Json::Raw(Arc::clone(trace))));
     }
@@ -518,6 +530,15 @@ fn order_response_from_json(v: &Json) -> Result<OrderResponse, ProtoError> {
         cache_hit: v.get("cache_hit").and_then(Json::as_bool).unwrap_or(false),
         micros: v.get("micros").and_then(Json::as_u64).unwrap_or(0),
         compression_ratio: v.get("compression_ratio").and_then(Json::as_f64),
+        degraded: match v.get("degraded").and_then(Json::as_bool) {
+            Some(true) => Some(
+                v.get("degraded_reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+            ),
+            _ => None,
+        },
         trace: v.get("trace").map(|t| t.to_string_compact().into()),
     })
 }
@@ -967,6 +988,7 @@ mod tests {
             cache_hit: false,
             micros: 1,
             compression_ratio: None,
+            degraded: None,
             trace: None,
         });
         assert!(!encode_response(&resp).contains("trace"));
@@ -985,6 +1007,7 @@ mod tests {
             cache_hit: false,
             micros: 512,
             compression_ratio: None,
+            degraded: None,
             trace: Some(tree.into()),
         });
         let line = encode_response(&resp);
@@ -1023,9 +1046,36 @@ mod tests {
             cache_hit: true,
             micros: 512,
             compression_ratio: Some(2.5),
+            degraded: None,
             trace: None,
         });
         assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+    }
+
+    #[test]
+    fn degraded_response_roundtrips_and_clean_lines_omit_it() {
+        let clean = OrderResponse {
+            alg: "SPECTRAL".into(),
+            n: 4,
+            nnz: 10,
+            stats: sample_stats(),
+            perm: Some(vec![2, 0, 3, 1].into()),
+            cache_hit: false,
+            micros: 512,
+            compression_ratio: None,
+            degraded: None,
+            trace: None,
+        };
+        assert!(!encode_response(&Response::Order(clean.clone())).contains("degraded"));
+        let deg = Response::Order(OrderResponse {
+            alg: "RCM".into(),
+            degraded: Some("not_converged".into()),
+            ..clean
+        });
+        let line = encode_response(&deg);
+        assert!(line.contains(r#""degraded":true"#));
+        assert!(line.contains(r#""degraded_reason":"not_converged""#));
+        assert_eq!(decode_response(&line).unwrap(), deg);
     }
 
     #[test]
@@ -1040,6 +1090,7 @@ mod tests {
             cache_hit: false,
             micros: 9,
             compression_ratio: None,
+            degraded: None,
             trace: None,
         };
         let cached = OrderResponse {
@@ -1078,6 +1129,7 @@ mod tests {
             cache_hit: false,
             micros: 11,
             compression_ratio: None,
+            degraded: None,
             trace: None,
         });
         let (line, frames) = encode_response_framed(&resp, FrameMode::Binary);
@@ -1106,6 +1158,7 @@ mod tests {
                 cache_hit: false,
                 micros: 88,
                 compression_ratio: None,
+                degraded: None,
                 trace: None,
             }),
             Err(ErrorResponse::retriable("queue full")),

@@ -9,9 +9,11 @@
 
 use crate::engine::Engine;
 use crate::metrics::Metrics;
+use se_faults::FaultPlane;
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +52,20 @@ pub struct Config {
     /// Emit one log line per completed ORDER (id, algorithm, n/nnz, cache
     /// hit/miss, total µs) on stderr.
     pub log_requests: bool,
+    /// Deterministic fault-injection plane threaded through the engine,
+    /// the solvers and the spill writer. [`FaultPlane::disabled`] (the
+    /// default) is a strict no-op: responses are bit-identical to a build
+    /// without the plane.
+    pub faults: FaultPlane,
+    /// Per-client token-bucket rate limit as `(requests_per_second,
+    /// burst)`; `None` disables limiting. ORDER costs one token, BATCH one
+    /// per member; a client that runs dry gets a fatal `rate limited`
+    /// error line.
+    pub rate_limit: Option<(u64, u64)>,
+    /// Per-connection socket read/write timeout (ms); `None` waits
+    /// forever. Bounds how long a slow-loris client can pin a connection
+    /// slot while trickling bytes.
+    pub io_timeout_ms: Option<u64>,
 }
 
 impl Default for Config {
@@ -66,6 +82,9 @@ impl Default for Config {
             default_timeout_ms: 30_000,
             solver_threads: 1,
             log_requests: false,
+            faults: FaultPlane::disabled(),
+            rate_limit: None,
+            io_timeout_ms: None,
         }
     }
 }
@@ -107,9 +126,15 @@ pub fn serve(cfg: Config) -> std::io::Result<ServerHandle> {
     let engine = Arc::new(Engine::new(&cfg, addr)?);
     let accept_engine = Arc::clone(&engine);
     let max_conns = cfg.max_conns.max(1);
+    let rate = cfg
+        .rate_limit
+        .map(|(rps, burst)| Arc::new(crate::transport::RateLimiter::new(rps, burst)));
+    let io_timeout = cfg.io_timeout_ms.map(Duration::from_millis);
     let accept_thread = std::thread::Builder::new()
         .name("orderd-accept".to_string())
-        .spawn(move || crate::transport::accept_loop(listener, accept_engine, max_conns))
+        .spawn(move || {
+            crate::transport::accept_loop(listener, accept_engine, max_conns, rate, io_timeout)
+        })
         .expect("spawn accept thread");
     Ok(ServerHandle {
         engine,

@@ -9,12 +9,21 @@
 use crate::engine::Engine;
 use crate::frame::FrameMode;
 use crate::proto::{decode_request, encode_response_framed, ErrorResponse, Request, Response};
-use crate::transport::Conn;
+use crate::transport::{Conn, RateLimiter};
+use std::net::IpAddr;
 use std::sync::Arc;
 
+/// Charges `cost` tokens for this connection's peer; `None` (no limiter
+/// configured, or the peer address was unavailable) always allows.
+fn allow(limit: Option<(&RateLimiter, IpAddr)>, cost: u64) -> bool {
+    limit.is_none_or(|(limiter, peer)| limiter.allow(peer, cost))
+}
+
 /// Runs one connection to completion: reads lines until EOF, a write error,
-/// or a SHUTDOWN.
-pub fn run(mut conn: Conn, engine: &Arc<Engine>) {
+/// or a SHUTDOWN. `limit` carries the per-IP rate limiter and the peer's
+/// address; ORDER costs one token, BATCH one per member, everything else
+/// (HELLO, STATS, METRICS, CANCEL, SHUTDOWN) is free.
+pub fn run(mut conn: Conn, engine: &Arc<Engine>, limit: Option<(&RateLimiter, IpAddr)>) {
     let mut mode = FrameMode::default();
     loop {
         let line = match conn.read_line() {
@@ -34,13 +43,25 @@ pub fn run(mut conn: Conn, engine: &Arc<Engine>) {
                 mode = frames;
                 Response::Hello { frames }
             }
-            Ok(Request::Order(req)) => match engine.run_order(req) {
-                Ok(r) => Response::Order(r),
-                Err(e) => Response::Error(e),
-            },
+            Ok(Request::Order(req)) => {
+                if !allow(limit, 1) {
+                    engine.metrics().inc(&engine.metrics().rate_limited);
+                    Response::Error(ErrorResponse::fatal("rate limited"))
+                } else {
+                    match engine.run_order(req) {
+                        Ok(r) => Response::Order(r),
+                        Err(e) => Response::Error(e),
+                    }
+                }
+            }
             Ok(Request::Batch(reqs)) => {
-                engine.metrics().inc(&engine.metrics().batches);
-                Response::Batch(engine.run_batch(reqs))
+                if !allow(limit, reqs.len() as u64) {
+                    engine.metrics().inc(&engine.metrics().rate_limited);
+                    Response::Error(ErrorResponse::fatal("rate limited"))
+                } else {
+                    engine.metrics().inc(&engine.metrics().batches);
+                    Response::Batch(engine.run_batch(reqs))
+                }
             }
             Ok(Request::Stats) => Response::Stats(engine.stats_snapshot()),
             Ok(Request::Cancel { id }) => Response::CancelOk {

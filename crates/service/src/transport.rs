@@ -5,15 +5,22 @@
 //! everything above it sees lines in and (line, frames) out, never a raw
 //! socket. Connections beyond the configured limit are turned away *at
 //! accept time* with a single retriable `server busy` error line — clients
-//! see explicit backpressure instead of a hung dial.
+//! see explicit backpressure instead of a hung dial. Two further
+//! protections live here: an optional per-connection socket I/O timeout
+//! (bounding how long a slow-loris client can pin a connection slot while
+//! trickling bytes) and the per-client-IP token-bucket [`RateLimiter`] the
+//! session layer charges per ORDER.
 
 use crate::engine::Engine;
 use crate::frame::write_frame_bytes;
 use crate::proto::{encode_response, ErrorResponse, FramePayload, Response};
+use se_faults::lock_unpoisoned;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{IpAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One accepted connection: buffered line reads plus line/frame writes.
 pub struct Conn {
@@ -23,8 +30,12 @@ pub struct Conn {
 
 impl Conn {
     /// Wraps a stream; fails only if the stream cannot be cloned for the
-    /// write half.
-    pub fn new(stream: TcpStream) -> std::io::Result<Conn> {
+    /// write half. With `io_timeout` set, every socket read and write on
+    /// the connection must make progress within that window — a stalled
+    /// client gets disconnected instead of holding its slot forever.
+    pub fn new(stream: TcpStream, io_timeout: Option<Duration>) -> std::io::Result<Conn> {
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
         let writer = stream.try_clone()?;
         Ok(Conn {
             reader: BufReader::new(stream),
@@ -54,6 +65,68 @@ impl Conn {
     }
 }
 
+/// A token bucket per client IP: `rate` tokens replenish per second up to
+/// `burst`, and the session layer charges one token per ORDER (one per
+/// BATCH member). A client that runs dry gets a fatal `rate limited` error
+/// line instead of service.
+///
+/// Buckets are keyed by peer IP so reconnecting does not reset the meter.
+/// The table is bounded: when it grows past `RateLimiter::MAX_CLIENTS`,
+/// buckets that have fully replenished (i.e. idle clients) are dropped.
+pub struct RateLimiter {
+    rate: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<IpAddr, TokenBucket>>,
+}
+
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl RateLimiter {
+    /// Idle-bucket eviction threshold for the per-IP table.
+    const MAX_CLIENTS: usize = 4096;
+
+    /// A limiter replenishing `rate` tokens per second per client IP, with
+    /// bucket capacity `burst`. Both are clamped to at least 1.
+    pub fn new(rate: u64, burst: u64) -> Self {
+        RateLimiter {
+            rate: rate.max(1) as f64,
+            burst: burst.max(1) as f64,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Charges `cost` tokens against `peer`'s bucket, replenishing it
+    /// first. Returns whether the request is allowed.
+    pub fn allow(&self, peer: IpAddr, cost: u64) -> bool {
+        let now = Instant::now();
+        let mut buckets = lock_unpoisoned(&self.buckets);
+        if buckets.len() >= Self::MAX_CLIENTS && !buckets.contains_key(&peer) {
+            // Drop replenished (idle) buckets; a full bucket carries no
+            // information beyond its default state.
+            let (rate, burst) = (self.rate, self.burst);
+            buckets.retain(|_, b| {
+                (b.tokens + now.duration_since(b.last).as_secs_f64() * rate) < burst
+            });
+        }
+        let b = buckets.entry(peer).or_insert(TokenBucket {
+            tokens: self.burst,
+            last: now,
+        });
+        b.tokens =
+            (b.tokens + now.duration_since(b.last).as_secs_f64() * self.rate).min(self.burst);
+        b.last = now;
+        if b.tokens >= cost as f64 {
+            b.tokens -= cost as f64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Decrements the live-connection count when a handler exits, however it
 /// exits.
 struct ConnGuard(Arc<AtomicUsize>);
@@ -69,7 +142,13 @@ impl Drop for ConnGuard {
 /// dedicated accept thread; returns only after the shutdown handshake
 /// completed so callers can treat "accept thread exited" as "server fully
 /// stopped".
-pub fn accept_loop(listener: TcpListener, engine: Arc<Engine>, max_conns: usize) {
+pub fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    max_conns: usize,
+    rate: Option<Arc<RateLimiter>>,
+    io_timeout: Option<Duration>,
+) {
     let active = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
         if engine.is_shutting_down() {
@@ -85,12 +164,14 @@ pub fn accept_loop(listener: TcpListener, engine: Arc<Engine>, max_conns: usize)
         engine.metrics().inc(&engine.metrics().connections);
         let guard = ConnGuard(Arc::clone(&active));
         let conn_engine = Arc::clone(&engine);
+        let conn_rate = rate.clone();
         let _ = std::thread::Builder::new()
             .name("orderd-conn".to_string())
             .spawn(move || {
                 let _guard = guard;
-                if let Ok(conn) = Conn::new(stream) {
-                    crate::session::run(conn, &conn_engine);
+                let peer = stream.peer_addr().map(|a| a.ip()).ok();
+                if let Ok(conn) = Conn::new(stream, io_timeout) {
+                    crate::session::run(conn, &conn_engine, conn_rate.as_deref().zip(peer));
                 }
             });
     }

@@ -303,9 +303,14 @@ impl Tracer {
         }
     }
 
-    /// Takes the recorded tree: the first completed root span, or `None`
-    /// for a disabled tracer or when nothing was recorded. Clears the
-    /// recorder, so a tracer can be reused across requests.
+    /// Takes the recorded tree, or `None` for a disabled tracer or when
+    /// nothing was recorded. Clears the recorder, so a tracer can be
+    /// reused across requests.
+    ///
+    /// When several top-level spans completed — one logical request that
+    /// ran in phases, e.g. a failed solve followed by a degradation-ladder
+    /// fallback — the later roots become trailing children of the first,
+    /// so the request still renders as a single coherent tree.
     ///
     /// Spans still open when this is called are dropped (a guard leaked
     /// across `finish` would otherwise attach to the wrong tree).
@@ -313,12 +318,10 @@ impl Tracer {
         let inner = self.inner.as_ref()?;
         let mut state = inner.state.lock().unwrap();
         state.open.clear();
-        let mut roots = std::mem::take(&mut state.roots);
-        if roots.is_empty() {
-            None
-        } else {
-            Some(roots.swap_remove(0))
-        }
+        let mut roots = std::mem::take(&mut state.roots).into_iter();
+        let mut first = roots.next()?;
+        first.children.extend(roots);
+        Some(first)
     }
 }
 
@@ -504,6 +507,25 @@ mod tests {
         }
         let tree = t.finish().unwrap();
         assert_eq!(tree.shape(), "a\n  b\n    c\n");
+    }
+
+    #[test]
+    fn later_roots_fold_into_the_first() {
+        // A request that runs in phases (failed solve, then a fallback)
+        // closes several top-level spans; finish() must still hand back
+        // one coherent tree, not silently drop the later phases.
+        let t = Tracer::enabled();
+        {
+            let _a = t.span("solve");
+        }
+        {
+            let mut d = t.span("degrade");
+            d.attr("rung", 3.0);
+            let _inner = t.span("solve");
+        }
+        let tree = t.finish().unwrap();
+        assert_eq!(tree.shape(), "solve\n  degrade\n    solve\n");
+        assert_eq!(tree.children[0].attr("rung"), Some(3.0));
     }
 
     #[test]
