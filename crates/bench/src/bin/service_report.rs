@@ -8,9 +8,15 @@
 //!    and binary frame mode, for a range of permutation sizes. This isolates
 //!    the payload cost the frame format was built to remove.
 //! 2. **Cache-hit throughput** (real loopback server): warm the cache with
-//!    one ORDER, then hammer the identical request over one connection in
-//!    NDJSON and in binary mode and report requests/second. Every response
-//!    is checked to carry the same permutation, so the two rates are
+//!    one ORDER, then hammer the identical request over one connection —
+//!    serially (request → response → request) and pipelined over protocol
+//!    v2 (`order_many`, a bounded in-flight window) — in NDJSON and in
+//!    binary mode, for a small (n = 300) and a mid-size (n = 3000)
+//!    permutation. Serial rates on loopback are dominated by per-roundtrip
+//!    latency, not server capacity, which is why each row also reports the
+//!    median *server-side* per-request time (`micros` from the response):
+//!    pipelined RPS is the capacity number, server µs the unit cost. Every
+//!    response is checked to carry the same permutation, so the rates are
 //!    measuring byte plumbing, not different work.
 //! 3. **Trace overhead** (real loopback server, zero cache budget so every
 //!    request computes): median full ORDER latency with `"trace":false` vs
@@ -38,6 +44,8 @@ use std::time::Instant;
 const ENCODE_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
 const ENCODE_REPS: usize = 50;
 const HIT_REQUESTS: usize = 300;
+const PIPELINE_REQUESTS: usize = 2_000;
+const PIPELINE_WINDOW: usize = 64;
 const TRACE_REPS: usize = 15;
 const DEGRADED_REPS: usize = 15;
 
@@ -101,16 +109,27 @@ fn encode_block() -> Vec<String> {
     rows
 }
 
-/// Requests/second serving the same cache-hit ORDER over one connection.
-fn hit_throughput(mode: FrameMode) -> (f64, usize) {
+/// One cache-hit throughput measurement row.
+struct HitRow {
+    n: usize,
+    mode: FrameMode,
+    serial_rps: f64,
+    pipelined_rps: f64,
+    server_us_median: f64,
+}
+
+/// Requests/second serving the same cache-hit ORDER over one connection:
+/// serial (one in flight) and pipelined (protocol v2, `PIPELINE_WINDOW`
+/// in flight), plus the median server-side per-request cost.
+fn hit_throughput(mode: FrameMode, g: &sparsemat::pattern::SymmetricPattern) -> HitRow {
     let handle = serve(Config::default()).expect("bind ephemeral port");
     let addr = handle.local_addr();
-    let g = meshgen::grid2d(60, 50); // n = 3000 — a mid-size permutation
+    let payload = sparsemat::io::write_chaco_string(g);
     let req = || OrderRequest {
         alg: se_order::Algorithm::Rcm,
         source: MatrixSource::Inline {
             format: MatrixFormat::Chaco,
-            payload: sparsemat::io::write_chaco_string(&g),
+            payload: payload.clone(),
         },
         timeout_ms: None,
         include_perm: true,
@@ -118,6 +137,7 @@ fn hit_throughput(mode: FrameMode) -> (f64, usize) {
         compressed: false,
         trace: false,
         id: None,
+        progress: false,
     };
     let mut client = Client::connect(addr).unwrap();
     if mode == FrameMode::Binary {
@@ -127,16 +147,43 @@ fn hit_throughput(mode: FrameMode) -> (f64, usize) {
     assert!(!warm.cache_hit);
     let n = warm.perm.as_ref().unwrap().order().len();
 
+    // Serial: a full write → read roundtrip per request, so loopback
+    // latency is part of every sample.
     let t0 = Instant::now();
     for _ in 0..HIT_REQUESTS {
         let r = client.order(req()).unwrap();
         debug_assert!(r.cache_hit);
         assert_eq!(r.perm.as_ref().unwrap().order().len(), n);
     }
-    let secs = t0.elapsed().as_secs_f64();
+    let serial_rps = HIT_REQUESTS as f64 / t0.elapsed().as_secs_f64();
+
+    // Pipelined: the same requests multiplexed on the same connection with
+    // a bounded in-flight window; roundtrip latency amortizes away.
+    let reqs: Vec<OrderRequest> = (0..PIPELINE_REQUESTS).map(|_| req()).collect();
+    let t0 = Instant::now();
+    let results = client.order_many(reqs, PIPELINE_WINDOW, None).unwrap();
+    let pipelined_rps = PIPELINE_REQUESTS as f64 / t0.elapsed().as_secs_f64();
+    let mut server_us: Vec<f64> = results
+        .iter()
+        .map(|r| {
+            let r = r.as_ref().expect("pipelined cache hit must succeed");
+            assert!(r.cache_hit);
+            assert_eq!(r.perm.as_ref().unwrap().order().len(), n);
+            r.micros as f64
+        })
+        .collect();
+    server_us.sort_by(f64::total_cmp);
+    let server_us_median = server_us[server_us.len() / 2];
+
     client.shutdown().unwrap();
     handle.join();
-    (HIT_REQUESTS as f64 / secs, n)
+    HitRow {
+        n,
+        mode,
+        serial_rps,
+        pipelined_rps,
+        server_us_median,
+    }
 }
 
 /// Median full-compute ORDER latency (seconds) trace off vs trace on.
@@ -163,6 +210,7 @@ fn trace_overhead() -> (f64, f64) {
         compressed: false,
         trace,
         id: None,
+        progress: false,
     };
     let mut client = Client::connect(handle.local_addr()).unwrap();
     // Server-side wall clock (`micros`), so loopback latency quirks never
@@ -226,6 +274,7 @@ fn degraded_overhead() -> (f64, f64) {
             compressed: false,
             trace: false,
             id: None,
+            progress: false,
         };
         let mut client = Client::connect(handle.local_addr()).unwrap();
         let mut times = Vec::with_capacity(DEGRADED_REPS);
@@ -254,11 +303,30 @@ fn main() {
     println!("encode-only timings (best of {ENCODE_REPS}):");
     let encode_rows = encode_block();
 
-    println!("\ncache-hit throughput ({HIT_REQUESTS} loopback requests, n = 3000):");
-    let (ndjson_rps, n) = hit_throughput(FrameMode::Ndjson);
-    println!("  ndjson: {ndjson_rps:>9.1} req/s");
-    let (binary_rps, _) = hit_throughput(FrameMode::Binary);
-    println!("  binary: {binary_rps:>9.1} req/s");
+    println!(
+        "\ncache-hit throughput over one loopback connection \
+         ({HIT_REQUESTS} serial / {PIPELINE_REQUESTS} pipelined requests, \
+         window {PIPELINE_WINDOW}):"
+    );
+    let tiny = meshgen::grid2d(10, 10); // n = 100 — pure protocol cost
+    let small = meshgen::grid2d(20, 15); // n = 300 — protocol-bound
+    let mid = meshgen::grid2d(60, 50); // n = 3000 — payload-bound
+    let mut hit_rows = Vec::new();
+    for g in [&tiny, &small, &mid] {
+        for mode in [FrameMode::Ndjson, FrameMode::Binary] {
+            let row = hit_throughput(mode, g);
+            println!(
+                "  n = {:>5} {:>6}: serial {:>9.1} req/s | pipelined {:>9.1} req/s | \
+                 server-side {:>6.1} µs/req",
+                row.n,
+                mode.wire_name(),
+                row.serial_rps,
+                row.pipelined_rps,
+                row.server_us_median,
+            );
+            hit_rows.push(row);
+        }
+    }
 
     println!("\ntrace overhead (median of {TRACE_REPS} full spectral ORDERs, n = 3000):");
     let (trace_off_secs, trace_on_secs) = trace_overhead();
@@ -279,16 +347,33 @@ fn main() {
         degraded_secs * 1e6,
     );
 
+    let hit_json: Vec<String> = hit_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"perm_len\":{},\"mode\":\"{}\",\"serial_requests\":{HIT_REQUESTS},\
+                 \"pipelined_requests\":{PIPELINE_REQUESTS},\"window\":{PIPELINE_WINDOW},\
+                 \"serial_rps\":{:.1},\"pipelined_rps\":{:.1},\"server_us_median\":{:.1}}}",
+                r.n,
+                r.mode.wire_name(),
+                r.serial_rps,
+                r.pipelined_rps,
+                r.server_us_median
+            )
+        })
+        .collect();
     let mut out = String::new();
     let _ = write!(
         out,
         "{{\n  \"note\": \"encode timings are best-of-{ENCODE_REPS} serializations of one ORDER \
          response; throughput is cache-hit requests/second over one loopback connection, \
-         permutation length {n}; the request payload (the matrix text) is identical in both \
-         modes, so the delta is response-side perm encoding + transfer\",\n  \
+         serial (one in flight, so loopback roundtrip latency bounds the rate) and pipelined \
+         (protocol v2, bounded in-flight window, the server-capacity number), with the median \
+         server-side per-request microseconds from the response's own clock; the request \
+         payload (the matrix text) is identical in both frame modes, so the ndjson/binary \
+         delta is response-side perm encoding + transfer\",\n  \
          \"encode\": [\n    {}\n  ],\n  \
-         \"cache_hit_throughput\": {{\"perm_len\":{n},\"requests\":{HIT_REQUESTS},\
-         \"ndjson_rps\":{ndjson_rps:.1},\"binary_rps\":{binary_rps:.1}}},\n  \
+         \"cache_hit_throughput\": [\n    {}\n  ],\n  \
          \"trace_overhead\": {{\"reps\":{TRACE_REPS},\
          \"off_median_secs\":{trace_off_secs:.9},\"on_median_secs\":{trace_on_secs:.9},\
          \"on_over_off\":{trace_ratio:.4}}},\n  \
@@ -296,7 +381,8 @@ fn main() {
          \"healthy_median_secs\":{healthy_secs:.9},\
          \"rcm_fallback_median_secs\":{degraded_secs:.9},\
          \"fallback_over_healthy\":{degraded_ratio:.4}}}\n}}\n",
-        encode_rows.join(",\n    ")
+        encode_rows.join(",\n    "),
+        hit_json.join(",\n    ")
     );
     let path = "BENCH_service.json";
     std::fs::write(path, &out).expect("write BENCH_service.json");

@@ -24,17 +24,21 @@
 //!                      [--cache-dir-budget BYTES] [--max-conns N]
 //!                      [--timeout-ms N] [--threads N] [--log-requests]
 //!                      [--rate-limit RPS[:BURST]] [--io-timeout MS]
+//!                      [--reactor-threads N] [--legacy-transport]
 //!   run the spectral-orderd ordering daemon in the foreground.
 //!   `--cache-dir-budget` bounds the spill directory (oldest entries are
 //!   deleted first); `--log-requests` prints one line per request to stderr;
 //!   `--rate-limit` token-buckets each client IP (fatal "rate limited"
 //!   error when exceeded; BURST defaults to 2*RPS); `--io-timeout` bounds
 //!   every socket read/write so a stalling (slow-loris) client is
-//!   disconnected instead of pinning a connection slot.
+//!   disconnected instead of pinning a connection slot. Connections are
+//!   served by a poll-based reactor: `--reactor-threads` sets its
+//!   event-loop count (default 1), `--legacy-transport` restores the old
+//!   thread-per-connection loop (protocol v1 only).
 //!
 //! spectral-order client --addr HOST:PORT <matrix>... [--alg NAME] [--no-perm]
 //!                      [--threads N] [--compressed] [--binary] [--trace]
-//!                      [--id N] [--retry N]
+//!                      [--id N] [--retry N] [--pipeline N] [--progress]
 //! spectral-order client --addr HOST:PORT --stats
 //! spectral-order client --addr HOST:PORT --metrics-text
 //! spectral-order client --addr HOST:PORT --cancel ID
@@ -50,6 +54,10 @@
 //!   busy, connection refused/reset — up to N attempts on fresh
 //!   connections with decorrelated-jitter backoff; fatal errors (bad
 //!   input, rate limited) never retry, and CANCEL is never retried.
+//!   `--pipeline N` sends the files as individual ORDERs over one
+//!   protocol-v2 connection with up to N in flight (responses print in
+//!   request order); `--progress` (implies pipelining) subscribes to the
+//!   daemon's PROGRESS frames and prints them to stderr as they stream.
 //! ```
 //!
 //! Input format by extension: `.mtx` MatrixMarket, `.graph` Chaco/METIS
@@ -77,10 +85,11 @@ fn usage() -> ExitCode {
          \x20      spectral-order serve [--addr HOST:PORT] [--workers N] [--queue N] \
          [--cache-mb N] [--shards N] [--cache-dir PATH] [--cache-dir-budget BYTES] \
          [--max-conns N] [--timeout-ms N] [--threads N] [--log-requests] \
-         [--rate-limit RPS[:BURST]] [--io-timeout MS]\n\
+         [--rate-limit RPS[:BURST]] [--io-timeout MS] [--reactor-threads N] \
+         [--legacy-transport]\n\
          \x20      spectral-order client --addr HOST:PORT (<matrix>... [--alg NAME] [--no-perm] \
-         [--threads N] [--compressed] [--binary] [--trace] [--id N] [--retry N] | --stats \
-         | --metrics-text | --cancel ID | --shutdown)"
+         [--threads N] [--compressed] [--binary] [--trace] [--id N] [--retry N] \
+         [--pipeline N] [--progress] | --stats | --metrics-text | --cancel ID | --shutdown)"
     );
     ExitCode::from(2)
 }
@@ -385,6 +394,11 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Some(v) if v > 0 => cfg.io_timeout_ms = Some(v as u64),
                 _ => return usage(),
             },
+            "--reactor-threads" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.reactor_threads = v,
+                _ => return usage(),
+            },
+            "--legacy-transport" => cfg.legacy_transport = true,
             _ => return usage(),
         }
     }
@@ -418,6 +432,8 @@ fn client_main(args: &[String]) -> ExitCode {
     let mut cancel_id: Option<u64> = None;
     let mut metrics_text = false;
     let mut retry: Option<u32> = None;
+    let mut pipeline: Option<usize> = None;
+    let mut progress = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -453,6 +469,11 @@ fn client_main(args: &[String]) -> ExitCode {
                 Some(v) if v > 0 => retry = Some(v),
                 _ => return usage(),
             },
+            "--pipeline" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v > 0 => pipeline = Some(v),
+                _ => return usage(),
+            },
+            "--progress" => progress = true,
             _ if !a.starts_with('-') => files.push(a.clone()),
             _ => return usage(),
         }
@@ -556,7 +577,49 @@ fn client_main(args: &[String]) -> ExitCode {
             // Consecutive ids from the base, so every batch slot stays
             // individually cancellable.
             id: base_id.map(|b| b + k as u64),
+            progress,
         });
+    }
+
+    if pipeline.is_some() || progress {
+        // Protocol v2: individual ORDERs multiplexed over one connection,
+        // responses re-ordered client-side, PROGRESS streamed to stderr.
+        let window = pipeline.unwrap_or(1).max(1);
+        let mut on_progress = |p: &se_service::proto::ProgressFrame| {
+            let matvecs = p
+                .matvecs
+                .map(|m| format!(" matvecs={m}"))
+                .unwrap_or_default();
+            eprintln!(
+                "progress id={} stage={} {:.0}% {}us{matvecs}",
+                p.id, p.stage, p.percent, p.micros
+            );
+        };
+        let cb: Option<&mut dyn FnMut(&se_service::proto::ProgressFrame)> = if progress {
+            Some(&mut on_progress)
+        } else {
+            None
+        };
+        return match client.order_many(reqs, window, cb) {
+            Ok(rs) => {
+                let ok = rs.iter().all(Result::is_ok);
+                for r in rs {
+                    match r {
+                        Ok(r) => println!("{}", encode_response(&Response::Order(r))),
+                        Err(e) => println!("{}", encode_response(&Response::Error(e))),
+                    }
+                }
+                if ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("client: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if reqs.len() == 1 {

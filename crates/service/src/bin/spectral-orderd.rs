@@ -17,6 +17,10 @@
 //!                       BURST defaults to 2*RPS)
 //!   --io-timeout MS     per-connection socket read/write timeout, bounding
 //!                       slow-loris clients (default: off)
+//!   --reactor-threads N event-loop threads for the poll-based reactor
+//!                       transport (default 1)
+//!   --legacy-transport  serve with the old thread-per-connection loop
+//!                       (protocol v1 only; kept for A/B comparison)
 //! ```
 //!
 //! The daemon prints `listening on ADDR` once ready and exits after a
@@ -29,7 +33,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: spectral-orderd [--addr HOST:PORT] [--workers N] [--queue N] \
          [--cache-mb N] [--shards N] [--cache-dir PATH] [--max-conns N] \
-         [--timeout-ms N] [--rate-limit RPS[:BURST]] [--io-timeout MS]"
+         [--timeout-ms N] [--rate-limit RPS[:BURST]] [--io-timeout MS] \
+         [--reactor-threads N] [--legacy-transport]"
     );
     ExitCode::from(2)
 }
@@ -97,6 +102,11 @@ fn main() -> ExitCode {
                 Some(v) if v > 0 => cfg.io_timeout_ms = Some(v as u64),
                 _ => return usage(),
             },
+            "--reactor-threads" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.reactor_threads = v,
+                _ => return usage(),
+            },
+            "--legacy-transport" => cfg.legacy_transport = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;

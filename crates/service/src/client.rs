@@ -8,12 +8,14 @@
 use crate::frame::{read_perm_frame, FrameMode};
 use crate::json::Json;
 use crate::proto::{
-    decode_response, encode_request, ErrorResponse, OrderRequest, OrderResponse, PermPayload,
-    ProtoError, Request, Response,
+    decode_response, decode_tagged_response, encode_request, ErrorResponse, OrderRequest,
+    OrderResponse, PermPayload, ProgressFrame, ProtoError, Request, Response,
 };
+use crate::rsession::PROTO_VERSION;
 use se_prng::SmallRng;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Client-side failures.
@@ -174,6 +176,7 @@ pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     mode: FrameMode,
+    proto: u32,
 }
 
 impl Client {
@@ -186,6 +189,7 @@ impl Client {
             writer: stream,
             reader,
             mode: FrameMode::Ndjson,
+            proto: 1,
         })
     }
 
@@ -194,10 +198,31 @@ impl Client {
     /// their permutations as binary frames, which this client reads back
     /// transparently.
     pub fn hello(&mut self, frames: FrameMode) -> Result<FrameMode, ClientError> {
-        match self.roundtrip(&Request::Hello { frames })? {
-            Response::Hello { frames: acked } => {
+        match self.roundtrip(&Request::Hello { frames, proto: 1 })? {
+            Response::Hello { frames: acked, .. } => {
                 self.mode = acked;
                 Ok(acked)
+            }
+            _ => Err(ClientError::UnexpectedResponse("a HELLO ack")),
+        }
+    }
+
+    /// Negotiates both the frame mode and protocol v2 pipelining. Returns
+    /// `(acked frame mode, negotiated protocol level)` — the level is 1
+    /// when the server predates v2, in which case [`Client::order_many`]
+    /// refuses to pipeline.
+    pub fn hello_v2(&mut self, frames: FrameMode) -> Result<(FrameMode, u32), ClientError> {
+        match self.roundtrip(&Request::Hello {
+            frames,
+            proto: PROTO_VERSION,
+        })? {
+            Response::Hello {
+                frames: acked,
+                proto,
+            } => {
+                self.mode = acked;
+                self.proto = proto;
+                Ok((acked, proto))
             }
             _ => Err(ClientError::UnexpectedResponse("a HELLO ack")),
         }
@@ -206,6 +231,11 @@ impl Client {
     /// The frame mode currently in effect.
     pub fn frame_mode(&self) -> FrameMode {
         self.mode
+    }
+
+    /// The protocol level negotiated by the last HELLO (1 until one ran).
+    pub fn proto(&self) -> u32 {
+        self.proto
     }
 
     /// Sends one request line and reads one complete response (the line
@@ -304,6 +334,163 @@ impl Client {
             _ => Err(ClientError::UnexpectedResponse("a SHUTDOWN ack")),
         }
     }
+
+    /// Runs many ORDERs over this one connection, pipelined: up to
+    /// `window` requests are on the wire at once, and responses are
+    /// matched back by id as the server completes them — possibly out of
+    /// request order. Results come back in request order regardless.
+    ///
+    /// Protocol v2 is negotiated automatically (keeping the current frame
+    /// mode) if no [`Client::hello_v2`] ran yet; a v1-only server yields
+    /// an error instead of silent head-of-line blocking. Requests keep a
+    /// caller-assigned `id` (which must be unique within the call) and are
+    /// numbered after the largest one otherwise. With `on_progress`
+    /// installed, every request opts into `PROGRESS` frames and the
+    /// callback sees each one as it interleaves.
+    pub fn order_many(
+        &mut self,
+        reqs: Vec<OrderRequest>,
+        window: usize,
+        mut on_progress: Option<&mut dyn FnMut(&ProgressFrame)>,
+    ) -> Result<Vec<Result<OrderResponse, ErrorResponse>>, ClientError> {
+        if self.proto < 2 {
+            self.hello_v2(self.mode)?;
+        }
+        if self.proto < 2 {
+            return Err(ClientError::UnexpectedResponse("a protocol v2 HELLO ack"));
+        }
+        let n = reqs.len();
+        let window = window.max(1);
+        let mut next_id = reqs.iter().filter_map(|r| r.id).max().map_or(1, |m| m + 1);
+        let mut slot_by_id: HashMap<u64, usize> = HashMap::with_capacity(n);
+        let mut pending: Vec<Option<OrderRequest>> = Vec::with_capacity(n);
+        for (slot, mut req) in reqs.into_iter().enumerate() {
+            let id = req.id.unwrap_or_else(|| {
+                let id = next_id;
+                next_id += 1;
+                id
+            });
+            req.id = Some(id);
+            req.progress = on_progress.is_some();
+            if slot_by_id.insert(id, slot).is_some() {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("duplicate request id {id}"),
+                )));
+            }
+            pending.push(Some(req));
+        }
+        let mut results: Vec<Option<Result<OrderResponse, ErrorResponse>>> =
+            (0..n).map(|_| None).collect();
+        let mut sent = 0usize;
+        let mut received = 0usize;
+        let mut buf = String::new();
+        while received < n {
+            // Top up the in-flight window with one coalesced write.
+            if sent < n && sent - received < window {
+                buf.clear();
+                while sent < n && sent - received < window {
+                    let req = pending[sent].take().expect("request not yet sent");
+                    buf.push_str(&encode_request(&Request::Order(req)));
+                    buf.push('\n');
+                    sent += 1;
+                }
+                self.writer.write_all(buf.as_bytes())?;
+                self.writer.flush()?;
+            }
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-pipeline",
+                )));
+            }
+            let (id, mut resp) =
+                decode_tagged_response(line.trim_end()).map_err(ClientError::Proto)?;
+            if let Response::Progress(p) = &resp {
+                if let Some(cb) = on_progress.as_deref_mut() {
+                    cb(p);
+                }
+                continue;
+            }
+            self.read_frames(&mut resp)?;
+            let Some(slot) = id.and_then(|id| slot_by_id.get(&id).copied()) else {
+                return Err(ClientError::UnexpectedResponse(
+                    "an id-tagged ORDER response",
+                ));
+            };
+            let outcome = match resp {
+                Response::Order(r) => Ok(r),
+                Response::Error(e) => Err(e),
+                _ => return Err(ClientError::UnexpectedResponse("an ORDER response")),
+            };
+            if results[slot].replace(outcome).is_some() {
+                return Err(ClientError::UnexpectedResponse("a fresh response id"));
+            }
+            received += 1;
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every slot answered"))
+            .collect())
+    }
+}
+
+/// A small pool of reusable daemon connections. [`ClientPool::get`] hands
+/// out an idle connection (or dials and negotiates a fresh one), and
+/// [`ClientPool::put`] returns it for reuse — callers skip the dial and
+/// HELLO round trip on every burst after the first. Only return a
+/// connection with no response in flight.
+pub struct ClientPool {
+    addr: SocketAddr,
+    frames: FrameMode,
+    idle: Vec<Client>,
+    max_idle: usize,
+}
+
+impl ClientPool {
+    /// A pool dialing `addr`, negotiating `frames` (and protocol v2) on
+    /// every fresh connection, keeping at most `max_idle` parked ones.
+    pub fn new(
+        addr: impl ToSocketAddrs,
+        frames: FrameMode,
+        max_idle: usize,
+    ) -> Result<ClientPool, ClientError> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ))
+        })?;
+        Ok(ClientPool {
+            addr,
+            frames,
+            idle: Vec::new(),
+            max_idle,
+        })
+    }
+
+    /// An idle connection, or a freshly dialed and negotiated one.
+    pub fn get(&mut self) -> Result<Client, ClientError> {
+        if let Some(client) = self.idle.pop() {
+            return Ok(client);
+        }
+        let mut client = Client::connect(self.addr)?;
+        client.hello_v2(self.frames)?;
+        Ok(client)
+    }
+
+    /// Parks `client` for reuse (dropped when the pool is full).
+    pub fn put(&mut self, client: Client) {
+        if self.idle.len() < self.max_idle {
+            self.idle.push(client);
+        }
+    }
+
+    /// Connections currently parked.
+    pub fn idle(&self) -> usize {
+        self.idle.len()
+    }
 }
 
 #[cfg(test)]
@@ -377,6 +564,7 @@ mod tests {
             compressed: false,
             trace: false,
             id: None,
+            progress: false,
         };
         let err = order_with_retry("127.0.0.1:1", FrameMode::Ndjson, &req, &policy)
             .expect_err("no server is listening");

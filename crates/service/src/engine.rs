@@ -15,7 +15,7 @@ use crate::proto::{
 };
 use crate::server::Config;
 use se_faults::{lock_unpoisoned, sites, Budget, FaultPlane};
-use se_trace::Tracer;
+use se_trace::{SpanEvent, Tracer};
 use sparsemat::pattern::SymmetricPattern;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpStream};
@@ -25,6 +25,31 @@ use std::time::{Duration, Instant};
 
 /// The result of one ORDER execution, as sessions see it.
 pub type OrderOutcome = Result<OrderResponse, ErrorResponse>;
+
+/// One progress notification from a running ORDER, produced on the worker
+/// thread as se-trace spans close. The session layer adds the request id
+/// and puts it on the wire as a `PROGRESS` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressUpdate {
+    /// The span that just closed (`"lanczos"`, `"coarsest_solve"`,
+    /// `"level[k]"`, `"rqi"`, `"degrade"`).
+    pub stage: String,
+    /// Monotone best-effort completion estimate in `[0, 100]`.
+    pub percent: f64,
+    /// Wall-clock µs since the request started executing.
+    pub micros: u64,
+    /// Cumulative matrix–vector products across eigensolver spans, once
+    /// any span has reported them.
+    pub matvecs: Option<u64>,
+}
+
+/// Where progress updates go: called on the worker thread, so it must be
+/// cheap and non-blocking (the reactor sessions post to an inbox).
+pub type ProgressSink = Arc<dyn Fn(ProgressUpdate) + Send + Sync>;
+
+/// Minimum gap between emitted progress updates (the first one is free).
+/// Keeps a deep multigrid hierarchy from flooding the connection.
+const PROGRESS_THROTTLE: Duration = Duration::from_millis(10);
 
 /// The compute core of the service: worker pool + sharded cache + metrics +
 /// shutdown choreography, with no knowledge of sockets or framing.
@@ -237,6 +262,22 @@ impl Engine {
         self.await_order(pending)
     }
 
+    /// Submits one ordering job without blocking: `done` runs on the worker
+    /// thread when the outcome is ready, and `progress` (when given)
+    /// receives [`ProgressUpdate`]s while the solve runs. Returns the
+    /// request's effective wall-clock timeout so the caller can arm its own
+    /// deadline — unlike [`Engine::run_order`], *nothing* here enforces it;
+    /// a reactor session answers the timeout itself and drops the late
+    /// completion when it eventually arrives.
+    pub fn submit_order_async(
+        self: &Arc<Self>,
+        req: OrderRequest,
+        progress: Option<ProgressSink>,
+        done: Box<dyn FnOnce(OrderOutcome) + Send>,
+    ) -> Result<Duration, ErrorResponse> {
+        self.submit_order_with(req, progress, done)
+    }
+
     /// Pipelined batch: submit everything first, then collect in order, so
     /// the pool overlaps the work across its workers.
     pub fn run_batch(self: &Arc<Self>, reqs: Vec<OrderRequest>) -> Vec<OrderOutcome> {
@@ -249,6 +290,25 @@ impl Engine {
     }
 
     fn submit_order(self: &Arc<Self>, req: OrderRequest) -> Result<Pending, ErrorResponse> {
+        let (tx, rx) = mpsc::channel::<OrderOutcome>();
+        let timeout = self.submit_order_with(
+            req,
+            None,
+            Box::new(move |outcome| {
+                // The receiver may have timed out and gone; ignore send
+                // errors.
+                let _ = tx.send(outcome);
+            }),
+        )?;
+        Ok(Pending { rx, timeout })
+    }
+
+    fn submit_order_with(
+        self: &Arc<Self>,
+        req: OrderRequest,
+        progress: Option<ProgressSink>,
+        done: Box<dyn FnOnce(OrderOutcome) + Send>,
+    ) -> Result<Duration, ErrorResponse> {
         self.metrics.inc(&self.metrics.orders);
         let timeout = req
             .timeout_ms
@@ -259,14 +319,22 @@ impl Engine {
         // aborts cooperatively and degrades to a cheaper rung in time to
         // still answer.
         let budget = Budget::new(Some(solver_deadline(timeout)), None);
-        let (tx, rx) = mpsc::channel::<OrderOutcome>();
         let job_engine = Arc::clone(self);
         let req_id = req.id;
         self.register_pending(req_id, &budget);
+        let done = DoneGuard {
+            done: Some(done),
+            armed: false,
+            engine: Arc::clone(self),
+        };
         let submit = {
             let guard = lock_unpoisoned(&self.pool);
             match guard.as_ref() {
                 Some(pool) => pool.try_submit(Box::new(move || {
+                    let mut done = done;
+                    // From here on the submitter is answered even if the
+                    // job panics (the guard fires on unwind).
+                    done.armed = true;
                     // A queued job whose id was cancelled is dropped before
                     // it computes; one cancelled mid-run finishes but its
                     // response is suppressed. Both paths answer the
@@ -278,7 +346,7 @@ impl Engine {
                         job_engine.metrics.inc(&job_engine.metrics.cancelled);
                         Err(ErrorResponse::fatal("request cancelled"))
                     } else {
-                        let out = job_engine.execute_order(&req, &budget);
+                        let out = job_engine.execute_order(&req, &budget, progress.as_ref());
                         if req.id.is_some_and(|id| job_engine.consume_cancel(id, true)) {
                             job_engine.metrics.inc(&job_engine.metrics.cancelled);
                             Err(ErrorResponse::fatal("request cancelled"))
@@ -286,15 +354,13 @@ impl Engine {
                             out
                         }
                     };
-                    // The receiver may have timed out and gone; ignore send
-                    // errors.
-                    let _ = tx.send(outcome);
+                    done.complete(outcome);
                 })),
                 None => Err(SubmitError::ShuttingDown),
             }
         };
         match submit {
-            Ok(()) => Ok(Pending { rx, timeout }),
+            Ok(()) => Ok(timeout),
             Err(SubmitError::QueueFull) => {
                 self.unregister_pending(req_id);
                 self.metrics.inc(&self.metrics.queue_rejections);
@@ -330,7 +396,12 @@ impl Engine {
     /// degradation ladder under `budget`, so an exhausted deadline, a
     /// CANCEL or an injected solver fault yields a valid (degraded)
     /// permutation instead of an error whenever possible.
-    fn execute_order(&self, req: &OrderRequest, budget: &Budget) -> OrderOutcome {
+    fn execute_order(
+        &self,
+        req: &OrderRequest,
+        budget: &Budget,
+        progress: Option<&ProgressSink>,
+    ) -> OrderOutcome {
         let t0 = Instant::now();
         // Chaos site: a worker thread dying mid-request. The pool catches
         // the panic (the submitter sees "worker dropped the request"), and
@@ -385,8 +456,15 @@ impl Engine {
                 // Every computed ordering runs under an enabled tracer: its
                 // span tree feeds the per-stage histograms METRICS exposes
                 // and, when the request asked, the response's trace field.
-                // An enabled tracer never changes numerical results.
-                let tracer = Tracer::enabled();
+                // An enabled tracer never changes numerical results; a
+                // progress-observing one only adds a sink call per span
+                // close.
+                let tracer = match progress {
+                    Some(sink) => {
+                        Tracer::enabled_with_observer(progress_observer(Arc::clone(sink), t0))
+                    }
+                    None => Tracer::enabled(),
+                };
                 solver.trace = tracer.clone();
                 solver.budget = budget.clone();
                 solver.faults = self.faults.clone();
@@ -504,6 +582,42 @@ impl Engine {
     }
 }
 
+/// Guarantees the submitter of an async order is answered exactly once.
+///
+/// Disarmed while the job is merely queued (a synchronous rejection answers
+/// through [`Engine::submit_order_with`]'s error return instead); armed the
+/// moment the job starts executing. A panic mid-execution unwinds through
+/// the never-invoked callback, and the guard's drop turns that into the
+/// same `worker dropped the request` error the legacy channel path
+/// reported as a disconnect — a reactor session would otherwise wait out
+/// the full request timeout.
+struct DoneGuard {
+    done: Option<Box<dyn FnOnce(OrderOutcome) + Send>>,
+    armed: bool,
+    engine: Arc<Engine>,
+}
+
+impl DoneGuard {
+    /// Answers with the job's real outcome (the normal path).
+    fn complete(mut self, outcome: OrderOutcome) {
+        if let Some(done) = self.done.take() {
+            done(outcome);
+        }
+    }
+}
+
+impl Drop for DoneGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        if let Some(done) = self.done.take() {
+            self.engine.metrics.inc(&self.engine.metrics.errors);
+            done(Err(ErrorResponse::fatal("worker dropped the request")));
+        }
+    }
+}
+
 /// The solver-budget deadline carved out of a request's wall-clock
 /// timeout: an eighth of the timeout (clamped to 50–500 ms, and never more
 /// than half the timeout) is reserved for queueing and response encoding.
@@ -514,6 +628,76 @@ fn solver_deadline(timeout: Duration) -> Duration {
         .clamp(Duration::from_millis(50), Duration::from_millis(500))
         .min(timeout / 2);
     timeout - reserve
+}
+
+/// Builds the se-trace span observer that turns span closes into
+/// [`ProgressUpdate`]s on `sink`.
+///
+/// The percent heuristic follows the spectral pipeline's shape: the
+/// Lanczos run on the coarsest graph is the opening ~20%, the coarsest
+/// solve lands at 25%, and the multigrid refinement sweep spans 25→95 —
+/// each closing `level[k]` span reports `25 + 70·done/(done+k)`, since `k`
+/// counts the levels still to refine. A closing `rqi` span means the
+/// final polish finished (98%); `degrade` keeps the last estimate but
+/// names the rung switch. Estimates are clamped monotone, and updates are
+/// throttled to one per [`PROGRESS_THROTTLE`] (the first is free) except
+/// for `degrade`, which always surfaces.
+fn progress_observer(sink: ProgressSink, t0: Instant) -> se_trace::SpanObserver {
+    struct ObserverState {
+        last_emit: Option<Instant>,
+        last_percent: f64,
+        levels_done: usize,
+        matvecs: u64,
+        saw_matvecs: bool,
+    }
+    let state = Mutex::new(ObserverState {
+        last_emit: None,
+        last_percent: 0.0,
+        levels_done: 0,
+        matvecs: 0,
+        saw_matvecs: false,
+    });
+    Arc::new(move |ev: &SpanEvent| {
+        let mut st = lock_unpoisoned(&state);
+        if let Some((_, v)) = ev.attrs.iter().find(|(k, _)| *k == "matvecs") {
+            st.matvecs += *v as u64;
+            st.saw_matvecs = true;
+        }
+        let percent = match ev.name {
+            "lanczos" => 20.0,
+            "coarsest_solve" => 25.0,
+            "level" => {
+                st.levels_done += 1;
+                let remaining = ev.index.unwrap_or(0);
+                25.0 + 70.0 * st.levels_done as f64 / (st.levels_done + remaining) as f64
+            }
+            "rqi" => 98.0,
+            "degrade" => st.last_percent,
+            _ => return,
+        };
+        let percent = percent.max(st.last_percent).min(100.0);
+        st.last_percent = percent;
+        let now = Instant::now();
+        let throttled = st
+            .last_emit
+            .is_some_and(|at| now.duration_since(at) < PROGRESS_THROTTLE);
+        if throttled && ev.name != "degrade" {
+            return;
+        }
+        st.last_emit = Some(now);
+        let stage = match ev.index {
+            Some(i) => format!("{}[{i}]", ev.name),
+            None => ev.name.to_string(),
+        };
+        let update = ProgressUpdate {
+            stage,
+            percent,
+            micros: t0.elapsed().as_micros() as u64,
+            matvecs: st.saw_matvecs.then_some(st.matvecs),
+        };
+        drop(st);
+        sink(update);
+    })
 }
 
 /// Loads the matrix pattern from an ORDER request's source.

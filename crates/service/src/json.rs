@@ -318,13 +318,22 @@ impl<'a> Parser<'a> {
                 }
                 Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
                 Some(_) => {
-                    // Copy one UTF-8 scalar (input is &str, so slicing on
-                    // char boundaries is safe via chars()).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Batch-copy the whole run of plain characters up to
+                    // the next quote, backslash, or control byte. Those
+                    // delimiters are ASCII, so the run ends on a char
+                    // boundary and one UTF-8 validation covers the run —
+                    // keeping long strings (inline matrix payloads) O(n)
+                    // instead of revalidating the tail per character.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }

@@ -6,13 +6,18 @@
 //! This crate turns the ordering pipeline into a small daemon, layered as
 //! **transport / session / engine**:
 //!
-//! * **transport** ([`transport`]) — socket accept, the connection limit
-//!   (excess connections get one retriable `server busy` line), and
-//!   line/frame byte plumbing;
-//! * **session** ([`session`]) — the per-connection protocol loop: decode a
-//!   request line, dispatch, encode the response under the connection's
-//!   negotiated frame mode (`HELLO` opts into binary permutation frames,
-//!   [`frame`]);
+//! * **transport** — by default the `se-reactor` `poll(2)` event loop:
+//!   a handful of threads multiplex every connection, enforce the
+//!   connection limit (excess connections get one retriable `server
+//!   busy` line), and move line/frame bytes with backpressure-aware
+//!   write queues. The legacy thread-per-connection loop ([`transport`])
+//!   remains behind `Config::legacy_transport`;
+//! * **session** — the per-connection protocol state machine
+//!   ([`rsession`] on the reactor, [`session`] on the legacy loop):
+//!   decode a request line, dispatch, encode the response under the
+//!   connection's negotiated frame mode (`HELLO` opts into binary
+//!   permutation frames, [`frame`]) and protocol level (v2 pipelines
+//!   id-tagged out-of-order responses and streams PROGRESS frames);
 //! * **engine** ([`engine`]) — the compute core: a bounded worker pool
 //!   ([`pool`]) with explicit backpressure and graceful drain, live metrics
 //!   ([`metrics`]), and the sharded content-addressed ordering cache
@@ -20,7 +25,9 @@
 //!   ([`persist`]) so a restarted server keeps serving hits;
 //! * [`server`] is the thin composition root wiring the three together, and
 //!   [`client::Client`] the blocking client used by `spectral-order client`
-//!   and the test harness.
+//!   and the test harness — serially ([`Client::order`]) or pipelined over
+//!   protocol v2 ([`Client::order_many`], bounded in-flight window,
+//!   optional progress callback, [`ClientPool`] for connection reuse).
 //!
 //! The wire protocol ([`proto`]) is newline-delimited JSON — commands
 //! `HELLO`, `ORDER`, `BATCH`, `STATS`, `METRICS`, `CANCEL`, `SHUTDOWN` —
@@ -65,12 +72,14 @@ pub mod metrics;
 pub mod persist;
 pub mod pool;
 pub mod proto;
+pub mod rsession;
 pub mod server;
 pub mod session;
 pub mod transport;
 
-pub use client::{order_with_retry, Client, ClientError, RetryPolicy};
+pub use client::{order_with_retry, Client, ClientError, ClientPool, RetryPolicy};
 pub use frame::FrameMode;
+pub use rsession::PROTO_VERSION;
 pub use se_faults::{sites, Budget, FaultPlane};
 pub use server::{serve, Config, ServerHandle};
 pub use transport::RateLimiter;

@@ -4,7 +4,7 @@
 use crate::json::Json;
 use se_faults::lock_unpoisoned;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Number of power-of-two microsecond buckets: bucket `i` counts latencies
 /// in `[2^i, 2^(i+1))` µs, with bucket 0 covering `[0, 2)` and the last
@@ -102,12 +102,23 @@ pub struct Metrics {
     /// Connections accepted.
     pub connections: AtomicU64,
     /// Connections turned away at the limit with a retriable busy error.
-    pub busy_rejections: AtomicU64,
+    /// `Arc` so the reactor transport can bump it from its accept path.
+    pub busy_rejections: Arc<AtomicU64>,
     /// ORDER requests whose response was suppressed by a CANCEL (dropped
     /// while queued or finished-but-discarded).
     pub cancelled: AtomicU64,
     /// Requests rejected by per-client rate limiting.
     pub rate_limited: AtomicU64,
+    /// `PROGRESS` frames put on the wire (v2 connections that opted in).
+    pub progress_frames: AtomicU64,
+    /// Reactor event-loop wakeups (poll returns). Shared with the reactor
+    /// as an `Arc` so the event loops can bump it without seeing `Metrics`.
+    pub reactor_wakeups: Arc<AtomicU64>,
+    /// Currently open client connections (gauge).
+    pub open_connections: AtomicU64,
+    /// ORDER/BATCH-member requests currently submitted but unanswered
+    /// (gauge).
+    pub inflight_requests: AtomicU64,
     /// Degraded ORDER responses by machine-readable reason
     /// (`not_converged`, `deadline`, `cancelled`, `matvec_cap`,
     /// `numerical`, `fault:<site>`).
@@ -131,6 +142,13 @@ impl Metrics {
     /// Bumps a counter by one.
     pub fn inc(&self, counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge by one (saturating at zero).
+    pub fn dec(&self, gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
     }
 
     /// Records a completed ordering's latency under its algorithm name.
@@ -267,6 +285,10 @@ impl Metrics {
             ("busy_rejections", load(&self.busy_rejections)),
             ("cancelled", load(&self.cancelled)),
             ("rate_limited", load(&self.rate_limited)),
+            ("progress_frames", load(&self.progress_frames)),
+            ("reactor_wakeups", load(&self.reactor_wakeups)),
+            ("open_connections", load(&self.open_connections)),
+            ("inflight_requests", load(&self.inflight_requests)),
             ("degraded_orders", keyed_json(&self.degraded_orders)),
             ("budget_aborts", keyed_json(&self.budget_aborts)),
             ("queue_depth", Json::Num(queue_depth as f64)),
@@ -358,6 +380,16 @@ impl Metrics {
             "Requests rejected by per-client rate limiting.",
             load(&self.rate_limited),
         );
+        counter(
+            "se_progress_frames_total",
+            "PROGRESS frames put on the wire.",
+            load(&self.progress_frames),
+        );
+        counter(
+            "se_reactor_wakeups_total",
+            "Reactor event-loop wakeups (poll returns).",
+            load(&self.reactor_wakeups),
+        );
 
         let mut labeled_counter =
             |name: &str, help: &str, label: &str, table: &Mutex<Vec<(String, u64)>>| {
@@ -396,6 +428,16 @@ impl Metrics {
             "se_active_jobs",
             "Jobs currently executing on pool workers.",
             active as f64,
+        );
+        gauge(
+            "se_open_connections",
+            "Currently open client connections.",
+            load(&self.open_connections) as f64,
+        );
+        gauge(
+            "se_inflight_requests",
+            "Requests submitted to the engine but not yet answered.",
+            load(&self.inflight_requests) as f64,
         );
         gauge(
             "se_cache_persistent",

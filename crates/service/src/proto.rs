@@ -134,11 +134,19 @@ pub struct OrderRequest {
     /// (the cache is bypassed on lookup, though the resulting ordering is
     /// still inserted) and the trace itself is never cached.
     pub trace: bool,
-    /// Optional client-assigned request id, echoed nowhere but usable as
-    /// the target of a later `CANCEL` command (typically from a second
-    /// connection). Ids are only tracked while the request is queued or
-    /// running; reusing an id after completion is harmless.
+    /// Optional client-assigned request id. On protocol v1 connections it
+    /// is echoed nowhere but usable as the target of a later `CANCEL`
+    /// command (typically from a second connection); on v2 connections it
+    /// additionally tags the response line (`"id":N`) so pipelined
+    /// requests may complete out of order. Ids are only tracked for CANCEL
+    /// while the request is queued or running; reusing an id after
+    /// completion is harmless.
     pub id: Option<u64>,
+    /// Stream unsolicited `PROGRESS` lines for this request while it runs.
+    /// Honoured only on protocol v2 connections with an `id` set —
+    /// interleaving would corrupt v1's strict request→response sequencing,
+    /// so v1 sessions ignore the flag.
+    pub progress: bool,
 }
 
 /// Upper bound accepted for the wire `threads` field.
@@ -163,6 +171,7 @@ impl OrderRequest {
             compressed: false,
             trace: false,
             id: None,
+            progress: false,
         }
     }
 }
@@ -170,10 +179,14 @@ impl OrderRequest {
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Negotiate the connection's frame mode.
+    /// Negotiate the connection's frame mode and protocol level.
     Hello {
         /// Requested framing for subsequent responses.
         frames: FrameMode,
+        /// Requested protocol level: `1` (strict request→response) or `2`
+        /// (pipelined, id-tagged responses, PROGRESS frames). Encoded on
+        /// the wire only when ≥ 2, so v1 request bytes are unchanged.
+        proto: u32,
     },
     /// Order one matrix.
     Order(OrderRequest),
@@ -343,6 +356,25 @@ impl ErrorResponse {
     }
 }
 
+/// An unsolicited server→client progress notification (protocol v2 only):
+/// the ORDER identified by `id` is still running and has just passed
+/// `stage`. Interleaved between response lines; never sent on v1
+/// connections and never counted as a response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressFrame {
+    /// The client-assigned id of the running ORDER.
+    pub id: u64,
+    /// Pipeline stage that just completed (se-trace span vocabulary:
+    /// `"lanczos"`, `"coarsest_solve"`, `"level[k]"`, `"rqi"`, …).
+    pub stage: String,
+    /// Monotone best-effort completion estimate in `[0, 100]`.
+    pub percent: f64,
+    /// Wall-clock µs spent on the request so far.
+    pub micros: u64,
+    /// Cumulative matrix–vector products, when the stage reports them.
+    pub matvecs: Option<u64>,
+}
+
 /// Any response line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -350,6 +382,9 @@ pub enum Response {
     Hello {
         /// The negotiated frame mode (echoes the accepted request).
         frames: FrameMode,
+        /// The negotiated protocol level (the server answers with
+        /// `min(requested, supported)`, never more than it was asked for).
+        proto: u32,
     },
     /// ORDER result.
     Order(OrderResponse),
@@ -370,6 +405,8 @@ pub enum Response {
         /// Jobs completed during the drain.
         drained: u64,
     },
+    /// Unsolicited progress for a running ORDER (protocol v2).
+    Progress(ProgressFrame),
     /// Request failed.
     Error(ErrorResponse),
 }
@@ -560,15 +597,42 @@ pub fn encode_response(r: &Response) -> String {
 /// (no trailing newline) plus the binary frames to send after it, in order.
 /// In NDJSON mode the frame list is always empty.
 pub fn encode_response_framed(r: &Response, mode: FrameMode) -> (String, Vec<FramePayload>) {
+    encode_response_tagged(r, mode, None)
+}
+
+/// [`encode_response_framed`] with an optional protocol-v2 response tag:
+/// when `id` is given, `"id":N` is spliced in right after `"ok"` so
+/// pipelined clients can match out-of-order completions. With `id: None`
+/// the bytes are identical to the v1 encoding.
+pub fn encode_response_tagged(
+    r: &Response,
+    mode: FrameMode,
+    id: Option<u64>,
+) -> (String, Vec<FramePayload>) {
     let mut frames = Vec::new();
-    let v = match r {
-        Response::Hello { frames: mode } => Json::obj(vec![
+    let v = response_to_json(r, mode, &mut frames);
+    let v = match (id, v) {
+        (Some(id), Json::Obj(mut pairs)) => {
+            pairs.insert(pairs.len().min(1), ("id".to_string(), Json::Num(id as f64)));
+            Json::Obj(pairs)
+        }
+        (_, v) => v,
+    };
+    (v.to_string_compact(), frames)
+}
+
+fn response_to_json(r: &Response, mode: FrameMode, frames: &mut Vec<FramePayload>) -> Json {
+    match r {
+        Response::Hello {
+            frames: mode,
+            proto,
+        } => Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("hello", Json::Bool(true)),
             ("frames", Json::Str(mode.wire_name().to_string())),
-            ("proto", Json::Num(1.0)),
+            ("proto", Json::Num(*proto as f64)),
         ]),
-        Response::Order(o) => order_body_to_json(o, mode, &mut frames),
+        Response::Order(o) => order_body_to_json(o, mode, frames),
         Response::Batch(items) => Json::obj(vec![
             ("ok", Json::Bool(true)),
             (
@@ -577,7 +641,7 @@ pub fn encode_response_framed(r: &Response, mode: FrameMode) -> (String, Vec<Fra
                     items
                         .iter()
                         .map(|item| match item {
-                            Ok(o) => order_body_to_json(o, mode, &mut frames),
+                            Ok(o) => order_body_to_json(o, mode, frames),
                             Err(e) => error_to_json(e),
                         })
                         .collect(),
@@ -599,14 +663,41 @@ pub fn encode_response_framed(r: &Response, mode: FrameMode) -> (String, Vec<Fra
             ("shutdown", Json::Bool(true)),
             ("drained", Json::Num(*drained as f64)),
         ]),
+        Response::Progress(p) => {
+            let mut pairs = vec![
+                ("ok", Json::Bool(true)),
+                ("progress", Json::Bool(true)),
+                ("id", Json::Num(p.id as f64)),
+                ("stage", Json::Str(p.stage.clone())),
+                ("percent", Json::Num(p.percent)),
+                ("micros", Json::Num(p.micros as f64)),
+            ];
+            if let Some(m) = p.matvecs {
+                pairs.push(("matvecs", Json::Num(m as f64)));
+            }
+            Json::obj(pairs)
+        }
         Response::Error(e) => error_to_json(e),
-    };
-    (v.to_string_compact(), frames)
+    }
 }
 
 /// Parses a response line.
 pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
     let v = parse(line).map_err(ProtoError::Json)?;
+    response_from_json(&v)
+}
+
+/// Parses a response line from a protocol-v2 connection, returning the
+/// `"id"` tag (when present) alongside the response. PROGRESS lines carry
+/// their id inside the frame as well; untagged lines (HELLO acks, inline
+/// control responses on v1) return `None`.
+pub fn decode_tagged_response(line: &str) -> Result<(Option<u64>, Response), ProtoError> {
+    let v = parse(line).map_err(ProtoError::Json)?;
+    let id = v.get("id").and_then(Json::as_u64);
+    Ok((id, response_from_json(&v)?))
+}
+
+fn response_from_json(v: &Json) -> Result<Response, ProtoError> {
     let ok = v
         .get("ok")
         .and_then(Json::as_bool)
@@ -621,6 +712,22 @@ pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
             retriable: v.get("retriable").and_then(Json::as_bool).unwrap_or(false),
         }));
     }
+    if v.get("progress").and_then(Json::as_bool) == Some(true) {
+        return Ok(Response::Progress(ProgressFrame {
+            id: v
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| shape("PROGRESS needs an id"))?,
+            stage: v
+                .get("stage")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            percent: v.get("percent").and_then(Json::as_f64).unwrap_or(0.0),
+            micros: v.get("micros").and_then(Json::as_u64).unwrap_or(0),
+            matvecs: v.get("matvecs").and_then(Json::as_u64),
+        }));
+    }
     if v.get("hello").and_then(Json::as_bool) == Some(true) {
         let name = v
             .get("frames")
@@ -628,7 +735,8 @@ pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
             .ok_or_else(|| shape("HELLO ack needs a frames field"))?;
         let frames =
             FrameMode::from_wire(name).ok_or_else(|| shape(format!("unknown frames '{name}'")))?;
-        return Ok(Response::Hello { frames });
+        let proto = v.get("proto").and_then(Json::as_u64).unwrap_or(1) as u32;
+        return Ok(Response::Hello { frames, proto });
     }
     if let Some(items) = v.get("responses").and_then(Json::as_arr) {
         let mut out = Vec::with_capacity(items.len());
@@ -670,7 +778,7 @@ pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
             return Ok(Response::Stats(s.clone()));
         }
     }
-    Ok(Response::Order(order_response_from_json(&v)?))
+    Ok(Response::Order(order_response_from_json(v)?))
 }
 
 /// Serializes a [`Request`] to its wire line (no trailing newline).
@@ -711,13 +819,24 @@ pub fn encode_request(r: &Request) -> String {
         if let Some(id) = o.id {
             pairs.push(("id".to_string(), Json::Num(id as f64)));
         }
+        if o.progress {
+            pairs.push(("progress".to_string(), Json::Bool(true)));
+        }
         pairs
     }
     let v = match r {
-        Request::Hello { frames } => Json::obj(vec![
-            ("cmd", Json::Str("HELLO".to_string())),
-            ("frames", Json::Str(frames.wire_name().to_string())),
-        ]),
+        Request::Hello { frames, proto } => {
+            let mut pairs = vec![
+                ("cmd", Json::Str("HELLO".to_string())),
+                ("frames", Json::Str(frames.wire_name().to_string())),
+            ];
+            // Encoded only when asking for more than v1, so the bytes a
+            // v1 client puts on the wire are unchanged.
+            if *proto >= 2 {
+                pairs.push(("proto", Json::Num(*proto as f64)));
+            }
+            Json::obj(pairs)
+        }
         Request::Order(o) => Json::Obj(order_fields(o)),
         Request::Batch(items) => Json::obj(vec![
             ("cmd", Json::Str("BATCH".to_string())),
@@ -802,6 +921,7 @@ fn order_request_from_json(v: &Json) -> Result<OrderRequest, ProtoError> {
         compressed: v.get("compressed").and_then(Json::as_bool).unwrap_or(false),
         trace: v.get("trace").and_then(Json::as_bool).unwrap_or(false),
         id,
+        progress: v.get("progress").and_then(Json::as_bool).unwrap_or(false),
     })
 }
 
@@ -822,7 +942,19 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
                         .ok_or_else(|| shape(format!("unknown frames '{name}'")))?
                 }
             };
-            Ok(Request::Hello { frames })
+            let proto = match v.get("proto") {
+                None => 1,
+                Some(p) => {
+                    let p = p
+                        .as_u64()
+                        .ok_or_else(|| shape("proto must be an integer"))?;
+                    if p == 0 {
+                        return Err(shape("proto must be at least 1"));
+                    }
+                    p.min(u32::MAX as u64) as u32
+                }
+            };
+            Ok(Request::Hello { frames, proto })
         }
         "ORDER" => Ok(Request::Order(order_request_from_json(&v)?)),
         "BATCH" => {
@@ -883,6 +1015,7 @@ mod tests {
             compressed: true,
             trace: true,
             id: Some(77),
+            progress: true,
         });
         let line = encode_request(&req);
         assert!(!line.contains('\n'));
@@ -892,19 +1025,97 @@ mod tests {
     #[test]
     fn hello_roundtrip_and_defaults() {
         for frames in [FrameMode::Ndjson, FrameMode::Binary] {
-            let req = Request::Hello { frames };
-            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
-            let resp = Response::Hello { frames };
-            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+            for proto in [1, 2] {
+                let req = Request::Hello { frames, proto };
+                assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+                let resp = Response::Hello { frames, proto };
+                assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+            }
         }
-        // frames defaults to ndjson; unknown values are shape errors.
+        // frames defaults to ndjson, proto to 1; unknowns are shape errors.
         assert_eq!(
             decode_request(r#"{"cmd":"HELLO"}"#).unwrap(),
             Request::Hello {
-                frames: FrameMode::Ndjson
+                frames: FrameMode::Ndjson,
+                proto: 1,
             }
         );
         assert!(decode_request(r#"{"cmd":"HELLO","frames":"smoke"}"#).is_err());
+        assert!(decode_request(r#"{"cmd":"HELLO","proto":0}"#).is_err());
+        // A v1 HELLO encodes without a proto key — bytes unchanged from
+        // pre-v2 clients — while v2 asks explicitly.
+        let v1 = encode_request(&Request::Hello {
+            frames: FrameMode::Ndjson,
+            proto: 1,
+        });
+        assert!(!v1.contains("proto"));
+        let v2 = encode_request(&Request::Hello {
+            frames: FrameMode::Ndjson,
+            proto: 2,
+        });
+        assert!(v2.contains(r#""proto":2"#));
+    }
+
+    #[test]
+    fn progress_frame_roundtrips() {
+        let with_matvecs = Response::Progress(ProgressFrame {
+            id: 9,
+            stage: "lanczos".into(),
+            percent: 20.0,
+            micros: 1500,
+            matvecs: Some(64),
+        });
+        let line = encode_response(&with_matvecs);
+        assert!(line.contains(r#""progress":true"#));
+        assert_eq!(decode_response(&line).unwrap(), with_matvecs);
+        // The id also surfaces through the tagged decoder.
+        let (id, resp) = decode_tagged_response(&line).unwrap();
+        assert_eq!(id, Some(9));
+        assert_eq!(resp, with_matvecs);
+        let without = Response::Progress(ProgressFrame {
+            id: 3,
+            stage: "level[2]".into(),
+            percent: 60.5,
+            micros: 88,
+            matvecs: None,
+        });
+        let line = encode_response(&without);
+        assert!(!line.contains("matvecs"));
+        assert_eq!(decode_response(&line).unwrap(), without);
+        // Progress without an id is malformed.
+        assert!(decode_response(r#"{"ok":true,"progress":true,"stage":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn tagged_encoding_splices_id_after_ok() {
+        let resp = Response::Order(OrderResponse {
+            alg: "RCM".into(),
+            n: 3,
+            nnz: 5,
+            stats: sample_stats(),
+            perm: Some(vec![2, 0, 1].into()),
+            cache_hit: false,
+            micros: 7,
+            compression_ratio: None,
+            degraded: None,
+            trace: None,
+        });
+        let (tagged, _) = encode_response_tagged(&resp, FrameMode::Ndjson, Some(41));
+        assert!(tagged.starts_with(r#"{"ok":true,"id":41,"#), "got {tagged}");
+        let (id, decoded) = decode_tagged_response(&tagged).unwrap();
+        assert_eq!(id, Some(41));
+        assert_eq!(decoded, resp);
+        // Untagged encoding is byte-identical to the v1 encoder.
+        let (untagged, _) = encode_response_tagged(&resp, FrameMode::Ndjson, None);
+        assert_eq!(untagged, encode_response(&resp));
+        // Errors are taggable too — a pipelined failure must still name
+        // the request it answers.
+        let err = Response::Error(ErrorResponse::retriable("queue full"));
+        let (line, _) = encode_response_tagged(&err, FrameMode::Ndjson, Some(5));
+        assert!(line.starts_with(r#"{"ok":false,"id":5,"#), "got {line}");
+        let (id, decoded) = decode_tagged_response(&line).unwrap();
+        assert_eq!(id, Some(5));
+        assert_eq!(decoded, err);
     }
 
     #[test]
@@ -942,6 +1153,7 @@ mod tests {
             compressed: false,
             trace: false,
             id: None,
+            progress: false,
         };
         let req = Request::Batch(vec![one.clone(), one]);
         let line = encode_request(&req);

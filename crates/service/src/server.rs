@@ -66,6 +66,15 @@ pub struct Config {
     /// forever. Bounds how long a slow-loris client can pin a connection
     /// slot while trickling bytes.
     pub io_timeout_ms: Option<u64>,
+    /// Event-loop threads for the reactor transport (clamped to ≥ 1). Each
+    /// loop multiplexes its share of the connections with `poll(2)`, so
+    /// even one thread serves thousands of idle keep-alive connections.
+    pub reactor_threads: usize,
+    /// Serve with the legacy thread-per-connection transport instead of
+    /// the reactor. That path speaks protocol v1 only — kept for A/B
+    /// comparison (responses must stay bit-identical) and as an escape
+    /// hatch.
+    pub legacy_transport: bool,
 }
 
 impl Default for Config {
@@ -85,6 +94,8 @@ impl Default for Config {
             faults: FaultPlane::disabled(),
             rate_limit: None,
             io_timeout_ms: None,
+            reactor_threads: 1,
+            legacy_transport: false,
         }
     }
 }
@@ -120,6 +131,11 @@ impl ServerHandle {
 
 /// Binds `cfg.addr`, builds the engine (loading any persisted cache), and
 /// starts serving in background threads.
+///
+/// The default transport is the `se-reactor` event loop
+/// ([`crate::rsession`]); `cfg.legacy_transport` selects the original
+/// thread-per-connection loop ([`crate::session`]) instead. Both answer
+/// protocol v1 requests with bit-identical bytes.
 pub fn serve(cfg: Config) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
@@ -130,15 +146,58 @@ pub fn serve(cfg: Config) -> std::io::Result<ServerHandle> {
         .rate_limit
         .map(|(rps, burst)| Arc::new(crate::transport::RateLimiter::new(rps, burst)));
     let io_timeout = cfg.io_timeout_ms.map(Duration::from_millis);
-    let accept_thread = std::thread::Builder::new()
-        .name("orderd-accept".to_string())
-        .spawn(move || {
-            crate::transport::accept_loop(listener, accept_engine, max_conns, rate, io_timeout)
-        })
-        .expect("spawn accept thread");
+    let accept_thread = if cfg.legacy_transport {
+        std::thread::Builder::new()
+            .name("orderd-accept".to_string())
+            .spawn(move || {
+                crate::transport::accept_loop(listener, accept_engine, max_conns, rate, io_timeout)
+            })
+            .expect("spawn accept thread")
+    } else {
+        let rcfg = se_reactor::ReactorConfig {
+            threads: cfg.reactor_threads.max(1),
+            max_conns,
+            io_timeout,
+            busy_line: busy_line(),
+            wakeups: Some(Arc::clone(&engine.metrics().reactor_wakeups)),
+            rejects: Some(Arc::clone(&engine.metrics().busy_rejections)),
+            ..se_reactor::ReactorConfig::default()
+        };
+        let factory_engine = Arc::clone(&engine);
+        let group = se_reactor::start(listener, rcfg, move |token, peer, handle| {
+            crate::rsession::Session::new(
+                Arc::clone(&factory_engine),
+                rate.clone(),
+                token,
+                peer,
+                handle,
+            )
+        })?;
+        // The supervisor preserves the legacy contract: this thread exits
+        // only after the SHUTDOWN drain finished and the ack went out.
+        std::thread::Builder::new()
+            .name("orderd-accept".to_string())
+            .spawn(move || {
+                group.join();
+                accept_engine.wait_shutdown_complete();
+            })
+            .expect("spawn reactor supervisor thread")
+    };
     Ok(ServerHandle {
         engine,
         addr,
         accept_thread,
     })
+}
+
+/// The wire bytes an over-cap connection receives before being dropped —
+/// the same retriable busy line the legacy transport writes.
+fn busy_line() -> Vec<u8> {
+    use crate::proto::{encode_response, ErrorResponse, Response};
+    let resp = Response::Error(ErrorResponse::retriable(
+        "server busy: connection limit reached, retry later",
+    ));
+    let mut bytes = encode_response(&resp).into_bytes();
+    bytes.push(b'\n');
+    bytes
 }

@@ -39,9 +39,11 @@ pub fn run(mut conn: Conn, engine: &Arc<Engine>, limit: Option<(&RateLimiter, Ip
                 engine.metrics().inc(&engine.metrics().errors);
                 Response::Error(ErrorResponse::fatal(e.to_string()))
             }
-            Ok(Request::Hello { frames }) => {
+            Ok(Request::Hello { frames, proto: _ }) => {
+                // This strict request→response loop only speaks v1, so the
+                // ack says 1 no matter what level was requested.
                 mode = frames;
-                Response::Hello { frames }
+                Response::Hello { frames, proto: 1 }
             }
             Ok(Request::Order(req)) => {
                 if !allow(limit, 1) {

@@ -23,6 +23,7 @@ fn chaco_request(g: &SymmetricPattern, alg: se_order::Algorithm) -> OrderRequest
         compressed: false,
         trace: false,
         id: None,
+        progress: false,
     }
 }
 

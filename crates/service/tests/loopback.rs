@@ -27,6 +27,7 @@ fn chaco_request(g: &SymmetricPattern, alg: se_order::Algorithm) -> OrderRequest
         compressed: false,
         trace: false,
         id: None,
+        progress: false,
     }
 }
 
@@ -172,6 +173,7 @@ fn concurrent_clients_share_the_cache() {
                     compressed: false,
                     trace: false,
                     id: None,
+                    progress: false,
                 };
                 client.order(req).unwrap()
             })
@@ -329,6 +331,7 @@ fn malformed_lines_get_errors_but_the_connection_survives() {
         compressed: false,
         trace: false,
         id: None,
+        progress: false,
     });
     writeln!(writer, "{}", se_service::proto::encode_request(&req)).unwrap();
     line.clear();

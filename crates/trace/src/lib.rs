@@ -218,6 +218,32 @@ impl SpanNode {
     }
 }
 
+/// One closed span, as seen by a [`Tracer`] observer: the node's own data
+/// (no children) plus its depth in the open-span stack at close time.
+///
+/// Observers fire on every span close, in close order — innermost first —
+/// which is exactly the order a progress consumer wants: the deepest stages
+/// finish earliest and each close narrows the remaining work. The event
+/// carries no references into the recorder, so observers may do anything
+/// except re-enter the tracer (they are invoked outside its lock, so even
+/// re-entry merely risks odd trees, never deadlock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Stage name of the closed span.
+    pub name: &'static str,
+    /// Optional instance index (e.g. the multilevel hierarchy level).
+    pub index: Option<usize>,
+    /// Wall-clock duration of the span in microseconds.
+    pub wall_micros: u64,
+    /// Number of spans still open above this one (0 for a root).
+    pub depth: usize,
+    /// The span's numeric attributes at close time.
+    pub attrs: Vec<(&'static str, f64)>,
+}
+
+/// The observer callback type: invoked on every span close.
+pub type SpanObserver = Arc<dyn Fn(&SpanEvent) + Send + Sync>;
+
 /// Recorder state: the open-span stack plus finished roots.
 #[derive(Debug, Default)]
 struct State {
@@ -228,9 +254,19 @@ struct State {
     roots: Vec<SpanNode>,
 }
 
-#[derive(Debug)]
 struct TracerInner {
     state: Mutex<State>,
+    /// Fired (outside the state lock) on every span close.
+    observer: Option<SpanObserver>,
+}
+
+impl std::fmt::Debug for TracerInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracerInner")
+            .field("state", &self.state)
+            .field("observer", &self.observer.as_ref().map(|_| "Fn"))
+            .finish()
+    }
 }
 
 /// A hierarchical span recorder.
@@ -249,6 +285,23 @@ impl Tracer {
         Tracer {
             inner: Some(Arc::new(TracerInner {
                 state: Mutex::new(State::default()),
+                observer: None,
+            })),
+        }
+    }
+
+    /// A recording tracer that additionally invokes `observer` on every
+    /// span close (innermost spans first, since they close first). This is
+    /// how the service streams PROGRESS frames: the solver's own span
+    /// closes become live stage-completion events without the solver
+    /// knowing anything about wires. The observer runs on the closing
+    /// thread, outside the recorder lock, and never changes what gets
+    /// recorded.
+    pub fn enabled_with_observer(observer: SpanObserver) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                state: Mutex::new(State::default()),
+                observer: Some(observer),
             })),
         }
     }
@@ -375,15 +428,30 @@ impl Drop for SpanGuard<'_> {
             return;
         };
         let micros = start.elapsed().as_micros() as u64;
-        let mut state = inner.state.lock().unwrap();
-        let Some(mut node) = state.open.pop() else {
-            return; // finish() ran while this guard was open
+        let event = {
+            let mut state = inner.state.lock().unwrap();
+            let Some(mut node) = state.open.pop() else {
+                return; // finish() ran while this guard was open
+            };
+            node.wall_micros = micros;
+            node.attrs.append(&mut self.attrs);
+            let event = inner.observer.as_ref().map(|_| SpanEvent {
+                name: node.name,
+                index: node.index,
+                wall_micros: node.wall_micros,
+                depth: state.open.len(),
+                attrs: node.attrs.clone(),
+            });
+            match state.open.last_mut() {
+                Some(parent) => parent.children.push(node),
+                None => state.roots.push(node),
+            }
+            event
         };
-        node.wall_micros = micros;
-        node.attrs.append(&mut self.attrs);
-        match state.open.last_mut() {
-            Some(parent) => parent.children.push(node),
-            None => state.roots.push(node),
+        // Outside the lock: an observer that blocks (or re-enters the
+        // tracer) cannot deadlock the recorder.
+        if let (Some(obs), Some(event)) = (&inner.observer, event) {
+            obs(&event);
         }
     }
 }
@@ -595,6 +663,38 @@ mod tests {
         assert_eq!(tree.stage_names(), vec!["order", "rqi"]);
         let rqi_us = tree.stage_micros("rqi");
         assert!(rqi_us <= tree.wall_micros + 1);
+    }
+
+    #[test]
+    fn observer_sees_every_close_in_close_order() {
+        let events: Arc<Mutex<Vec<SpanEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let t = Tracer::enabled_with_observer(Arc::new(move |e: &SpanEvent| {
+            sink.lock().unwrap().push(e.clone());
+        }));
+        {
+            let mut root = t.span("order");
+            root.attr("n", 9.0);
+            {
+                let mut lvl = t.span_at("level", 2);
+                lvl.attr("matvecs", 17.0);
+            }
+            let _s = t.span("stats");
+        }
+        let seen = events.lock().unwrap().clone();
+        assert_eq!(
+            seen.iter().map(|e| e.name).collect::<Vec<_>>(),
+            vec!["level", "stats", "order"],
+            "closes fire innermost-first"
+        );
+        assert_eq!(seen[0].index, Some(2));
+        assert_eq!(seen[0].depth, 1);
+        assert_eq!(seen[0].attrs, vec![("matvecs", 17.0)]);
+        assert_eq!(seen[2].depth, 0);
+        assert_eq!(seen[2].attrs, vec![("n", 9.0)]);
+        // Observation does not change what is recorded.
+        let tree = t.finish().unwrap();
+        assert_eq!(tree.shape(), "order\n  level[2]\n  stats\n");
     }
 
     #[test]
