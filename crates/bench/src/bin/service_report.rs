@@ -28,6 +28,12 @@
 //!    Lanczos/RQI convergence sites always fire, so every request walks
 //!    the degradation ladder down to the RCM rung. Shows what a client
 //!    pays (or saves — RCM is cheap) when the eigensolver misbehaves.
+//! 5. **Mesh hit throughput** (3-node loopback mesh): the same warmed
+//!    cache key asked serially at the node that owns it (a plain local
+//!    hit) and at a node that must forward the ORDER to the owner and
+//!    relay the response (one extra loopback roundtrip plus a decode +
+//!    re-encode). Serial on purpose — the forwarded path's cost *is* the
+//!    extra per-request hop, which pipelining would amortize away.
 //!
 //! Run with `cargo run -p se-bench --release --bin service_report`.
 
@@ -48,6 +54,7 @@ const PIPELINE_REQUESTS: usize = 2_000;
 const PIPELINE_WINDOW: usize = 64;
 const TRACE_REPS: usize = 15;
 const DEGRADED_REPS: usize = 15;
+const MESH_REQUESTS: usize = 300;
 
 fn sample_response(perm: PermPayload, n: usize) -> Response {
     Response::Order(OrderResponse {
@@ -138,6 +145,7 @@ fn hit_throughput(mode: FrameMode, g: &sparsemat::pattern::SymmetricPattern) -> 
         trace: false,
         id: None,
         progress: false,
+        hop: false,
     };
     let mut client = Client::connect(addr).unwrap();
     if mode == FrameMode::Binary {
@@ -211,6 +219,7 @@ fn trace_overhead() -> (f64, f64) {
         trace,
         id: None,
         progress: false,
+        hop: false,
     };
     let mut client = Client::connect(handle.local_addr()).unwrap();
     // Server-side wall clock (`micros`), so loopback latency quirks never
@@ -275,6 +284,7 @@ fn degraded_overhead() -> (f64, f64) {
             trace: false,
             id: None,
             progress: false,
+            hop: false,
         };
         let mut client = Client::connect(handle.local_addr()).unwrap();
         let mut times = Vec::with_capacity(DEGRADED_REPS);
@@ -296,6 +306,88 @@ fn degraded_overhead() -> (f64, f64) {
         median
     };
     (run(false), run(true))
+}
+
+/// Serial cache-hit requests/second on a 3-node loopback mesh, measured
+/// at the key's owner (local hit) and at a non-owner (forwarded hit).
+/// Returns `(local_rps, forwarded_rps, perm_len)`.
+fn mesh_hit_throughput() -> (f64, f64, usize) {
+    // Every member needs the full address list before any member starts,
+    // so reserve three loopback ports up front and re-bind them.
+    let reserved: Vec<std::net::TcpListener> = (0..3)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    let addrs: Vec<String> = reserved
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect();
+    drop(reserved);
+    let handles: Vec<_> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let peers = addrs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| a.clone())
+                .collect();
+            serve(Config {
+                addr: addr.clone(),
+                peers,
+                ..Config::default()
+            })
+            .expect("bind reserved mesh port")
+        })
+        .collect();
+    // A grid whose cache key node 0 owns, so the measurement nodes are
+    // fixed: node 0 local, node 1 forwarding.
+    let ring = handles[0].engine().mesh().expect("mesh configured");
+    let g = (8..200)
+        .map(|w| meshgen::grid2d(w, 15))
+        .find(|g| {
+            let key = se_service::cache::pattern_key(g, se_order::Algorithm::Rcm, false);
+            ring.ring().owner(key) == addrs[0]
+        })
+        .expect("probe graph owned by node 0");
+    let payload = sparsemat::io::write_chaco_string(&g);
+    let req = || OrderRequest {
+        alg: se_order::Algorithm::Rcm,
+        source: MatrixSource::Inline {
+            format: MatrixFormat::Chaco,
+            payload: payload.clone(),
+        },
+        timeout_ms: None,
+        include_perm: true,
+        threads: None,
+        compressed: false,
+        trace: false,
+        id: None,
+        progress: false,
+        hop: false,
+    };
+    let mut owner = Client::connect(handles[0].local_addr()).unwrap();
+    let warm = owner.order(req()).unwrap();
+    assert!(!warm.cache_hit);
+    let n = warm.perm.as_ref().unwrap().order().len();
+    let measure = |client: &mut Client, forwarded: bool| -> f64 {
+        let t0 = Instant::now();
+        for _ in 0..MESH_REQUESTS {
+            let r = client.order(req()).unwrap();
+            assert!(r.cache_hit, "warmed key must hit");
+            debug_assert_eq!(r.perm.as_ref().unwrap().order().len(), n);
+            let _ = forwarded;
+        }
+        MESH_REQUESTS as f64 / t0.elapsed().as_secs_f64()
+    };
+    let local_rps = measure(&mut owner, false);
+    let mut other = Client::connect(handles[1].local_addr()).unwrap();
+    let forwarded_rps = measure(&mut other, true);
+    for handle in handles {
+        let _ = Client::connect(handle.local_addr()).and_then(|mut c| c.shutdown());
+        handle.join();
+    }
+    (local_rps, forwarded_rps, n)
 }
 
 fn main() {
@@ -347,6 +439,14 @@ fn main() {
         degraded_secs * 1e6,
     );
 
+    println!("\nmesh hit throughput (3-node loopback mesh, {MESH_REQUESTS} serial requests):");
+    let (mesh_local_rps, mesh_fwd_rps, mesh_n) = mesh_hit_throughput();
+    let mesh_ratio = mesh_fwd_rps / mesh_local_rps;
+    println!(
+        "  n = {mesh_n:>5}: local hit {mesh_local_rps:>9.1} req/s | \
+         forwarded hit {mesh_fwd_rps:>9.1} req/s | forwarded/local = {mesh_ratio:.3}",
+    );
+
     let hit_json: Vec<String> = hit_rows
         .iter()
         .map(|r| {
@@ -380,7 +480,17 @@ fn main() {
          \"degraded_path\": {{\"reps\":{DEGRADED_REPS},\
          \"healthy_median_secs\":{healthy_secs:.9},\
          \"rcm_fallback_median_secs\":{degraded_secs:.9},\
-         \"fallback_over_healthy\":{degraded_ratio:.4}}}\n}}\n",
+         \"fallback_over_healthy\":{degraded_ratio:.4}}},\n  \
+         \"mesh\": {{\"nodes\":3,\"replicas\":1,\"requests\":{MESH_REQUESTS},\
+         \"perm_len\":{mesh_n},\
+         \"local_hit_rps\":{mesh_local_rps:.1},\
+         \"forwarded_hit_rps\":{mesh_fwd_rps:.1},\
+         \"forwarded_over_local\":{mesh_ratio:.4},\
+         \"note\":\"serial asks of one warmed key over binary frames: at the owner \
+         (plain local hit) vs at a non-owner, whose miss forwards the ORDER to the \
+         owner over a pooled loopback connection and relays the response verbatim — \
+         the gap is one extra loopback roundtrip plus a response decode + re-encode \
+         per request, which protocol-v2 pipelining would amortize\"}}\n}}\n",
         encode_rows.join(",\n    "),
         hit_json.join(",\n    ")
     );

@@ -86,7 +86,7 @@ fn usage() -> ExitCode {
          [--cache-mb N] [--shards N] [--cache-dir PATH] [--cache-dir-budget BYTES] \
          [--max-conns N] [--timeout-ms N] [--threads N] [--log-requests] \
          [--rate-limit RPS[:BURST]] [--io-timeout MS] [--reactor-threads N] \
-         [--legacy-transport]\n\
+         [--legacy-transport] [--peers HOST:PORT,...] [--replicas N]\n\
          \x20      spectral-order client --addr HOST:PORT (<matrix>... [--alg NAME] [--no-perm] \
          [--threads N] [--compressed] [--binary] [--trace] [--id N] [--retry N] \
          [--pipeline N] [--progress] | --stats | --metrics-text | --cancel ID | --shutdown)"
@@ -399,6 +399,16 @@ fn serve_main(args: &[String]) -> ExitCode {
                 _ => return usage(),
             },
             "--legacy-transport" => cfg.legacy_transport = true,
+            "--peers" => match it.next() {
+                Some(v) if !v.is_empty() => {
+                    cfg.peers = v.split(',').map(str::to_string).collect();
+                }
+                _ => return usage(),
+            },
+            "--replicas" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.replicas = v,
+                _ => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -578,6 +588,7 @@ fn client_main(args: &[String]) -> ExitCode {
             // individually cancellable.
             id: base_id.map(|b| b + k as u64),
             progress,
+            hop: false,
         });
     }
 

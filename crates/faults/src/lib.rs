@@ -65,6 +65,13 @@ pub mod sites {
     pub const WIRE_CORRUPT: &str = "service.wire.corrupt";
     /// Panics the worker thread executing an ORDER.
     pub const WORKER_PANIC: &str = "service.worker.panic";
+    /// Simulates a network partition toward a mesh peer: every forwarded
+    /// ORDER attempt fails as if the connection were refused, so the node
+    /// falls back to answering locally.
+    pub const PEER_PARTITION: &str = "service.peer.partition";
+    /// Drops a mesh replication push before it reaches the wire (the
+    /// successor simply never receives the entry).
+    pub const PEER_REPLICATE: &str = "service.peer.replicate";
 }
 
 /// Per-site arming state.

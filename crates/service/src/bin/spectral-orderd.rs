@@ -21,6 +21,15 @@
 //!                       transport (default 1)
 //!   --legacy-transport  serve with the old thread-per-connection loop
 //!                       (protocol v1 only; kept for A/B comparison)
+//!   --peers HOST:PORT,...
+//!                       join a consistent-hash mesh with these peers: a
+//!                       local cache miss for a key another node owns is
+//!                       forwarded there and the response relayed; every
+//!                       member must be started with the same textual
+//!                       addresses (default: single node)
+//!   --replicas N        mesh replication factor; entries this node owns
+//!                       are pushed to N-1 ring successors (default 1,
+//!                       meaningful only with --peers)
 //! ```
 //!
 //! The daemon prints `listening on ADDR` once ready and exits after a
@@ -34,7 +43,8 @@ fn usage() -> ExitCode {
         "usage: spectral-orderd [--addr HOST:PORT] [--workers N] [--queue N] \
          [--cache-mb N] [--shards N] [--cache-dir PATH] [--max-conns N] \
          [--timeout-ms N] [--rate-limit RPS[:BURST]] [--io-timeout MS] \
-         [--reactor-threads N] [--legacy-transport]"
+         [--reactor-threads N] [--legacy-transport] [--peers HOST:PORT,...] \
+         [--replicas N]"
     );
     ExitCode::from(2)
 }
@@ -107,6 +117,16 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             "--legacy-transport" => cfg.legacy_transport = true,
+            "--peers" => match it.next() {
+                Some(v) if !v.is_empty() => {
+                    cfg.peers = v.split(',').map(str::to_string).collect();
+                }
+                _ => return usage(),
+            },
+            "--replicas" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.replicas = v,
+                _ => return usage(),
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;

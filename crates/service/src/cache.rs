@@ -48,6 +48,14 @@ impl Fnv1a {
         }
     }
 
+    /// Absorbs a raw byte slice (used by the mesh ring to hash node names).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
     /// The digest so far.
     pub fn finish(self) -> u64 {
         self.0
@@ -479,6 +487,40 @@ impl ShardedOrderingCache {
             self.remove_spill(key);
         }
         payload
+    }
+
+    /// Inserts an entry that arrived already in [`PersistedEntry`] form —
+    /// a replica pushed over the wire by a mesh peer, or a drain handoff.
+    /// Unlike the startup reload path (`insert_loaded`) the entry is **not**
+    /// yet on this node's disk, so with persistence on it is spilled first
+    /// exactly like a locally computed ordering. Returns whether the entry
+    /// was stored in memory (an entry bigger than one shard's budget is
+    /// dropped, matching [`insert`](Self::insert)).
+    pub fn insert_persisted(&self, e: PersistedEntry) -> bool {
+        let entry = Self::entry_from(
+            e.stats,
+            Arc::new(EncodedPerm::new(e.perm.clone())),
+            e.compression_ratio,
+            e.degraded.as_deref().map(Arc::from),
+            e.n,
+            e.adjacency_len,
+        );
+        if entry.bytes > self.shard_budget {
+            return false;
+        }
+        let key = e.key;
+        if let Some(dir) = &self.dir {
+            let _ = persist::save(dir, &e, &self.faults);
+            self.note_spill(key);
+        }
+        let evicted = {
+            let mut shard = lock_unpoisoned(&self.shards[self.shard_of(key)]);
+            shard.insert(key, entry, self.shard_budget)
+        };
+        for key in evicted {
+            self.remove_spill(key);
+        }
+        true
     }
 
     /// Inserts an entry read back from disk (no re-spill; evictions during

@@ -327,6 +327,20 @@ impl Client {
         }
     }
 
+    /// Pushes one cache entry in the spill-file layout
+    /// ([`crate::persist::encode_entry`]) to the server — the mesh
+    /// replication / drain-handoff primitive. Returns whether the receiver
+    /// stored it (`false` means it was dropped for exceeding the
+    /// receiver's per-shard budget).
+    pub fn replicate(&mut self, entry: &[u8]) -> Result<bool, ClientError> {
+        match self.roundtrip(&Request::Replicate {
+            entry: entry.to_vec(),
+        })? {
+            Response::ReplicateOk { stored } => Ok(stored),
+            _ => Err(ClientError::UnexpectedResponse("a REPLICATE ack")),
+        }
+    }
+
     /// Asks the server to drain and exit; returns the drained-job count.
     pub fn shutdown(&mut self) -> Result<u64, ClientError> {
         match self.roundtrip(&Request::Shutdown)? {
@@ -565,6 +579,7 @@ mod tests {
             trace: false,
             id: None,
             progress: false,
+            hop: false,
         };
         let err = order_with_retry("127.0.0.1:1", FrameMode::Ndjson, &req, &policy)
             .expect_err("no server is listening");

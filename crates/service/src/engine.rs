@@ -8,6 +8,7 @@
 //! with the request's wall-clock timeout while a pool worker computes.
 
 use crate::cache::ShardedOrderingCache;
+use crate::mesh::Mesh;
 use crate::metrics::Metrics;
 use crate::pool::{SubmitError, WorkerPool};
 use crate::proto::{
@@ -72,6 +73,9 @@ pub struct Engine {
     /// The listener's bound address — poked by [`Engine::begin_shutdown`]
     /// to wake the blocking accept loop.
     addr: SocketAddr,
+    /// The consistent-hash peer mesh, present when `Config::peers` is
+    /// non-empty. Owns the ring view and the per-peer connection pools.
+    mesh: Option<Mesh>,
 }
 
 /// Upper bound on remembered-but-unconsumed cancel marks. Marks are only
@@ -122,6 +126,16 @@ impl Engine {
             None => ShardedOrderingCache::new(cfg.cache_budget_bytes, cfg.cache_shards),
         };
         cache.set_faults(cfg.faults.clone());
+        let mesh = if cfg.peers.is_empty() {
+            None
+        } else {
+            Some(Mesh::new(
+                &cfg.peers,
+                cfg.replicas,
+                addr,
+                cfg.faults.clone(),
+            ))
+        };
         Ok(Engine {
             pool: Mutex::new(Some(WorkerPool::new(cfg.workers, cfg.queue_capacity))),
             cache,
@@ -134,7 +148,13 @@ impl Engine {
             cancel: Mutex::new(CancelState::default()),
             faults: cfg.faults.clone(),
             addr,
+            mesh,
         })
+    }
+
+    /// The peer mesh, when this node was configured with `Config::peers`.
+    pub fn mesh(&self) -> Option<&Mesh> {
+        self.mesh.as_ref()
     }
 
     /// The engine's fault-injection plane (shared with every worker).
@@ -179,10 +199,26 @@ impl Engine {
         // Wake the accept loop so it observes the flag.
         let _ = TcpStream::connect(self.addr);
         let pool = lock_unpoisoned(&self.pool).take();
-        match pool {
-            Some(p) => p.shutdown_drain(),
-            None => 0,
+        let Some(pool) = pool else {
+            return 0;
+        };
+        let completed = pool.shutdown_drain();
+        // Mesh drain: with a spill directory configured, ship every spill
+        // file to its key's owner on the ring *without* this node, so a
+        // rolling restart loses no cached work. Runs after the pool drain
+        // (no more writers touch the directory) and, because the pool is
+        // taken exactly once, only on the first SHUTDOWN.
+        if let (Some(mesh), Some(dir)) = (&self.mesh, self.cache.dir()) {
+            let entries = crate::persist::load_all(dir);
+            if !entries.is_empty() {
+                let total = entries.len();
+                let shipped = mesh.handoff(entries, &self.metrics);
+                if self.log_requests {
+                    eprintln!("[spectral-orderd] op=handoff shipped={shipped} of={total}");
+                }
+            }
         }
+        completed
     }
 
     /// The STATS snapshot: metrics counters + pool depth + per-shard cache
@@ -192,12 +228,18 @@ impl Engine {
             Some(p) => (p.queue_depth(), p.active()),
             None => (0, 0),
         };
-        self.metrics.snapshot(
+        let mut snap = self.metrics.snapshot(
             depth,
             active,
             &self.cache.shard_stats(),
             self.cache.dir().is_some(),
-        )
+        );
+        if let Some(mesh) = &self.mesh {
+            if let crate::json::Json::Obj(pairs) = &mut snap {
+                pairs.push(("mesh".to_string(), mesh.stats_json()));
+            }
+        }
+        snap
     }
 
     /// Cancels the in-flight ORDER with client-assigned `id`. Returns
@@ -425,6 +467,34 @@ impl Engine {
         } else {
             self.cache.get(&g, req.alg, req.compressed)
         };
+        // Mesh: a local miss for a key another node is responsible for
+        // forwards to the owner (then its replicas) and relays the peer's
+        // response unchanged — degraded marker, trace and all. `hop` marks
+        // a request that already crossed the mesh once; the receiver
+        // answers strictly locally, so disagreeing ring views cost at most
+        // one wasted computation, never a loop. When every candidate peer
+        // is unreachable the request falls through to local computation:
+        // the mesh degrades to independent nodes instead of erroring.
+        if cached.is_none() && !req.hop {
+            if let Some(mesh) = &self.mesh {
+                let key = crate::cache::pattern_key(&g, req.alg, req.compressed);
+                if !mesh.owns(key) {
+                    if let Some(resp) = mesh.forward(key, req, &self.metrics) {
+                        if self.log_requests {
+                            eprintln!(
+                                "[spectral-orderd] op=order id={} alg={} n={} nnz={} cache=forward micros={}",
+                                req.id.map_or_else(|| "-".to_string(), |i| i.to_string()),
+                                req.alg.name(),
+                                g.n(),
+                                g.nnz_lower_with_diagonal(),
+                                t0.elapsed().as_micros(),
+                            );
+                        }
+                        return Ok(resp);
+                    }
+                }
+            }
+        }
         let (stats, payload, compression_ratio, cache_hit, trace, alg_name, degraded) = match cached
         {
             Some(hit) => {
@@ -514,6 +584,31 @@ impl Engine {
                 } else {
                     Arc::new(crate::proto::EncodedPerm::new(o.perm.order().to_vec()))
                 };
+                // Mesh: the key's owner pushes a freshly computed cacheable
+                // entry (in the spill byte layout) to its ring successors,
+                // so replicas answer future reads for the key from their
+                // own cache without forwarding. Best-effort and gated on
+                // ownership — a node that computed locally only because a
+                // forward failed does not spray copies around the ring.
+                if cacheable {
+                    if let Some(mesh) = &self.mesh {
+                        let key = crate::cache::pattern_key(&g, req.alg, req.compressed);
+                        if mesh.is_owner(key) {
+                            mesh.replicate(
+                                &crate::persist::PersistedEntry {
+                                    key,
+                                    n: g.n(),
+                                    adjacency_len: g.adjacency_len(),
+                                    stats: o.stats,
+                                    compression_ratio: ratio,
+                                    degraded: outcome.degraded.clone(),
+                                    perm: o.perm.order().to_vec(),
+                                },
+                                &self.metrics,
+                            );
+                        }
+                    }
+                }
                 let root = tracer.finish();
                 if let Some(root) = &root {
                     for name in root.stage_names() {
@@ -573,12 +668,42 @@ impl Engine {
             Some(p) => (p.queue_depth(), p.active()),
             None => (0, 0),
         };
-        self.metrics.render_prometheus(
+        let mut text = self.metrics.render_prometheus(
             depth,
             active,
             &self.cache.shard_stats(),
             self.cache.dir().is_some(),
-        )
+        );
+        if let Some(mesh) = &self.mesh {
+            text.push_str(&format!(
+                "# HELP se_peer_mesh_size Nodes on the consistent-hash ring (peers + this node).\n\
+                 # TYPE se_peer_mesh_size gauge\n\
+                 se_peer_mesh_size {}\n\
+                 # HELP se_peer_replication_factor Configured mesh replication factor.\n\
+                 # TYPE se_peer_replication_factor gauge\n\
+                 se_peer_replication_factor {}\n",
+                mesh.size(),
+                mesh.replicas(),
+            ));
+        }
+        text
+    }
+
+    /// Applies a `REPLICATE` push from a peer: validates the entry bytes
+    /// exactly like a spill file read back from disk
+    /// ([`crate::persist::load_from`]) and inserts the entry into the
+    /// local cache — spilling it to this node's own cache directory too,
+    /// when one is configured. Returns whether the entry was stored
+    /// (`false` when it exceeds the per-shard budget; malformed bytes are
+    /// a fatal error).
+    pub fn apply_replicate(&self, bytes: &[u8]) -> Result<bool, ErrorResponse> {
+        let entry = crate::persist::load_from(bytes)
+            .map_err(|e| ErrorResponse::fatal(format!("bad REPLICATE entry: {e}")))?;
+        let stored = self.cache.insert_persisted(entry);
+        if stored {
+            self.metrics.inc(&self.metrics.peer_entries_received);
+        }
+        Ok(stored)
     }
 }
 

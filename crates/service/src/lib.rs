@@ -62,16 +62,33 @@
 //!   `Config::rate_limit`), socket I/O timeouts against slow-loris clients
 //!   (`Config::io_timeout_ms`), and a decorrelated-jitter client retry
 //!   helper ([`client::order_with_retry`]) round out the edges.
+//!
+//! # Mesh
+//!
+//! Several daemons can pool their caches into one keyspace: started with
+//! `--peers host:port,...`, each node places the peer addresses plus its
+//! own bound address on a consistent-hash ring with virtual nodes
+//! ([`ring`]) over the cache key space. An ORDER that misses locally for
+//! a key another node owns is forwarded to that owner over the
+//! protocol-v2 binary-frame client and the response relayed unchanged
+//! ([`mesh`]); owners push freshly computed entries to their
+//! `--replicas − 1` ring successors (spill-file byte layout over a
+//! `REPLICATE` command) for read fan-out, and a draining node ships its
+//! spill files to the keys' new owners on SHUTDOWN. When a peer is
+//! unreachable the node computes the answer itself — a mesh member never
+//! returns a hard error because of another member.
 
 pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod frame;
 pub mod json;
+pub mod mesh;
 pub mod metrics;
 pub mod persist;
 pub mod pool;
 pub mod proto;
+pub mod ring;
 pub mod rsession;
 pub mod server;
 pub mod session;
@@ -79,6 +96,7 @@ pub mod transport;
 
 pub use client::{order_with_retry, Client, ClientError, ClientPool, RetryPolicy};
 pub use frame::FrameMode;
+pub use ring::HashRing;
 pub use rsession::PROTO_VERSION;
 pub use se_faults::{sites, Budget, FaultPlane};
 pub use server::{serve, Config, ServerHandle};

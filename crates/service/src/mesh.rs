@@ -1,0 +1,358 @@
+//! Peer mesh: consistent-hash forwarding and replication between daemons.
+//!
+//! With `--peers` configured, every node places the peer addresses plus
+//! its own bound address on one consistent-hash ring ([`crate::ring`])
+//! over the cache key space ([`crate::cache::pattern_key`]). Ownership is
+//! a pure function of the address list, so the nodes coordinate through
+//! nothing but their identical configuration:
+//!
+//! * **forward** — an ORDER that misses the local cache and whose key
+//!   belongs to another node is re-sent to the owner (then, on failure, to
+//!   each replica successor) over the protocol-v2 binary-frame client,
+//!   and the peer's response — `degraded`, `trace` and all — is relayed
+//!   unchanged. Forwarded requests carry `"hop":true` and are answered
+//!   strictly locally by the receiver, so disagreeing ring views can cost
+//!   an extra computation but never a forwarding loop. If every candidate
+//!   peer is unreachable the node simply computes the answer itself —
+//!   the mesh degrades to independent single nodes, it never errors.
+//! * **replicate** — after the owner computes a cacheable entry, it
+//!   pushes the entry (in the spill-file byte layout,
+//!   [`crate::persist::encode_entry`]) to the next `replicas - 1` ring
+//!   successors via `REPLICATE`, best-effort. Replicas answer reads for
+//!   the key from their own cache without forwarding — read fan-out.
+//! * **handoff** — a draining node ([`crate::engine::Engine::begin_shutdown`])
+//!   ships every spill file in its cache directory to the key's owner on
+//!   the ring without itself, so a restart loses no cached work.
+//!
+//! The fault plane gates both directions: [`sites::PEER_PARTITION`] makes
+//! every forward attempt fail as if the peer were unreachable, and
+//! [`sites::PEER_REPLICATE`] drops replication pushes — the chaos suite
+//! drives the degradation proof through them.
+
+use crate::client::{Client, ClientError, ClientPool, RetryPolicy};
+use crate::frame::FrameMode;
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::persist::{self, PersistedEntry};
+use crate::proto::{OrderRequest, OrderResponse};
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use se_faults::{lock_unpoisoned, sites, FaultPlane};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Idle connections parked per peer.
+const MESH_MAX_IDLE: usize = 2;
+
+/// The retry policy for one forward attempt against one peer. Much
+/// tighter than the client-facing default: a dead peer must cost
+/// milliseconds before the node falls back to computing locally, not the
+/// seconds a human-facing client can afford to wait out.
+fn mesh_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(50),
+        seed: 0x5e_3e_5b,
+    }
+}
+
+/// This node's view of the peer mesh: the ring, its own name on it, and a
+/// pool of protocol-v2 connections per peer.
+pub struct Mesh {
+    ring: HashRing,
+    self_name: String,
+    replicas: usize,
+    /// peer address → connection pool, built lazily on first contact.
+    pools: Mutex<HashMap<String, ClientPool>>,
+    retry: RetryPolicy,
+    faults: FaultPlane,
+}
+
+impl Mesh {
+    /// Builds the mesh view from the configured peer list and this node's
+    /// bound address. The ring holds `peers ∪ {addr}` (textual addresses,
+    /// deduplicated), so a peers list that includes the node itself is
+    /// harmless. `replicas` is clamped to ≥ 1.
+    pub fn new(peers: &[String], replicas: usize, addr: SocketAddr, faults: FaultPlane) -> Mesh {
+        let self_name = addr.to_string();
+        let mut nodes = peers.to_vec();
+        nodes.push(self_name.clone());
+        Mesh {
+            ring: HashRing::new(&nodes, DEFAULT_VNODES),
+            self_name,
+            replicas: replicas.max(1),
+            pools: Mutex::new(HashMap::new()),
+            retry: mesh_retry_policy(),
+            faults,
+        }
+    }
+
+    /// Nodes on the ring (peers + this node).
+    pub fn size(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// This node's ring name (its bound address).
+    pub fn self_name(&self) -> &str {
+        &self.self_name
+    }
+
+    /// The configured replication factor.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The ring itself (exposed so tests and tools can compute ownership).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Whether this node is the replica set of `key` — the owner or one of
+    /// its `replicas - 1` successors. Keys this node is responsible for
+    /// are answered locally; everything else forwards on a miss.
+    pub fn owns(&self, key: u64) -> bool {
+        self.ring
+            .replicas(key, self.replicas)
+            .iter()
+            .any(|n| *n == self.self_name)
+    }
+
+    /// Whether this node is the *owner* of `key` (the replication source).
+    pub fn is_owner(&self, key: u64) -> bool {
+        self.ring.owner(key) == self.self_name
+    }
+
+    /// The STATS `mesh` object.
+    pub fn stats_json(&self) -> Json {
+        Json::obj(vec![
+            ("peers", Json::Num(self.ring.len() as f64)),
+            ("replicas", Json::Num(self.replicas as f64)),
+            ("self", Json::Str(self.self_name.clone())),
+        ])
+    }
+
+    /// Forwards `req` for `key` to the owning peer, falling back through
+    /// the key's replica successors; returns the first response, relayed
+    /// verbatim. `None` means every candidate was unreachable (counted in
+    /// `peer_forward_failures`) and the caller should answer locally.
+    pub fn forward(
+        &self,
+        key: u64,
+        req: &OrderRequest,
+        metrics: &Metrics,
+    ) -> Option<OrderResponse> {
+        let t0 = Instant::now();
+        let mut hopped = req.clone();
+        // One hop only: the receiver answers locally no matter what its
+        // own ring says. Progress streaming and cancel ids are
+        // connection-local concepts and do not survive the hop.
+        hopped.hop = true;
+        hopped.id = None;
+        hopped.progress = false;
+        let candidates: Vec<String> = self
+            .ring
+            .replicas(key, self.replicas)
+            .into_iter()
+            .filter(|n| *n != self.self_name)
+            .map(str::to_string)
+            .collect();
+        for peer in &candidates {
+            match self.try_order(peer, &hopped) {
+                Ok(resp) => {
+                    metrics.inc(&metrics.peer_forwards);
+                    metrics.record_stage_latency("peer_forward", t0.elapsed().as_micros() as u64);
+                    return Some(resp);
+                }
+                Err(_) => continue,
+            }
+        }
+        metrics.inc(&metrics.peer_forward_failures);
+        None
+    }
+
+    /// Pushes a freshly computed cacheable entry to the `replicas - 1`
+    /// ring successors after this node. Call only when this node owns
+    /// `entry.key`; a no-op with a replication factor of 1. Best-effort:
+    /// failures are counted, never surfaced to the client.
+    pub fn replicate(&self, entry: &PersistedEntry, metrics: &Metrics) {
+        if self.replicas <= 1 {
+            return;
+        }
+        let bytes = persist::encode_entry(entry);
+        for peer in self
+            .ring
+            .replicas(entry.key, self.replicas)
+            .into_iter()
+            .filter(|n| *n != self.self_name)
+        {
+            if self.faults.should_fail(sites::PEER_REPLICATE) {
+                metrics.inc(&metrics.peer_replication_failures);
+                continue;
+            }
+            match self.try_replicate(peer, &bytes) {
+                Ok(_) => metrics.inc(&metrics.peer_replications),
+                Err(_) => metrics.inc(&metrics.peer_replication_failures),
+            }
+        }
+    }
+
+    /// Ships every entry to the owner of its key on the ring *without*
+    /// this node — the drain path of a graceful shutdown. Returns how many
+    /// entries were accepted by their new owner.
+    pub fn handoff(&self, entries: Vec<PersistedEntry>, metrics: &Metrics) -> usize {
+        let mut shipped = 0usize;
+        for entry in entries {
+            let Some(target) = self.ring.owner_excluding(entry.key, &self.self_name) else {
+                continue;
+            };
+            let target = target.to_string();
+            let bytes = persist::encode_entry(&entry);
+            match self.try_replicate(&target, &bytes) {
+                Ok(_) => {
+                    shipped += 1;
+                    metrics.inc(&metrics.peer_replications);
+                }
+                Err(_) => metrics.inc(&metrics.peer_replication_failures),
+            }
+        }
+        shipped
+    }
+
+    /// One ORDER against one peer, retried under the mesh policy while
+    /// the failure is retriable. A simulated partition
+    /// ([`sites::PEER_PARTITION`]) fails each attempt before it dials.
+    fn try_order(&self, peer: &str, req: &OrderRequest) -> Result<OrderResponse, ClientError> {
+        let delays = self.retry.delays();
+        let mut attempt = 0usize;
+        loop {
+            let result = if self.faults.should_fail(sites::PEER_PARTITION) {
+                Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    format!("injected partition toward {peer}"),
+                )))
+            } else {
+                self.checkout(peer).and_then(|mut client| {
+                    let resp = client.order(req.clone())?;
+                    self.checkin(peer, client);
+                    Ok(resp)
+                })
+            };
+            match result {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_retriable() && attempt < delays.len() => {
+                    std::thread::sleep(delays[attempt]);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One REPLICATE push against one peer (single attempt — replication
+    /// is best-effort by design).
+    fn try_replicate(&self, peer: &str, bytes: &[u8]) -> Result<bool, ClientError> {
+        let mut client = self.checkout(peer)?;
+        let stored = client.replicate(bytes)?;
+        self.checkin(peer, client);
+        Ok(stored)
+    }
+
+    /// An idle pooled connection to `peer`, or a freshly dialed one. The
+    /// pools mutex is held across the dial; that serializes concurrent
+    /// first contacts to the same cold peer, but a dial on the mesh's
+    /// local segment either completes or refuses quickly, and every
+    /// steady-state checkout is a pop from the idle list.
+    fn checkout(&self, peer: &str) -> Result<Client, ClientError> {
+        let mut pools = lock_unpoisoned(&self.pools);
+        if !pools.contains_key(peer) {
+            let pool = ClientPool::new(peer, FrameMode::Binary, MESH_MAX_IDLE)?;
+            pools.insert(peer.to_string(), pool);
+        }
+        pools.get_mut(peer).expect("just inserted").get()
+    }
+
+    /// Parks a connection that completed its roundtrip cleanly. Failed
+    /// connections are simply dropped — the next checkout redials.
+    fn checkin(&self, peer: &str, client: Client) {
+        if let Some(pool) = lock_unpoisoned(&self.pools).get_mut(peer) {
+            pool.put(client);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_faults::FaultPlane;
+
+    fn mesh(replicas: usize) -> Mesh {
+        Mesh::new(
+            &["10.0.0.1:7878".to_string(), "10.0.0.2:7878".to_string()],
+            replicas,
+            "10.0.0.3:7878".parse().unwrap(),
+            FaultPlane::disabled(),
+        )
+    }
+
+    #[test]
+    fn ring_contains_self_and_ownership_partitions() {
+        let m = mesh(1);
+        assert_eq!(m.size(), 3);
+        assert_eq!(m.self_name(), "10.0.0.3:7878");
+        let owned = (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+            .filter(|&k| m.owns(k))
+            .count();
+        assert!(owned > 1_000 && owned < 9_000, "owned {owned} of 10000");
+        // With replicas = ring size, every node is responsible for
+        // everything.
+        let all = mesh(3);
+        assert!((0..1_000u64).all(|k| all.owns(k)));
+    }
+
+    #[test]
+    fn owner_and_replica_responsibility_agree_with_the_ring() {
+        let m = mesh(2);
+        for key in (0..5_000u64).map(|i| i.wrapping_mul(0x517cc1b727220a95)) {
+            let reps = m.ring().replicas(key, 2);
+            assert_eq!(m.owns(key), reps.contains(&m.self_name()));
+            assert_eq!(m.is_owner(key), reps[0] == m.self_name());
+        }
+    }
+
+    #[test]
+    fn stats_json_names_the_mesh() {
+        let m = mesh(2);
+        let s = m.stats_json();
+        assert_eq!(s.get("peers").and_then(Json::as_u64), Some(3));
+        assert_eq!(s.get("replicas").and_then(Json::as_u64), Some(2));
+        assert_eq!(s.get("self").and_then(Json::as_str), Some("10.0.0.3:7878"));
+    }
+
+    #[test]
+    fn forward_with_no_reachable_peer_reports_failure() {
+        // Ports 1/2 on loopback refuse immediately; forward must return
+        // None (fall back to local compute) and count the failure.
+        let m = Mesh::new(
+            &["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()],
+            2,
+            "127.0.0.1:3".parse().unwrap(),
+            FaultPlane::disabled(),
+        );
+        let metrics = Metrics::new();
+        let req = OrderRequest::inline_mtx(se_order::Algorithm::Rcm, "x");
+        let key = 42u64;
+        if !m.owns(key) {
+            assert!(m.forward(key, &req, &metrics).is_none());
+            assert_eq!(
+                metrics
+                    .snapshot(0, 0, &[], false)
+                    .get("peer_forward_failures")
+                    .and_then(Json::as_u64),
+                Some(1)
+            );
+        }
+    }
+}

@@ -119,6 +119,20 @@ pub struct Metrics {
     /// ORDER/BATCH-member requests currently submitted but unanswered
     /// (gauge).
     pub inflight_requests: AtomicU64,
+    /// ORDER requests forwarded to the mesh peer owning their key and
+    /// answered from the peer's response.
+    pub peer_forwards: AtomicU64,
+    /// Forward attempts that exhausted every candidate peer (the request
+    /// then fell back to local computation).
+    pub peer_forward_failures: AtomicU64,
+    /// Cache entries pushed to successor peers for read fan-out.
+    pub peer_replications: AtomicU64,
+    /// Replication pushes that failed (peer down, partition, injected
+    /// fault) — best-effort, never an error for the client.
+    pub peer_replication_failures: AtomicU64,
+    /// Cache entries received from peers via REPLICATE (replication or
+    /// drain handoff) and stored locally.
+    pub peer_entries_received: AtomicU64,
     /// Degraded ORDER responses by machine-readable reason
     /// (`not_converged`, `deadline`, `cancelled`, `matvec_cap`,
     /// `numerical`, `fault:<site>`).
@@ -289,6 +303,14 @@ impl Metrics {
             ("reactor_wakeups", load(&self.reactor_wakeups)),
             ("open_connections", load(&self.open_connections)),
             ("inflight_requests", load(&self.inflight_requests)),
+            ("peer_forwards", load(&self.peer_forwards)),
+            ("peer_forward_failures", load(&self.peer_forward_failures)),
+            ("peer_replications", load(&self.peer_replications)),
+            (
+                "peer_replication_failures",
+                load(&self.peer_replication_failures),
+            ),
+            ("peer_entries_received", load(&self.peer_entries_received)),
             ("degraded_orders", keyed_json(&self.degraded_orders)),
             ("budget_aborts", keyed_json(&self.budget_aborts)),
             ("queue_depth", Json::Num(queue_depth as f64)),
@@ -389,6 +411,31 @@ impl Metrics {
             "se_reactor_wakeups_total",
             "Reactor event-loop wakeups (poll returns).",
             load(&self.reactor_wakeups),
+        );
+        counter(
+            "se_peer_forwards_total",
+            "ORDER requests forwarded to the owning mesh peer.",
+            load(&self.peer_forwards),
+        );
+        counter(
+            "se_peer_forward_failures_total",
+            "Forwards that exhausted every candidate peer and fell back to local compute.",
+            load(&self.peer_forward_failures),
+        );
+        counter(
+            "se_peer_replications_total",
+            "Cache entries pushed to successor peers.",
+            load(&self.peer_replications),
+        );
+        counter(
+            "se_peer_replication_failures_total",
+            "Best-effort replication pushes that failed.",
+            load(&self.peer_replication_failures),
+        );
+        counter(
+            "se_peer_entries_received_total",
+            "Cache entries received from peers via REPLICATE.",
+            load(&self.peer_entries_received),
         );
 
         let mut labeled_counter =
@@ -648,5 +695,43 @@ mod tests {
         assert!(text.contains("se_rate_limited_total 1"));
         assert!(text.contains("se_degraded_orders_total{reason=\"not_converged\"} 2"));
         assert!(text.contains("se_budget_aborts_total{stage=\"lanczos\"} 1"));
+    }
+
+    #[test]
+    fn peer_counters_surface_in_snapshot_and_prometheus() {
+        let m = Metrics::new();
+        m.inc(&m.peer_forwards);
+        m.inc(&m.peer_forward_failures);
+        m.inc(&m.peer_replications);
+        m.inc(&m.peer_replications);
+        m.inc(&m.peer_replication_failures);
+        m.inc(&m.peer_entries_received);
+        let snap = m.snapshot(0, 0, &[], false);
+        assert_eq!(snap.get("peer_forwards").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            snap.get("peer_forward_failures").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("peer_replications").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            snap.get("peer_replication_failures").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("peer_entries_received").and_then(Json::as_u64),
+            Some(1)
+        );
+        let text = m.render_prometheus(0, 0, &[], false);
+        assert!(text.contains("se_peer_forwards_total 1"));
+        assert!(text.contains("se_peer_forward_failures_total 1"));
+        assert!(text.contains("se_peer_replications_total 2"));
+        assert!(text.contains("se_peer_replication_failures_total 1"));
+        assert!(text.contains("se_peer_entries_received_total 1"));
+        // A non-mesh node reports zeros, not missing keys.
+        let solo = Metrics::new().snapshot(0, 0, &[], false);
+        assert_eq!(solo.get("peer_forwards").and_then(Json::as_u64), Some(0));
     }
 }

@@ -80,6 +80,26 @@ pub fn spill_path(dir: &Path, key: u64) -> PathBuf {
 /// length. Both produce files that [`load`] rejects (or, for flips in
 /// undetectable padding, returns verbatim) — never a panic.
 pub fn save(dir: &Path, entry: &PersistedEntry, faults: &FaultPlane) -> io::Result<()> {
+    let mut buf = encode_entry(entry);
+    faults.corrupt(sites::PERSIST_CORRUPT, &mut buf);
+    let write_len = faults
+        .torn_len(sites::PERSIST_TORN, buf.len())
+        .unwrap_or(buf.len());
+
+    let final_path = spill_path(dir, entry.key);
+    let tmp_path = final_path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp_path)?;
+        f.write_all(&buf[..write_len])?;
+    }
+    std::fs::rename(&tmp_path, &final_path)
+}
+
+/// Encodes one entry in the spill-file layout (see the module docs). This
+/// is the exact byte stream [`save`] writes to disk and also the payload a
+/// mesh peer ships over the wire for replication and drain handoff — one
+/// format, validated the same way by [`load_from`] on both paths.
+pub fn encode_entry(entry: &PersistedEntry) -> Vec<u8> {
     let mut buf = Vec::with_capacity(88 + 16 + entry.perm.len() * 8);
     buf.extend_from_slice(&SPILL_MAGIC);
     buf.push(SPILL_VERSION);
@@ -111,18 +131,7 @@ pub fn save(dir: &Path, entry: &PersistedEntry, faults: &FaultPlane) -> io::Resu
         buf.extend_from_slice(&(reason.len() as u32).to_le_bytes());
         buf.extend_from_slice(reason.as_bytes());
     }
-    faults.corrupt(sites::PERSIST_CORRUPT, &mut buf);
-    let write_len = faults
-        .torn_len(sites::PERSIST_TORN, buf.len())
-        .unwrap_or(buf.len());
-
-    let final_path = spill_path(dir, entry.key);
-    let tmp_path = final_path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp_path)?;
-        f.write_all(&buf[..write_len])?;
-    }
-    std::fs::rename(&tmp_path, &final_path)
+    buf
 }
 
 /// Deletes the spill file for `key` (missing files are fine — eviction may
@@ -143,7 +152,14 @@ fn read_u64(r: &mut impl Read) -> io::Result<u64> {
 
 /// Parses one spill file.
 pub fn load(path: &Path) -> io::Result<PersistedEntry> {
-    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    load_from(&mut io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Parses one entry in the spill-file layout from any reader — a spill
+/// file on disk ([`load`]) or the bytes of a mesh `REPLICATE` request.
+/// Every validation (magic, version, permutation-length collision guard,
+/// reason-length sanity) applies identically on both paths.
+pub fn load_from(mut f: impl Read) -> io::Result<PersistedEntry> {
     let mut head = [0u8; 8];
     f.read_exact(&mut head)?;
     if head[0..4] != SPILL_MAGIC {

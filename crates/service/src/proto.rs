@@ -147,6 +147,13 @@ pub struct OrderRequest {
     /// interleaving would corrupt v1's strict request→response sequencing,
     /// so v1 sessions ignore the flag.
     pub progress: bool,
+    /// This request was forwarded by a mesh peer (one hop). A hopped
+    /// request is answered entirely locally — it is never forwarded again
+    /// and never triggers replication — so two nodes with momentarily
+    /// disagreeing ring views cannot bounce a request between each other.
+    /// Encoded on the wire only when set, so non-mesh request bytes are
+    /// unchanged.
+    pub hop: bool,
 }
 
 /// Upper bound accepted for the wire `threads` field.
@@ -172,6 +179,7 @@ impl OrderRequest {
             trace: false,
             id: None,
             progress: false,
+            hop: false,
         }
     }
 }
@@ -203,6 +211,15 @@ pub enum Request {
     },
     /// Prometheus-style text exposition of the server's metrics.
     Metrics,
+    /// Mesh replication push: one cache entry in the spill-file layout
+    /// ([`crate::persist`]), shipped by the key's owner to a successor (or
+    /// by a draining node to the new owner). The receiver validates the
+    /// bytes exactly like a spill file read from disk and answers
+    /// [`Response::ReplicateOk`]. Never sent by ordinary clients.
+    Replicate {
+        /// The entry, encoded by [`crate::persist::encode_entry`].
+        entry: Vec<u8>,
+    },
     /// Graceful drain and exit.
     Shutdown,
 }
@@ -407,6 +424,13 @@ pub enum Response {
     },
     /// Unsolicited progress for a running ORDER (protocol v2).
     Progress(ProgressFrame),
+    /// REPLICATE acknowledged.
+    ReplicateOk {
+        /// Whether the entry was stored (`false` when it exceeds the
+        /// receiver's per-shard budget and was dropped — harmless, the
+        /// owner still has it).
+        stored: bool,
+    },
     /// Request failed.
     Error(ErrorResponse),
 }
@@ -433,6 +457,26 @@ impl std::error::Error for ProtoError {}
 
 fn shape(msg: impl Into<String>) -> ProtoError {
     ProtoError::Shape(msg.into())
+}
+
+/// Lowercase hex of `bytes` — how a REPLICATE entry travels inside its
+/// JSON line (the payload is raw spill-format bytes, not UTF-8).
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
 }
 
 // ---------------------------------------------------------------- encoding
@@ -663,6 +707,11 @@ fn response_to_json(r: &Response, mode: FrameMode, frames: &mut Vec<FramePayload
             ("shutdown", Json::Bool(true)),
             ("drained", Json::Num(*drained as f64)),
         ]),
+        Response::ReplicateOk { stored } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("replicated", Json::Bool(true)),
+            ("stored", Json::Bool(*stored)),
+        ]),
         Response::Progress(p) => {
             let mut pairs = vec![
                 ("ok", Json::Bool(true)),
@@ -769,6 +818,11 @@ fn response_from_json(v: &Json) -> Result<Response, ProtoError> {
             pending: v.get("pending").and_then(Json::as_bool).unwrap_or(false),
         });
     }
+    if v.get("replicated").and_then(Json::as_bool) == Some(true) {
+        return Ok(Response::ReplicateOk {
+            stored: v.get("stored").and_then(Json::as_bool).unwrap_or(false),
+        });
+    }
     if let Some(text) = v.get("metrics").and_then(Json::as_str) {
         return Ok(Response::Metrics(text.to_string()));
     }
@@ -822,6 +876,9 @@ pub fn encode_request(r: &Request) -> String {
         if o.progress {
             pairs.push(("progress".to_string(), Json::Bool(true)));
         }
+        if o.hop {
+            pairs.push(("hop".to_string(), Json::Bool(true)));
+        }
         pairs
     }
     let v = match r {
@@ -851,6 +908,10 @@ pub fn encode_request(r: &Request) -> String {
             ("id", Json::Num(*id as f64)),
         ]),
         Request::Metrics => Json::obj(vec![("cmd", Json::Str("METRICS".to_string()))]),
+        Request::Replicate { entry } => Json::obj(vec![
+            ("cmd", Json::Str("REPLICATE".to_string())),
+            ("entry", Json::Str(hex_encode(entry))),
+        ]),
         Request::Shutdown => Json::obj(vec![("cmd", Json::Str("SHUTDOWN".to_string()))]),
     };
     v.to_string_compact()
@@ -922,6 +983,7 @@ fn order_request_from_json(v: &Json) -> Result<OrderRequest, ProtoError> {
         trace: v.get("trace").and_then(Json::as_bool).unwrap_or(false),
         id,
         progress: v.get("progress").and_then(Json::as_bool).unwrap_or(false),
+        hop: v.get("hop").and_then(Json::as_bool).unwrap_or(false),
     })
 }
 
@@ -980,6 +1042,15 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
             Ok(Request::Cancel { id })
         }
         "METRICS" => Ok(Request::Metrics),
+        "REPLICATE" => {
+            let entry = v
+                .get("entry")
+                .and_then(Json::as_str)
+                .ok_or_else(|| shape("REPLICATE needs a hex entry string"))?;
+            Ok(Request::Replicate {
+                entry: hex_decode(entry).ok_or_else(|| shape("entry is not valid hex"))?,
+            })
+        }
         "SHUTDOWN" => Ok(Request::Shutdown),
         other => Err(shape(format!("unknown cmd '{other}'"))),
     }
@@ -1016,10 +1087,50 @@ mod tests {
             trace: true,
             id: Some(77),
             progress: true,
+            hop: false,
         });
         let line = encode_request(&req);
         assert!(!line.contains('\n'));
         assert_eq!(decode_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn hop_flag_roundtrips_and_defaults_off() {
+        // Non-mesh request bytes are unchanged: hop only appears when set.
+        let mut o = OrderRequest::inline_mtx(Algorithm::Rcm, "x");
+        assert!(!encode_request(&Request::Order(o.clone())).contains("hop"));
+        o.hop = true;
+        let line = encode_request(&Request::Order(o.clone()));
+        assert!(line.contains(r#""hop":true"#));
+        assert_eq!(decode_request(&line).unwrap(), Request::Order(o));
+        match decode_request(r#"{"cmd":"ORDER","path":"/m.mtx"}"#).unwrap() {
+            Request::Order(o) => assert!(!o.hop),
+            other => panic!("expected ORDER, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replicate_roundtrips_and_rejects_bad_hex() {
+        let req = Request::Replicate {
+            entry: vec![0x00, 0xff, 0x53, 0x4f, 0x43, 0x46],
+        };
+        let line = encode_request(&req);
+        assert!(line.contains(r#""cmd":"REPLICATE""#));
+        assert!(line.contains("00ff534f4346"));
+        assert_eq!(decode_request(&line).unwrap(), req);
+        for bad in [
+            r#"{"cmd":"REPLICATE"}"#,
+            r#"{"cmd":"REPLICATE","entry":"abc"}"#,
+            r#"{"cmd":"REPLICATE","entry":"zz"}"#,
+        ] {
+            assert!(decode_request(bad).is_err(), "should reject {bad}");
+        }
+        for stored in [true, false] {
+            let resp = Response::ReplicateOk { stored };
+            let line = encode_response(&resp);
+            assert!(line.contains(r#""replicated":true"#));
+            assert_eq!(decode_response(&line).unwrap(), resp);
+        }
     }
 
     #[test]
@@ -1154,6 +1265,7 @@ mod tests {
             trace: false,
             id: None,
             progress: false,
+            hop: false,
         };
         let req = Request::Batch(vec![one.clone(), one]);
         let line = encode_request(&req);

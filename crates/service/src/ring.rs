@@ -1,0 +1,294 @@
+//! Consistent-hash ring mapping cache keys to mesh nodes.
+//!
+//! The single-process cache already splits its key space with the
+//! multiply-shift partition in [`crate::cache`] — perfect balance, but any
+//! change in the shard count moves almost every key. A mesh cannot afford
+//! that: nodes join and drain while peers keep routing, so the partition
+//! must be *stable* — when one of `N` nodes leaves, only the ~`K/N` keys it
+//! owned may change owner. The classic fix is a consistent-hash ring:
+//! every node is hashed to many points on the `u64` circle (virtual nodes,
+//! [`DEFAULT_VNODES`] each, smoothing the load imbalance a single point
+//! per node would give), and a key belongs to the first node point at or
+//! after it, wrapping at the top.
+//!
+//! Node names are the exact `host:port` strings from `--peers`; every
+//! member must be given the same list (plus itself) so all ring views
+//! agree. Hashing is the same FNV-1a as the cache key itself
+//! ([`crate::cache::Fnv1a`]), so ownership is a pure function of the
+//! name list — no coordination, no state.
+
+use crate::cache::Fnv1a;
+
+/// Virtual-node points per member. 64 keeps the max/mean key-load ratio
+/// within a few percent for small meshes while the ring stays tiny
+/// (`N × 64` sorted points).
+pub const DEFAULT_VNODES: usize = 64;
+
+/// A consistent-hash ring over named nodes.
+///
+/// Construction sorts the hashed points once; [`owner`](HashRing::owner)
+/// is then a binary search. Equal node lists (in any order) produce equal
+/// rings — ownership depends only on the *set* of names.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, node index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    nodes: Vec<String>,
+}
+
+/// Final avalanche step (the splitmix64 finalizer). FNV-1a is a fine
+/// content hash, but on short, similar inputs — peer addresses differing
+/// in one digit — its raw output clusters, and ring balance is *arc
+/// length*: clustered points turn directly into load skew. The finalizer
+/// spreads the points evenly without adding any coordination or state.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn vnode_point(name: &str, vnode: usize) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(name.as_bytes());
+    h.write_u64(vnode as u64);
+    mix(h.finish())
+}
+
+impl HashRing {
+    /// Builds a ring over `nodes` with `vnodes` points each (clamped to at
+    /// least 1). Duplicate names are collapsed; order is irrelevant.
+    pub fn new<S: AsRef<str>>(nodes: &[S], vnodes: usize) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut names: Vec<String> = nodes.iter().map(|s| s.as_ref().to_string()).collect();
+        names.sort();
+        names.dedup();
+        let mut points = Vec::with_capacity(names.len() * vnodes);
+        for (i, name) in names.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((vnode_point(name, v), i));
+            }
+        }
+        // Ties (astronomically unlikely) resolve to the lexically smaller
+        // name so every member computes the same owner.
+        points.sort();
+        HashRing {
+            points,
+            nodes: names,
+        }
+    }
+
+    /// Number of distinct nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node names, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Index into `points` of the first point at or after `key`, wrapping.
+    fn successor_point(&self, key: u64) -> usize {
+        match self.points.partition_point(|&(p, _)| p < key) {
+            i if i == self.points.len() => 0,
+            i => i,
+        }
+    }
+
+    /// The node owning `key`: the first node point clockwise from the key.
+    ///
+    /// # Panics
+    /// Panics on an empty ring — a mesh always contains at least itself.
+    pub fn owner(&self, key: u64) -> &str {
+        let (_, node) = self.points[self.successor_point(key)];
+        &self.nodes[node]
+    }
+
+    /// The first `r` *distinct* nodes clockwise from `key` — the owner
+    /// followed by its successors, which is where replicas live. Returns
+    /// fewer than `r` nodes when the ring is smaller than `r`.
+    pub fn replicas(&self, key: u64, r: usize) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::with_capacity(r.min(self.nodes.len()));
+        if self.points.is_empty() {
+            return out;
+        }
+        let start = self.successor_point(key);
+        for off in 0..self.points.len() {
+            let (_, node) = self.points[(start + off) % self.points.len()];
+            let name = self.nodes[node].as_str();
+            if !out.contains(&name) {
+                out.push(name);
+                if out.len() == r.min(self.nodes.len()) {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The owner of `key` on the ring with `exclude` removed — where a
+    /// draining node ships its entries. `None` when `exclude` is the only
+    /// node.
+    pub fn owner_excluding(&self, key: u64, exclude: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.successor_point(key);
+        for off in 0..self.points.len() {
+            let (_, node) = self.points[(start + off) % self.points.len()];
+            let name = self.nodes[node].as_str();
+            if name != exclude {
+                return Some(name);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_order_independent() {
+        let a = HashRing::new(&names(5), DEFAULT_VNODES);
+        let mut shuffled = names(5);
+        shuffled.reverse();
+        let b = HashRing::new(&shuffled, DEFAULT_VNODES);
+        for key in (0..10_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)) {
+            assert_eq!(a.owner(key), b.owner(key));
+        }
+        assert_eq!(a.nodes(), b.nodes());
+    }
+
+    #[test]
+    fn leave_moves_only_the_departed_nodes_keys() {
+        // Consistent hashing's defining property: removing one of N nodes
+        // changes the owner only for keys the departed node owned (~K/N),
+        // and every such key lands on a surviving node.
+        let full = HashRing::new(&names(5), DEFAULT_VNODES);
+        let survivors: Vec<String> = names(5).into_iter().skip(1).collect();
+        let reduced = HashRing::new(&survivors, DEFAULT_VNODES);
+        let departed = &names(5)[0];
+        let keys: Vec<u64> = (0..20_000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(17))
+            .collect();
+        let mut moved = 0usize;
+        for &key in &keys {
+            let before = full.owner(key);
+            let after = reduced.owner(key);
+            if before == departed {
+                moved += 1;
+                assert!(survivors.iter().any(|s| s == after));
+            } else {
+                assert_eq!(before, after, "key not owned by the leaver moved");
+            }
+        }
+        // The departed node owned roughly K/N keys; allow generous slack
+        // for vnode imbalance.
+        let expect = keys.len() / 5;
+        assert!(
+            moved > expect / 2 && moved < expect * 2,
+            "moved {moved}, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    fn join_moves_only_keys_the_new_node_takes() {
+        let small = HashRing::new(&names(4), DEFAULT_VNODES);
+        let grown = HashRing::new(&names(5), DEFAULT_VNODES);
+        let newcomer = &names(5)[4];
+        let mut moved = 0usize;
+        let total = 20_000usize;
+        for key in (0..total as u64).map(|i| i.wrapping_mul(0x517cc1b727220a95)) {
+            if small.owner(key) != grown.owner(key) {
+                assert_eq!(grown.owner(key), newcomer, "moved key must go to joiner");
+                moved += 1;
+            }
+        }
+        let expect = total / 5;
+        assert!(
+            moved > expect / 2 && moved < expect * 2,
+            "moved {moved}, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = HashRing::new(&names(4), DEFAULT_VNODES);
+        let mut counts = std::collections::HashMap::new();
+        let total = 40_000u64;
+        for key in (0..total).map(|i| i.wrapping_mul(0x2545f4914f6cdd1d)) {
+            *counts.entry(ring.owner(key).to_string()).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 4, "every node owns some keys");
+        for (node, &c) in &counts {
+            let share = c as f64 / total as f64;
+            assert!(
+                (0.10..=0.45).contains(&share),
+                "{node} owns {share:.2} of keys"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_sets_are_distinct_start_at_the_owner_and_stay_stable() {
+        let ring = HashRing::new(&names(5), DEFAULT_VNODES);
+        for key in (0..2_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)) {
+            let reps = ring.replicas(key, 3);
+            assert_eq!(reps.len(), 3);
+            assert_eq!(reps[0], ring.owner(key), "replica set starts at owner");
+            let mut dedup = reps.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "replicas are distinct nodes");
+        }
+        // Asking for more replicas than nodes returns every node once.
+        let all = ring.replicas(42, 10);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn owner_excluding_skips_exactly_the_excluded_node() {
+        let ring = HashRing::new(&names(3), DEFAULT_VNODES);
+        for key in (0..2_000u64).map(|i| i.wrapping_mul(0xd6e8feb86659fd93)) {
+            let owner = ring.owner(key).to_string();
+            let fallback = ring.owner_excluding(key, &owner).expect("two peers left");
+            assert_ne!(fallback, owner);
+            // Excluding a non-owner changes nothing.
+            let other = ring.nodes().iter().find(|n| **n != owner).unwrap();
+            if owner != *other {
+                assert_eq!(ring.owner_excluding(key, other), Some(owner.as_str()));
+            }
+        }
+        let solo = HashRing::new(&["only:1"], 8);
+        assert_eq!(solo.owner_excluding(7, "only:1"), None);
+    }
+
+    #[test]
+    fn single_node_ring_owns_everything() {
+        let ring = HashRing::new(&["127.0.0.1:7878"], DEFAULT_VNODES);
+        assert_eq!(ring.len(), 1);
+        for key in [0, 1, u64::MAX, 0xdeadbeef] {
+            assert_eq!(ring.owner(key), "127.0.0.1:7878");
+        }
+    }
+
+    #[test]
+    fn duplicate_names_collapse() {
+        let ring = HashRing::new(&["a:1", "b:2", "a:1"], 16);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.nodes(), ["a:1", "b:2"]);
+    }
+}

@@ -360,6 +360,21 @@ impl Handler<SessionMsg> for Session {
                 let bytes = render(&resp, self.mode, None);
                 self.ready(ctx, seq, bytes);
             }
+            Ok(Request::Replicate { entry }) => {
+                // A peer pushing a cache entry (mesh replication or drain
+                // handoff). Validation + insert are a cheap in-memory
+                // operation plus at most one spill write, so it answers
+                // inline like STATS rather than on the worker pool.
+                let resp = match self.engine.apply_replicate(&entry) {
+                    Ok(stored) => Response::ReplicateOk { stored },
+                    Err(e) => {
+                        self.metrics().inc(&self.metrics().errors);
+                        Response::Error(e)
+                    }
+                };
+                let bytes = render(&resp, self.mode, None);
+                self.ready(ctx, seq, bytes);
+            }
             Ok(Request::Shutdown) => {
                 // Draining the pool blocks, so it runs on its own thread;
                 // the ack comes back as a ShutdownReady message. Completions

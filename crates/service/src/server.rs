@@ -75,6 +75,20 @@ pub struct Config {
     /// comparison (responses must stay bit-identical) and as an escape
     /// hatch.
     pub legacy_transport: bool,
+    /// Mesh peers as `host:port` strings (`--peers`). Empty (the default)
+    /// runs a plain single node. When non-empty, this node joins a
+    /// consistent-hash ring ([`crate::ring`]) together with the peers and
+    /// its own bound address, forwards ORDER requests for keys another
+    /// peer owns, and replicates its own hot entries to successors. Every
+    /// member must be started with the same textual addresses (each
+    /// omitting or including itself — the node's own bound address is
+    /// always added) or the ring views will disagree.
+    pub peers: Vec<String>,
+    /// Mesh replication factor: entries this node owns are pushed to the
+    /// `replicas - 1` ring successors after the owner (so `1`, the
+    /// default, keeps a single copy and `2` means owner + one replica).
+    /// Clamped to ≥ 1; ignored without peers.
+    pub replicas: usize,
 }
 
 impl Default for Config {
@@ -96,6 +110,8 @@ impl Default for Config {
             io_timeout_ms: None,
             reactor_threads: 1,
             legacy_transport: false,
+            peers: Vec::new(),
+            replicas: 1,
         }
     }
 }

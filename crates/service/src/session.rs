@@ -70,6 +70,13 @@ pub fn run(mut conn: Conn, engine: &Arc<Engine>, limit: Option<(&RateLimiter, Ip
                 pending: engine.cancel(id),
             },
             Ok(Request::Metrics) => Response::Metrics(engine.metrics_text()),
+            Ok(Request::Replicate { entry }) => match engine.apply_replicate(&entry) {
+                Ok(stored) => Response::ReplicateOk { stored },
+                Err(e) => {
+                    engine.metrics().inc(&engine.metrics().errors);
+                    Response::Error(e)
+                }
+            },
             Ok(Request::Shutdown) => {
                 let drained = engine.begin_shutdown();
                 let resp = Response::ShutdownOk { drained };

@@ -24,6 +24,7 @@ fn chaco_request(g: &SymmetricPattern, alg: se_order::Algorithm) -> OrderRequest
         trace: false,
         id: None,
         progress: false,
+        hop: false,
     }
 }
 

@@ -28,6 +28,7 @@ fn chaco_request(g: &SymmetricPattern, alg: se_order::Algorithm) -> OrderRequest
         trace: false,
         id: None,
         progress: false,
+        hop: false,
     }
 }
 
@@ -174,6 +175,7 @@ fn concurrent_clients_share_the_cache() {
                     trace: false,
                     id: None,
                     progress: false,
+                    hop: false,
                 };
                 client.order(req).unwrap()
             })
@@ -332,6 +334,7 @@ fn malformed_lines_get_errors_but_the_connection_survives() {
         trace: false,
         id: None,
         progress: false,
+        hop: false,
     });
     writeln!(writer, "{}", se_service::proto::encode_request(&req)).unwrap();
     line.clear();

@@ -1,0 +1,256 @@
+//! Peer-mesh chaos tests: dead peers, injected partitions, and dropped
+//! replication pushes against real loopback nodes.
+//!
+//! The mesh's contract under failure is the same graceful-degradation
+//! promise the single node makes: a member with a question it cannot
+//! forward answers it *itself* — possibly degraded down the spectral →
+//! Lanczos-only → RCM ladder — and never turns a peer failure into a
+//! hard error. Partitions are driven deterministically through the
+//! seeded [`FaultPlane`] ([`sites::PEER_PARTITION`],
+//! [`sites::PEER_REPLICATE`]); the killed-peer test uses a real
+//! SHUTDOWN so the refused TCP connection exercises the genuine retry
+//! path.
+
+use se_service::json::Json;
+use se_service::proto::{MatrixFormat, MatrixSource, OrderRequest};
+use se_service::{serve, sites, Client, Config, FaultPlane, ServerHandle};
+use sparsemat::io::write_chaco_string;
+use sparsemat::pattern::SymmetricPattern;
+use std::net::TcpListener;
+
+fn chaco_request(g: &SymmetricPattern, alg: se_order::Algorithm) -> OrderRequest {
+    OrderRequest {
+        alg,
+        source: MatrixSource::Inline {
+            format: MatrixFormat::Chaco,
+            payload: write_chaco_string(g),
+        },
+        timeout_ms: None,
+        include_perm: true,
+        threads: None,
+        compressed: false,
+        trace: false,
+        id: None,
+        progress: false,
+        hop: false,
+    }
+}
+
+fn assert_valid_perm(perm: &[usize], n: usize) {
+    assert_eq!(perm.len(), n);
+    let mut seen = vec![false; n];
+    for &v in perm {
+        assert!(v < n && !seen[v], "not a permutation");
+        seen[v] = true;
+    }
+}
+
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+fn start_mesh(
+    addrs: &[String],
+    replicas: usize,
+    mut tweak: impl FnMut(usize, &mut Config),
+) -> Vec<ServerHandle> {
+    addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let peers = addrs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| a.clone())
+                .collect();
+            let mut cfg = Config {
+                addr: addr.clone(),
+                peers,
+                replicas,
+                ..Config::default()
+            };
+            tweak(i, &mut cfg);
+            serve(cfg).expect("bind reserved mesh port")
+        })
+        .collect()
+}
+
+/// Probes grid graphs until one's cache key — for the algorithm the test
+/// will actually request, since the key hashes the algorithm too — is
+/// owned by `node`.
+fn graph_owned_by(handle: &ServerHandle, node: &str, alg: se_order::Algorithm) -> SymmetricPattern {
+    let mesh = handle.engine().mesh().expect("node is in a mesh");
+    for w in 8..200 {
+        let g = meshgen::grid2d(w, 7);
+        let key = se_service::cache::pattern_key(&g, alg, false);
+        if mesh.ring().owner(key) == node {
+            return g;
+        }
+    }
+    panic!("no probe graph owned by {node}");
+}
+
+fn counter(stats: &Json, name: &str) -> u64 {
+    stats.get(name).and_then(Json::as_u64).unwrap_or(u64::MAX)
+}
+
+/// Kill the owner of a key (real SHUTDOWN, so its port refuses), then ask
+/// a survivor: the forward attempts fail fast through the retry policy
+/// and the survivor computes the answer locally — a correct response,
+/// never an error line.
+#[test]
+fn killed_owner_is_answered_locally_by_survivors() {
+    let addrs = reserve_addrs(3);
+    let handles = start_mesh(&addrs, 1, |_, _| {});
+    let g = graph_owned_by(&handles[0], &addrs[2], se_order::Algorithm::Rcm);
+
+    // Take the owner down for real.
+    Client::connect(handles[2].local_addr())
+        .unwrap()
+        .shutdown()
+        .expect("owner drains cleanly");
+
+    let mut survivor = Client::connect(handles[0].local_addr()).unwrap();
+    let r = survivor
+        .order(chaco_request(&g, se_order::Algorithm::Rcm))
+        .expect("a dead peer must never surface as an error");
+    assert!(!r.cache_hit, "computed locally as the fallback");
+    assert_valid_perm(r.perm.as_ref().unwrap().order(), g.n());
+    assert!(
+        r.degraded.is_none(),
+        "a healthy local solve is not degraded"
+    );
+
+    let s = survivor.stats().unwrap();
+    assert_eq!(counter(&s, "peer_forwards"), 0);
+    assert_eq!(counter(&s, "peer_forward_failures"), 1);
+
+    // The locally computed fallback entry serves later asks as plain hits.
+    let again = survivor
+        .order(chaco_request(&g, se_order::Algorithm::Rcm))
+        .unwrap();
+    assert!(again.cache_hit);
+    assert_eq!(again.perm, r.perm);
+}
+
+/// An injected partition ([`sites::PEER_PARTITION`]) fails every forward
+/// attempt before it dials; the behavior must be exactly the dead-peer
+/// path — answer locally — and deterministic in the seed.
+#[test]
+fn injected_partition_degrades_to_local_compute() {
+    let addrs = reserve_addrs(2);
+    let faults = FaultPlane::seeded(7);
+    faults.arm(sites::PEER_PARTITION);
+    let plane = faults.clone();
+    let handles = start_mesh(&addrs, 1, |i, cfg| {
+        if i == 0 {
+            cfg.faults = plane.clone();
+        }
+    });
+    let g = graph_owned_by(&handles[0], &addrs[1], se_order::Algorithm::Rcm);
+
+    let mut c = Client::connect(handles[0].local_addr()).unwrap();
+    let r = c
+        .order(chaco_request(&g, se_order::Algorithm::Rcm))
+        .expect("a partitioned peer must never surface as an error");
+    assert!(!r.cache_hit);
+    assert_valid_perm(r.perm.as_ref().unwrap().order(), g.n());
+    assert!(
+        faults.fired(sites::PEER_PARTITION) >= 1,
+        "the site drove it"
+    );
+
+    let s = c.stats().unwrap();
+    assert_eq!(counter(&s, "peer_forwards"), 0);
+    assert_eq!(counter(&s, "peer_forward_failures"), 1);
+
+    // The unpartitioned peer never saw an ORDER (its only request is
+    // this STATS).
+    let other = Client::connect(handles[1].local_addr())
+        .unwrap()
+        .stats()
+        .unwrap();
+    assert_eq!(counter(&other, "orders"), 0);
+}
+
+/// A peer failure composes with the solver's own degradation ladder: the
+/// owner is dead *and* the survivor's eigensolvers are forced to
+/// non-convergence, yet the answer is still a valid permutation — RCM,
+/// rung 3, marked degraded — exactly the single-node chaos contract.
+#[test]
+fn dead_peer_plus_solver_faults_walk_the_ladder_not_error() {
+    let addrs = reserve_addrs(2);
+    let faults = FaultPlane::seeded(42);
+    faults.arm(sites::LANCZOS_CONVERGE);
+    faults.arm(sites::RQI_CONVERGE);
+    let plane = faults.clone();
+    let handles = start_mesh(&addrs, 1, |i, cfg| {
+        if i == 0 {
+            cfg.faults = plane.clone();
+        }
+    });
+    let g = graph_owned_by(&handles[0], &addrs[1], se_order::Algorithm::Spectral);
+
+    Client::connect(handles[1].local_addr())
+        .unwrap()
+        .shutdown()
+        .expect("owner drains cleanly");
+
+    let mut c = Client::connect(handles[0].local_addr()).unwrap();
+    let r = c
+        .order(chaco_request(&g, se_order::Algorithm::Spectral))
+        .expect("degrade, never error");
+    assert_eq!(r.alg, "RCM", "rung 3 produced the fallback answer");
+    assert_eq!(r.degraded.as_deref(), Some("not_converged"));
+    assert_valid_perm(r.perm.as_ref().unwrap().order(), g.n());
+    assert_eq!(counter(&c.stats().unwrap(), "peer_forward_failures"), 1);
+}
+
+/// [`sites::PEER_REPLICATE`] drops replication pushes before the wire:
+/// the owner's response is unaffected (replication is best-effort), the
+/// failure is counted, and the successor never receives the entry — so
+/// its next ask for the key forwards instead of hitting locally.
+#[test]
+fn dropped_replication_is_counted_and_leaves_the_successor_empty() {
+    let addrs = reserve_addrs(2);
+    let faults = FaultPlane::seeded(3);
+    faults.arm(sites::PEER_REPLICATE);
+    let plane = faults.clone();
+    let handles = start_mesh(&addrs, 2, |i, cfg| {
+        if i == 0 {
+            cfg.faults = plane.clone();
+        }
+    });
+    // Both nodes are in every key's replica set (2 replicas, 2 nodes);
+    // pick a key node 0 *owns* so it is the replication source.
+    let g = graph_owned_by(&handles[0], &addrs[0], se_order::Algorithm::Rcm);
+
+    let mut owner = Client::connect(handles[0].local_addr()).unwrap();
+    let r = owner
+        .order(chaco_request(&g, se_order::Algorithm::Rcm))
+        .expect("a dropped push must not affect the response");
+    assert!(!r.cache_hit);
+    assert_valid_perm(r.perm.as_ref().unwrap().order(), g.n());
+    assert!(faults.fired(sites::PEER_REPLICATE) >= 1);
+
+    let s = owner.stats().unwrap();
+    assert_eq!(counter(&s, "peer_replications"), 0);
+    assert_eq!(counter(&s, "peer_replication_failures"), 1);
+
+    // The successor never got the entry: it misses, and (being a replica
+    // itself) computes locally rather than forwarding.
+    let mut succ = Client::connect(handles[1].local_addr()).unwrap();
+    let miss = succ
+        .order(chaco_request(&g, se_order::Algorithm::Rcm))
+        .unwrap();
+    assert!(!miss.cache_hit, "the dropped entry must not have arrived");
+    assert_eq!(miss.perm, r.perm, "recomputed bit-identically");
+    assert_eq!(counter(&succ.stats().unwrap(), "peer_entries_received"), 0);
+}

@@ -32,6 +32,7 @@ fn chaco_request(g: &SymmetricPattern, alg: se_order::Algorithm, id: Option<u64>
         trace: false,
         id,
         progress: false,
+        hop: false,
     }
 }
 
