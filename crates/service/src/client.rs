@@ -183,6 +183,19 @@ impl Client {
     /// Connects to the daemon (NDJSON mode until [`Client::hello`]).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connects with an explicit dial deadline instead of the OS default
+    /// (which can be minutes against a blackholed host). The failure kind
+    /// is `TimedOut`, which [`ClientError::is_retriable`] deliberately
+    /// does not retry — a host that drops packets will eat every attempt.
+    pub fn connect_with_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Self, ClientError> {
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
@@ -191,6 +204,17 @@ impl Client {
             mode: FrameMode::Ndjson,
             proto: 1,
         })
+    }
+
+    /// Sets (or, with `None`, clears) the socket read and write timeouts.
+    /// Every subsequent socket operation must make progress within the
+    /// window or fails with `TimedOut`/`WouldBlock` — not retriable, so a
+    /// stalled server costs one window, never a hung thread. The options
+    /// live on the socket itself, so both buffered halves are covered.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)?;
+        Ok(())
     }
 
     /// Negotiates the connection's frame mode; returns the mode the server
@@ -450,14 +474,44 @@ impl Client {
     }
 }
 
+/// The dial half of a [`ClientPool`]: address, frame mode, and timeouts,
+/// detached from the idle list. `Copy`, so a caller serializing pool
+/// access behind a lock can copy the dialer out and run the (slow) dial
+/// and HELLO with no lock held at all.
+#[derive(Debug, Clone, Copy)]
+pub struct Dialer {
+    addr: SocketAddr,
+    frames: FrameMode,
+    connect_timeout: Option<Duration>,
+    io_timeout: Option<Duration>,
+}
+
+impl Dialer {
+    /// Dials, applies the configured socket timeouts, and negotiates
+    /// `frames` plus protocol v2.
+    pub fn dial(&self) -> Result<Client, ClientError> {
+        let mut client = match self.connect_timeout {
+            Some(t) => Client::connect_with_timeout(&self.addr, t)?,
+            None => Client::connect(self.addr)?,
+        };
+        client.set_io_timeout(self.io_timeout)?;
+        client.hello_v2(self.frames)?;
+        Ok(client)
+    }
+
+    /// The address this dialer connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
 /// A small pool of reusable daemon connections. [`ClientPool::get`] hands
 /// out an idle connection (or dials and negotiates a fresh one), and
 /// [`ClientPool::put`] returns it for reuse — callers skip the dial and
 /// HELLO round trip on every burst after the first. Only return a
 /// connection with no response in flight.
 pub struct ClientPool {
-    addr: SocketAddr,
-    frames: FrameMode,
+    dialer: Dialer,
     idle: Vec<Client>,
     max_idle: usize,
 }
@@ -477,21 +531,45 @@ impl ClientPool {
             ))
         })?;
         Ok(ClientPool {
-            addr,
-            frames,
+            dialer: Dialer {
+                addr,
+                frames,
+                connect_timeout: None,
+                io_timeout: None,
+            },
             idle: Vec::new(),
             max_idle,
         })
     }
 
+    /// Sets a dial deadline and socket read/write timeouts for every
+    /// fresh connection this pool creates (existing idle connections are
+    /// unaffected, but the pool starts empty). The mesh uses this so a
+    /// blackholed or stalled peer costs a bounded window, never the OS
+    /// TCP timeout or a hung thread.
+    pub fn with_timeouts(mut self, connect: Duration, io: Duration) -> ClientPool {
+        self.dialer.connect_timeout = Some(connect);
+        self.dialer.io_timeout = Some(io);
+        self
+    }
+
+    /// A copy of the pool's dial configuration, for dialing without
+    /// holding whatever lock guards the pool itself.
+    pub fn dialer(&self) -> Dialer {
+        self.dialer
+    }
+
+    /// An already-idle connection, if one is parked. Never dials.
+    pub fn pop_idle(&mut self) -> Option<Client> {
+        self.idle.pop()
+    }
+
     /// An idle connection, or a freshly dialed and negotiated one.
     pub fn get(&mut self) -> Result<Client, ClientError> {
-        if let Some(client) = self.idle.pop() {
-            return Ok(client);
+        match self.idle.pop() {
+            Some(client) => Ok(client),
+            None => self.dialer.dial(),
         }
-        let mut client = Client::connect(self.addr)?;
-        client.hello_v2(self.frames)?;
-        Ok(client)
     }
 
     /// Parks `client` for reuse (dropped when the pool is full).

@@ -689,13 +689,24 @@ impl Engine {
         text
     }
 
+    /// Whether a REPLICATE push from source address `src` is accepted.
+    /// Only mesh members take pushes at all, and only from addresses the
+    /// configured peers resolve to ([`Mesh::replicate_allowed`]) — a
+    /// replicated entry is served as an authoritative answer, so an open
+    /// REPLICATE would let anyone who can reach the port silently poison
+    /// the cache with a wrong permutation under someone else's key.
+    pub fn replicate_allowed(&self, src: Option<std::net::IpAddr>) -> bool {
+        self.mesh.as_ref().is_some_and(|m| m.replicate_allowed(src))
+    }
+
     /// Applies a `REPLICATE` push from a peer: validates the entry bytes
     /// exactly like a spill file read back from disk
     /// ([`crate::persist::load_from`]) and inserts the entry into the
     /// local cache — spilling it to this node's own cache directory too,
     /// when one is configured. Returns whether the entry was stored
     /// (`false` when it exceeds the per-shard budget; malformed bytes are
-    /// a fatal error).
+    /// a fatal error). Callers gate on [`Engine::replicate_allowed`]
+    /// first; this method only validates the bytes.
     pub fn apply_replicate(&self, bytes: &[u8]) -> Result<bool, ErrorResponse> {
         let entry = crate::persist::load_from(bytes)
             .map_err(|e| ErrorResponse::fatal(format!("bad REPLICATE entry: {e}")))?;

@@ -37,18 +37,41 @@ use crate::persist::{self, PersistedEntry};
 use crate::proto::{OrderRequest, OrderResponse};
 use crate::ring::{HashRing, DEFAULT_VNODES};
 use se_faults::{lock_unpoisoned, sites, FaultPlane};
-use std::collections::HashMap;
-use std::net::SocketAddr;
-use std::sync::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::net::{IpAddr, SocketAddr, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Idle connections parked per peer.
 const MESH_MAX_IDLE: usize = 2;
 
+/// Dial deadline for one peer connection. A *refused* dial fails in
+/// microseconds, but a blackholed peer (a real partition drops packets
+/// instead of refusing) would otherwise hang the dial for the OS TCP
+/// timeout — minutes on Linux. On the mesh's local segment a healthy
+/// dial completes in single-digit milliseconds, so a few hundred is
+/// already generous. `TimedOut` is not retriable, so a blackholed peer
+/// costs one window per forward, then the next candidate is tried.
+const MESH_CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Socket read/write deadline on peer connections. Bounds a peer that
+/// accepts and then stalls mid-exchange — without it a worker would sit
+/// in the forward roundtrip forever. The window is deliberately wider
+/// than [`MESH_CONNECT_TIMEOUT`]: a forwarded *hit* answers in
+/// milliseconds, but a forwarded miss computes at the owner, and cutting
+/// that off too eagerly turns every large-matrix forward into a double
+/// compute. Past the window the node falls back down its ladder
+/// (next replica, then local compute), which still fits comfortably
+/// inside the client's own request timeout.
+const MESH_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// The retry policy for one forward attempt against one peer. Much
-/// tighter than the client-facing default: a dead peer must cost
-/// milliseconds before the node falls back to computing locally, not the
-/// seconds a human-facing client can afford to wait out.
+/// tighter than the client-facing default: a dead peer must fail fast so
+/// the node falls back to computing locally, not the seconds a
+/// human-facing client can afford to wait out. Only cheap failures
+/// (refused, reset) are retried at all — a dial or read *timeout*
+/// already cost its full window and is not retriable, so the worst-case
+/// stall per candidate peer is one window, not `attempts × window`.
 fn mesh_retry_policy() -> RetryPolicy {
     RetryPolicy {
         max_attempts: 2,
@@ -65,7 +88,13 @@ pub struct Mesh {
     self_name: String,
     replicas: usize,
     /// peer address → connection pool, built lazily on first contact.
-    pools: Mutex<HashMap<String, ClientPool>>,
+    /// The outer map lock and each pool lock are held only for map/list
+    /// operations — never across a dial or a roundtrip — so one slow
+    /// peer cannot serialize traffic to every other peer behind it.
+    pools: Mutex<HashMap<String, Arc<Mutex<ClientPool>>>>,
+    /// IP addresses the configured peers resolve to — the only sources a
+    /// REPLICATE push is accepted from ([`Mesh::replicate_allowed`]).
+    peer_ips: HashSet<IpAddr>,
     retry: RetryPolicy,
     faults: FaultPlane,
 }
@@ -74,16 +103,29 @@ impl Mesh {
     /// Builds the mesh view from the configured peer list and this node's
     /// bound address. The ring holds `peers ∪ {addr}` (textual addresses,
     /// deduplicated), so a peers list that includes the node itself is
-    /// harmless. `replicas` is clamped to ≥ 1.
+    /// harmless. `replicas` is clamped to ≥ 1. Peer names are resolved
+    /// once, best-effort, to build the REPLICATE source allowlist; a name
+    /// that does not resolve at startup simply cannot push entries here
+    /// until a restart.
     pub fn new(peers: &[String], replicas: usize, addr: SocketAddr, faults: FaultPlane) -> Mesh {
         let self_name = addr.to_string();
         let mut nodes = peers.to_vec();
         nodes.push(self_name.clone());
+        // Only the *peers* may push: every legitimate REPLICATE (fan-out
+        // or drain handoff) originates at another member, never at this
+        // node itself — and including the local IP would blanket-allow
+        // every local process on loopback deployments.
+        let peer_ips: HashSet<IpAddr> = peers
+            .iter()
+            .flat_map(|p| p.to_socket_addrs().into_iter().flatten())
+            .map(|a| a.ip())
+            .collect();
         Mesh {
             ring: HashRing::new(&nodes, DEFAULT_VNODES),
             self_name,
             replicas: replicas.max(1),
             pools: Mutex::new(HashMap::new()),
+            peer_ips,
             retry: mesh_retry_policy(),
             faults,
         }
@@ -122,6 +164,19 @@ impl Mesh {
     /// Whether this node is the *owner* of `key` (the replication source).
     pub fn is_owner(&self, key: u64) -> bool {
         self.ring.owner(key) == self.self_name
+    }
+
+    /// Whether a REPLICATE push from source address `src` is accepted:
+    /// the source IP must be one a configured peer resolves to. Ports
+    /// are not compared — a peer's push arrives from an ephemeral port,
+    /// not its listen port. This is a trust boundary
+    /// against *accidental* wrong-answer injection (a stray client
+    /// poisoning the cache with a well-formed entry under someone else's
+    /// key), not cryptographic peer authentication — the mesh port must
+    /// still be firewalled to the mesh segment (see OPERATIONS.md).
+    /// `None` (no source address available) is refused.
+    pub fn replicate_allowed(&self, src: Option<IpAddr>) -> bool {
+        src.is_some_and(|ip| self.peer_ips.contains(&ip))
     }
 
     /// The STATS `mesh` object.
@@ -259,25 +314,51 @@ impl Mesh {
         Ok(stored)
     }
 
-    /// An idle pooled connection to `peer`, or a freshly dialed one. The
-    /// pools mutex is held across the dial; that serializes concurrent
-    /// first contacts to the same cold peer, but a dial on the mesh's
-    /// local segment either completes or refuses quickly, and every
-    /// steady-state checkout is a pop from the idle list.
+    /// An idle pooled connection to `peer`, or a freshly dialed one. No
+    /// lock is ever held across the dial (or the name resolution a cold
+    /// pool needs): the map lock covers only the lookup/insert, the pool
+    /// lock only the idle-list pop, and the dial itself — bounded by
+    /// [`MESH_CONNECT_TIMEOUT`] — runs lock-free, so one unreachable peer
+    /// cannot block forwards and replications to every other peer.
     fn checkout(&self, peer: &str) -> Result<Client, ClientError> {
-        let mut pools = lock_unpoisoned(&self.pools);
-        if !pools.contains_key(peer) {
-            let pool = ClientPool::new(peer, FrameMode::Binary, MESH_MAX_IDLE)?;
-            pools.insert(peer.to_string(), pool);
-        }
-        pools.get_mut(peer).expect("just inserted").get()
+        let pool = {
+            let pools = lock_unpoisoned(&self.pools);
+            pools.get(peer).map(Arc::clone)
+        };
+        let pool = match pool {
+            Some(pool) => pool,
+            None => {
+                // Resolve the peer name with no lock held, then publish
+                // the pool (first inserter wins a racing build).
+                let fresh = ClientPool::new(peer, FrameMode::Binary, MESH_MAX_IDLE)?
+                    .with_timeouts(MESH_CONNECT_TIMEOUT, MESH_IO_TIMEOUT);
+                let mut pools = lock_unpoisoned(&self.pools);
+                Arc::clone(
+                    pools
+                        .entry(peer.to_string())
+                        .or_insert_with(|| Arc::new(Mutex::new(fresh))),
+                )
+            }
+        };
+        let dialer = {
+            let mut pool = lock_unpoisoned(&pool);
+            match pool.pop_idle() {
+                Some(client) => return Ok(client),
+                None => pool.dialer(),
+            }
+        };
+        dialer.dial()
     }
 
     /// Parks a connection that completed its roundtrip cleanly. Failed
     /// connections are simply dropped — the next checkout redials.
     fn checkin(&self, peer: &str, client: Client) {
-        if let Some(pool) = lock_unpoisoned(&self.pools).get_mut(peer) {
-            pool.put(client);
+        let pool = {
+            let pools = lock_unpoisoned(&self.pools);
+            pools.get(peer).map(Arc::clone)
+        };
+        if let Some(pool) = pool {
+            lock_unpoisoned(&pool).put(client);
         }
     }
 }
@@ -329,6 +410,21 @@ mod tests {
         assert_eq!(s.get("peers").and_then(Json::as_u64), Some(3));
         assert_eq!(s.get("replicas").and_then(Json::as_u64), Some(2));
         assert_eq!(s.get("self").and_then(Json::as_str), Some("10.0.0.3:7878"));
+    }
+
+    #[test]
+    fn replicate_allowed_only_for_peer_source_ips() {
+        let m = mesh(2);
+        // Only the configured peers may push entries.
+        assert!(m.replicate_allowed("10.0.0.1".parse().ok()));
+        assert!(m.replicate_allowed("10.0.0.2".parse().ok()));
+        // Anyone else — this node's own address (no legitimate flow
+        // replicates to self), strangers, or an unknown-source
+        // connection — is refused, ports notwithstanding.
+        assert!(!m.replicate_allowed("10.0.0.3".parse().ok()));
+        assert!(!m.replicate_allowed("10.0.0.4".parse().ok()));
+        assert!(!m.replicate_allowed("127.0.0.1".parse().ok()));
+        assert!(!m.replicate_allowed(None));
     }
 
     #[test]

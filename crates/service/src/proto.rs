@@ -148,11 +148,13 @@ pub struct OrderRequest {
     /// so v1 sessions ignore the flag.
     pub progress: bool,
     /// This request was forwarded by a mesh peer (one hop). A hopped
-    /// request is answered entirely locally — it is never forwarded again
-    /// and never triggers replication — so two nodes with momentarily
-    /// disagreeing ring views cannot bounce a request between each other.
-    /// Encoded on the wire only when set, so non-mesh request bytes are
-    /// unchanged.
+    /// request is answered entirely locally — it is never forwarded
+    /// again, so two nodes with momentarily disagreeing ring views cannot
+    /// bounce a request between each other. Replication is orthogonal and
+    /// gated on *ownership*: an owner that computes a hopped request
+    /// still pushes the entry to its successors (that is the main
+    /// replication path), while a non-owner never replicates. Encoded on
+    /// the wire only when set, so non-mesh request bytes are unchanged.
     pub hop: bool,
 }
 

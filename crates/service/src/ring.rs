@@ -113,10 +113,11 @@ impl HashRing {
 
     /// The first `r` *distinct* nodes clockwise from `key` — the owner
     /// followed by its successors, which is where replicas live. Returns
-    /// fewer than `r` nodes when the ring is smaller than `r`.
+    /// fewer than `r` nodes when the ring is smaller than `r`, and an
+    /// empty set for `r == 0`.
     pub fn replicas(&self, key: u64, r: usize) -> Vec<&str> {
         let mut out: Vec<&str> = Vec::with_capacity(r.min(self.nodes.len()));
-        if self.points.is_empty() {
+        if r == 0 || self.points.is_empty() {
             return out;
         }
         let start = self.successor_point(key);
@@ -254,9 +255,11 @@ mod tests {
             dedup.dedup();
             assert_eq!(dedup.len(), 3, "replicas are distinct nodes");
         }
-        // Asking for more replicas than nodes returns every node once.
+        // Asking for more replicas than nodes returns every node once,
+        // and asking for zero returns none at all.
         let all = ring.replicas(42, 10);
         assert_eq!(all.len(), 5);
+        assert!(ring.replicas(42, 0).is_empty());
     }
 
     #[test]

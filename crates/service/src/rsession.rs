@@ -362,14 +362,24 @@ impl Handler<SessionMsg> for Session {
             }
             Ok(Request::Replicate { entry }) => {
                 // A peer pushing a cache entry (mesh replication or drain
-                // handoff). Validation + insert are a cheap in-memory
-                // operation plus at most one spill write, so it answers
-                // inline like STATS rather than on the worker pool.
-                let resp = match self.engine.apply_replicate(&entry) {
-                    Ok(stored) => Response::ReplicateOk { stored },
-                    Err(e) => {
-                        self.metrics().inc(&self.metrics().errors);
-                        Response::Error(e)
+                // handoff). Accepted only from configured mesh peers —
+                // entries are served as authoritative answers, so an open
+                // REPLICATE would be a silent cache-poisoning vector.
+                // Validation + insert are a cheap in-memory operation plus
+                // at most one spill write, so it answers inline like STATS
+                // rather than on the worker pool.
+                let resp = if !self.engine.replicate_allowed(self.peer) {
+                    self.metrics().inc(&self.metrics().errors);
+                    Response::Error(ErrorResponse::fatal(
+                        "REPLICATE refused: sender is not a configured mesh peer",
+                    ))
+                } else {
+                    match self.engine.apply_replicate(&entry) {
+                        Ok(stored) => Response::ReplicateOk { stored },
+                        Err(e) => {
+                            self.metrics().inc(&self.metrics().errors);
+                            Response::Error(e)
+                        }
                     }
                 };
                 let bytes = render(&resp, self.mode, None);

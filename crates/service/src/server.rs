@@ -82,7 +82,10 @@ pub struct Config {
     /// peer owns, and replicates its own hot entries to successors. Every
     /// member must be started with the same textual addresses (each
     /// omitting or including itself — the node's own bound address is
-    /// always added) or the ring views will disagree.
+    /// always added) or the ring views will disagree. Because the bound
+    /// address *is* the node's ring identity, a mesh member must bind the
+    /// routable address its peers list — [`serve`] refuses `--peers`
+    /// combined with an unspecified bind address (`0.0.0.0`/`[::]`).
     pub peers: Vec<String>,
     /// Mesh replication factor: entries this node owns are pushed to the
     /// `replicas - 1` ring successors after the owner (so `1`, the
@@ -155,6 +158,20 @@ impl ServerHandle {
 pub fn serve(cfg: Config) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+    // A mesh member's ring identity is its textual bound address, which
+    // its peers must be able to list verbatim. An unspecified bind
+    // (0.0.0.0 / [::]) can never appear in anyone's --peers, so the node
+    // would join as a phantom member, ring views would disagree, and it
+    // could forward to itself over the network. Refuse outright.
+    if !cfg.peers.is_empty() && addr.ip().is_unspecified() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "--peers requires a routable --addr: this node would join the ring as \
+                 \"{addr}\", which no peer can list; bind the address the peers know it by"
+            ),
+        ));
+    }
     let engine = Arc::new(Engine::new(&cfg, addr)?);
     let accept_engine = Arc::clone(&engine);
     let max_conns = cfg.max_conns.max(1);

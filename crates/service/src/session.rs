@@ -13,17 +13,26 @@ use crate::transport::{Conn, RateLimiter};
 use std::net::IpAddr;
 use std::sync::Arc;
 
-/// Charges `cost` tokens for this connection's peer; `None` (no limiter
-/// configured, or the peer address was unavailable) always allows.
-fn allow(limit: Option<(&RateLimiter, IpAddr)>, cost: u64) -> bool {
-    limit.is_none_or(|(limiter, peer)| limiter.allow(peer, cost))
+/// Charges `cost` tokens for this connection's peer; no limiter
+/// configured, or no peer address available, always allows.
+fn allow(rate: Option<&RateLimiter>, peer: Option<IpAddr>, cost: u64) -> bool {
+    match (rate, peer) {
+        (Some(limiter), Some(peer)) => limiter.allow(peer, cost),
+        _ => true,
+    }
 }
 
 /// Runs one connection to completion: reads lines until EOF, a write error,
-/// or a SHUTDOWN. `limit` carries the per-IP rate limiter and the peer's
-/// address; ORDER costs one token, BATCH one per member, everything else
+/// or a SHUTDOWN. `peer` is the connection's source address (used by the
+/// rate limiter and the REPLICATE peer check); `rate` is the per-IP
+/// limiter — ORDER costs one token, BATCH one per member, everything else
 /// (HELLO, STATS, METRICS, CANCEL, SHUTDOWN) is free.
-pub fn run(mut conn: Conn, engine: &Arc<Engine>, limit: Option<(&RateLimiter, IpAddr)>) {
+pub fn run(
+    mut conn: Conn,
+    engine: &Arc<Engine>,
+    peer: Option<IpAddr>,
+    rate: Option<&RateLimiter>,
+) {
     let mut mode = FrameMode::default();
     loop {
         let line = match conn.read_line() {
@@ -46,7 +55,7 @@ pub fn run(mut conn: Conn, engine: &Arc<Engine>, limit: Option<(&RateLimiter, Ip
                 Response::Hello { frames, proto: 1 }
             }
             Ok(Request::Order(req)) => {
-                if !allow(limit, 1) {
+                if !allow(rate, peer, 1) {
                     engine.metrics().inc(&engine.metrics().rate_limited);
                     Response::Error(ErrorResponse::fatal("rate limited"))
                 } else {
@@ -57,7 +66,7 @@ pub fn run(mut conn: Conn, engine: &Arc<Engine>, limit: Option<(&RateLimiter, Ip
                 }
             }
             Ok(Request::Batch(reqs)) => {
-                if !allow(limit, reqs.len() as u64) {
+                if !allow(rate, peer, reqs.len() as u64) {
                     engine.metrics().inc(&engine.metrics().rate_limited);
                     Response::Error(ErrorResponse::fatal("rate limited"))
                 } else {
@@ -70,13 +79,25 @@ pub fn run(mut conn: Conn, engine: &Arc<Engine>, limit: Option<(&RateLimiter, Ip
                 pending: engine.cancel(id),
             },
             Ok(Request::Metrics) => Response::Metrics(engine.metrics_text()),
-            Ok(Request::Replicate { entry }) => match engine.apply_replicate(&entry) {
-                Ok(stored) => Response::ReplicateOk { stored },
-                Err(e) => {
+            // REPLICATE is peer-to-peer only: entries are served as
+            // authoritative answers, so pushes are accepted solely from
+            // configured mesh peer addresses.
+            Ok(Request::Replicate { entry }) => {
+                if !engine.replicate_allowed(peer) {
                     engine.metrics().inc(&engine.metrics().errors);
-                    Response::Error(e)
+                    Response::Error(ErrorResponse::fatal(
+                        "REPLICATE refused: sender is not a configured mesh peer",
+                    ))
+                } else {
+                    match engine.apply_replicate(&entry) {
+                        Ok(stored) => Response::ReplicateOk { stored },
+                        Err(e) => {
+                            engine.metrics().inc(&engine.metrics().errors);
+                            Response::Error(e)
+                        }
+                    }
                 }
-            },
+            }
             Ok(Request::Shutdown) => {
                 let drained = engine.begin_shutdown();
                 let resp = Response::ShutdownOk { drained };

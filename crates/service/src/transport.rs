@@ -171,7 +171,7 @@ pub fn accept_loop(
                 let _guard = guard;
                 let peer = stream.peer_addr().map(|a| a.ip()).ok();
                 if let Ok(conn) = Conn::new(stream, io_timeout) {
-                    crate::session::run(conn, &conn_engine, conn_rate.as_deref().zip(peer));
+                    crate::session::run(conn, &conn_engine, peer, conn_rate.as_deref());
                 }
             });
     }

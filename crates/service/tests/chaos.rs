@@ -114,10 +114,11 @@ fn expired_deadline_aborts_mid_solve_and_degrades() {
     let mut client = Client::connect(handle.local_addr()).unwrap();
 
     // Large enough that the spectral solve cannot finish inside the
-    // deadline, while RCM handles it in milliseconds.
-    let g = meshgen::grid2d(150, 150);
+    // deadline on any realistic machine, while RCM (linear-time) still
+    // handles it in far less than the solver budget the timeout leaves.
+    let g = meshgen::grid2d(400, 400);
     let mut req = chaco_request(&g, se_order::Algorithm::Spectral);
-    req.timeout_ms = Some(2_000);
+    req.timeout_ms = Some(800);
     req.trace = true;
     let r = client.order(req).unwrap();
     assert_eq!(r.alg, "RCM");

@@ -277,6 +277,61 @@ fn shutdown_drain_hands_spill_files_to_the_successor() {
     }
 }
 
+/// REPLICATE is peer-to-peer only: a replicated entry is served as an
+/// authoritative answer, so pushes are accepted solely from source IPs
+/// the configured peers resolve to — a plain client (or a non-mesh node)
+/// gets a fatal refusal and nothing is stored.
+#[test]
+fn replicate_is_refused_from_non_peer_sources() {
+    // A mesh member whose peers live on another segment: our loopback
+    // connection is not a peer source, however well-formed the bytes.
+    let meshed = serve(Config {
+        peers: vec!["10.255.255.1:7878".to_string()],
+        ..Config::default()
+    })
+    .expect("bind ephemeral port");
+    let mut c = Client::connect(meshed.local_addr()).unwrap();
+    let err = c.replicate(b"SOCF-not-even-validated").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("REPLICATE refused"), "got: {msg}");
+    assert_eq!(
+        counter(&c.stats().unwrap(), "peer_entries_received"),
+        0,
+        "nothing stored"
+    );
+
+    // A node outside any mesh accepts no pushes at all — same refusal
+    // through the legacy transport for good measure.
+    for legacy in [false, true] {
+        let solo = serve(Config {
+            legacy_transport: legacy,
+            ..Config::default()
+        })
+        .expect("bind ephemeral port");
+        let mut c = Client::connect(solo.local_addr()).unwrap();
+        let err = c.replicate(b"SOCF-whatever").unwrap_err();
+        assert!(err.to_string().contains("REPLICATE refused"), "legacy={legacy}");
+    }
+}
+
+/// A mesh member's ring identity is its textual bound address, which its
+/// peers must be able to list verbatim — so `--peers` with an unspecified
+/// bind address (`0.0.0.0`) is a configuration error, refused at startup
+/// instead of joining the ring as a phantom member.
+#[test]
+fn mesh_refuses_unspecified_bind_address() {
+    let err = match serve(Config {
+        addr: "0.0.0.0:0".to_string(),
+        peers: vec!["127.0.0.1:7878".to_string()],
+        ..Config::default()
+    }) {
+        Err(e) => e,
+        Ok(_) => panic!("phantom ring identity must be refused"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("routable"), "got: {err}");
+}
+
 /// The same ORDER through the legacy thread-per-connection transport:
 /// REPLICATE and forwarding are session-layer-agnostic, so a mesh of
 /// legacy-transport nodes behaves identically.

@@ -103,7 +103,9 @@ fn pipelined_cache_hit_overtakes_slow_order() {
         ..Config::default()
     });
     let fast = meshgen::grid2d(10, 10);
-    let slow = meshgen::annulus_tri(16, 75, 0xACE); // n ≈ 1.2k spectral: slow
+    // Big enough that the spectral solve takes hundreds of ms even on a
+    // fast machine — the cache hit's overtaking window must be generous.
+    let slow = meshgen::annulus_tri(150, 400, 0xACE); // n = 60k
 
     // Warm the cache so the fast request is a pure lookup.
     let warm = Client::connect(addr)
@@ -199,7 +201,9 @@ fn cancel_of_pipelined_inflight_id_on_same_connection() {
         workers: 1, // the blocker pins the only worker, so id 7 stays queued
         ..Config::default()
     });
-    let blocker = meshgen::annulus_tri(12, 60, 0xCAB);
+    // The blocker must pin the worker until the CANCEL line is read and
+    // acked, so it has to be genuinely slow, not merely uncached.
+    let blocker = meshgen::annulus_tri(100, 300, 0xCAB); // n = 30k
     let victim = meshgen::grid2d(20, 20);
 
     let mut conn = RawV2::connect(addr);

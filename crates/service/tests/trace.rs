@@ -192,8 +192,10 @@ fn cancel_suppresses_a_queued_order() {
     .expect("bind");
     let addr = handle.local_addr();
 
-    // Connection A occupies the only worker with a slow spectral order.
-    let slow = meshgen::grid2d(70, 60);
+    // Connection A occupies the only worker with a slow spectral order —
+    // big enough to still be running after both 150 ms sleeps below, even
+    // on a fast machine.
+    let slow = meshgen::grid2d(400, 400);
     let slow_req = chaco_request(&slow, se_order::Algorithm::Spectral);
     let a = std::thread::spawn(move || {
         let mut client = Client::connect(addr).unwrap();
