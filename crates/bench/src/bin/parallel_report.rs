@@ -1,29 +1,41 @@
-//! Parallel scaling report — serial vs threaded multilevel Fiedler solver.
+//! Parallel scaling report — serial vs work-stealing multilevel Fiedler
+//! solver.
 //!
-//! Orders the largest stand-ins with the SPECTRAL algorithm at 1/2/4/8
-//! solver threads, verifies every run produces the **bit-identical**
+//! Orders the largest stand-ins with the SPECTRAL algorithm at 1/2/4/max
+//! solver threads (`max` = the host's core count, deduplicated against the
+//! fixed counts), verifies every run produces the **bit-identical**
 //! permutation, and writes machine-readable measurements to
-//! `BENCH_parallel.json`. Honest by construction: the host core count and
-//! whether the `parallel` feature is compiled in are recorded in the output,
-//! since speedup is bounded by physical cores (on a 1-core container every
-//! thread count measures the same serial work plus pool overhead).
+//! `BENCH_parallel.json`. Each run injects its own [`TaskPool`] so the
+//! scheduler's own counters — regions submitted, chunks executed, steals,
+//! worker parks — land in the report next to the timing they explain.
+//!
+//! Honest by construction: the host core count and whether the `parallel`
+//! feature is compiled in are recorded in the output, since speedup is
+//! bounded by physical cores (on a 1-core container every thread count
+//! measures the same serial work plus pool overhead, and the steal/park
+//! tallies show how much scheduling actually happened).
 //!
 //! Run with `cargo run -p se-bench --release --features parallel --bin
 //! parallel_report`.
 
 use se_order::{order_with, Algorithm, SolverOpts};
-use sparsemat::par::{available_threads, TaskPool};
+use sparsemat::par::{available_threads, PoolStats, TaskPool};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 const MATRICES: [&str; 3] = ["BARTH4", "SHUTTLE", "SKIRT"];
-const THREADS: [usize; 4] = [1, 2, 4, 8];
 const REPS: usize = 2;
 
 fn main() {
     let cores = available_threads();
     let feature_on = TaskPool::new(2).is_parallel();
-    println!("==== Parallel multilevel Fiedler: serial vs thread pool ====");
+    // 1/2/4/max, with `max` deduplicated against the fixed counts so a
+    // 4-core (or 1-core) host doesn't measure the same pool twice.
+    let mut threads: Vec<usize> = vec![1, 2, 4];
+    if !threads.contains(&cores) {
+        threads.push(cores);
+    }
+    println!("==== Parallel multilevel Fiedler: serial vs work-stealing pool ====");
     println!("host cores: {cores}, `parallel` feature compiled: {feature_on}\n");
     if !feature_on {
         println!("(pools degrade to serial without `--features parallel`;");
@@ -36,21 +48,34 @@ fn main() {
         let g = &s.pattern;
         println!("--- {} (n = {}, nnz = {}) ---", s.name, g.n(), s.nnz());
         println!(
-            "  {:>7} {:>10} {:>8} {:>10}",
-            "threads", "best (s)", "speedup", "identical"
+            "  {:>7} {:>10} {:>8} {:>9} {:>8} {:>8} {:>10}",
+            "threads", "best (s)", "speedup", "regions", "steals", "parks", "identical"
         );
 
         let mut rows = Vec::new();
         let mut serial_perm: Option<Vec<usize>> = None;
         let mut serial_secs = 0.0f64;
-        for t in THREADS {
-            let solver = SolverOpts::with_threads(t);
+        for &t in &threads {
+            let pool = TaskPool::new(t);
+            let solver = SolverOpts::with_pool(pool.clone());
             let mut best = f64::INFINITY;
             let mut perm = Vec::new();
+            let mut tallies = PoolStats::default();
             for _ in 0..REPS {
+                let before = pool.stats();
                 let t0 = Instant::now();
                 let o = order_with(g, Algorithm::Spectral, &solver).expect("ordering runs");
-                best = best.min(t0.elapsed().as_secs_f64());
+                let secs = t0.elapsed().as_secs_f64();
+                let after = pool.stats();
+                if secs < best {
+                    best = secs;
+                    tallies = PoolStats {
+                        regions: after.regions - before.regions,
+                        chunks: after.chunks - before.chunks,
+                        steals: after.steals - before.steals,
+                        parks: after.parks - before.parks,
+                    };
+                }
                 perm = o.perm.order().to_vec();
             }
             let identical = match &serial_perm {
@@ -67,11 +92,14 @@ fn main() {
             );
             let speedup = serial_secs / best;
             println!(
-                "  {:>7} {:>10.4} {:>8.2} {:>10}",
-                t, best, speedup, identical
+                "  {:>7} {:>10.4} {:>8.2} {:>9} {:>8} {:>8} {:>10}",
+                t, best, speedup, tallies.regions, tallies.steals, tallies.parks, identical
             );
             rows.push(format!(
-                "{{\"threads\":{t},\"seconds\":{best:.6},\"speedup\":{speedup:.3},\"identical\":{identical}}}"
+                "{{\"threads\":{t},\"seconds\":{best:.6},\"speedup\":{speedup:.3},\
+                 \"regions\":{},\"chunks\":{},\"steals\":{},\"parks\":{},\
+                 \"identical\":{identical}}}",
+                tallies.regions, tallies.chunks, tallies.steals, tallies.parks
             ));
         }
         blocks.push(format!(
@@ -90,7 +118,10 @@ fn main() {
         "{{\n  \"cores\": {cores},\n  \"parallel_feature\": {feature_on},\n  \
          \"note\": \"speedup is serial_seconds / best_seconds per matrix; bounded by \
          physical cores — on a 1-core host all thread counts measure the same serial \
-         work, and `identical` shows results are bit-reproducible regardless\",\n  \
+         work, and `identical` shows results are bit-reproducible regardless. \
+         regions/chunks/steals/parks are the work-stealing pool's own counters for \
+         the best rep (steals = chunks taken from another worker's deque; parks = \
+         times a worker slept for lack of work)\",\n  \
          \"results\": [\n    {}\n  ]\n}}\n",
         blocks.join(",\n    ")
     );

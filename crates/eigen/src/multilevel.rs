@@ -148,6 +148,11 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
     let trace = &opts.trace;
     let mut sp = trace.span("fiedler");
     sp.attr("n", g.n() as f64);
+    // Scheduler-health deltas for this solve. Unlike the WorkerCounter
+    // drains (which are thread-count invariant), steal/park tallies describe
+    // the *schedule* and legitimately vary run to run; they are recorded as
+    // span attrs, never asserted invariant.
+    let pool_stats0 = pool.stats();
     // One pool (and one tracer) drives every stage: propagate both into the
     // sub-options.
     let mut lanczos_opts = opts.lanczos.clone();
@@ -306,6 +311,12 @@ pub fn fiedler(g: &SymmetricPattern, opts: &FiedlerOptions) -> Result<FiedlerRes
     let lam = lap.rayleigh_quotient(&x);
     let residual = eigen_residual(&lap, &x, lam);
     sp.attr("residual", residual);
+    let pool_stats = pool.stats();
+    sp.attr(
+        "pool_steals",
+        (pool_stats.steals - pool_stats0.steals) as f64,
+    );
+    sp.attr("pool_parks", (pool_stats.parks - pool_stats0.parks) as f64);
     let acceptable = residual <= opts.tol.max(1e-6) * lap.norm_bound() * 10.0;
     if !acceptable {
         if let Ok(fallback) = fiedler_lanczos(g, &lanczos_opts) {

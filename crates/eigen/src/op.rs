@@ -75,18 +75,7 @@ impl SymOp for CsrOp<'_> {
     }
 
     fn apply_pooled(&self, x: &[f64], y: &mut [f64], pool: &TaskPool) {
-        assert_eq!(x.len(), self.a.nrows());
-        assert_eq!(y.len(), self.a.nrows());
-        pool.for_each_chunk_mut(y, ROW_CHUNK, |r0, yb| {
-            for (i, yv) in yb.iter_mut().enumerate() {
-                let r = r0 + i;
-                let mut acc = 0.0;
-                for (&c, &v) in self.a.row_cols(r).iter().zip(self.a.row_vals(r)) {
-                    acc += v * x[c];
-                }
-                *yv = acc;
-            }
-        });
+        self.a.matvec_pooled(x, y, pool, ROW_CHUNK);
     }
 
     fn norm_bound(&self) -> f64 {

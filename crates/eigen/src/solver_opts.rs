@@ -118,6 +118,14 @@ pub struct SolverOpts {
     /// [`FaultPlane::disabled`] (the default) is a strict no-op; solver
     /// results are bit-identical with a disabled plane.
     pub faults: FaultPlane,
+    /// An existing pool to run on instead of building a fresh one from
+    /// `threads`. `None` (the default) keeps the old behaviour —
+    /// [`SolverOpts::pool`] spawns workers per call. Long-lived hosts (the
+    /// `spectral-orderd` engine) set this from a per-thread-count pool cache
+    /// so concurrent solves share workers and their regions overlap instead
+    /// of each request paying thread spawn/join. Results are bit-identical
+    /// either way.
+    pub pool: Option<TaskPool>,
 }
 
 impl Default for SolverOpts {
@@ -135,6 +143,7 @@ impl Default for SolverOpts {
             trace: Tracer::disabled(),
             budget: Budget::unlimited(),
             faults: FaultPlane::disabled(),
+            pool: None,
         }
     }
 }
@@ -148,10 +157,23 @@ impl SolverOpts {
         }
     }
 
-    /// Builds the pool this configuration asks for. Serial unless
-    /// `threads != 1` *and* the `parallel` feature is enabled.
+    /// Defaults with an externally owned pool (e.g. from a pool cache); the
+    /// `threads` field is set to the pool's count for reporting only.
+    pub fn with_pool(pool: TaskPool) -> Self {
+        SolverOpts {
+            threads: pool.threads(),
+            pool: Some(pool),
+            ..SolverOpts::default()
+        }
+    }
+
+    /// The pool this configuration asks for: the injected [`SolverOpts::pool`]
+    /// if set, otherwise a freshly built one. Serial unless the effective
+    /// thread count exceeds 1 *and* the `parallel` feature is enabled.
     pub fn pool(&self) -> TaskPool {
-        TaskPool::new(self.threads)
+        self.pool
+            .clone()
+            .unwrap_or_else(|| TaskPool::new(self.threads))
     }
 
     /// Expands into [`LanczosOptions`] sharing the given pool.
@@ -235,5 +257,23 @@ mod tests {
         // All stages report the same thread count (clones of one pool).
         assert_eq!(fo.pool.threads(), fo.lanczos.pool.threads());
         assert_eq!(fo.pool.threads(), fo.rqi.pool.threads());
+    }
+
+    #[test]
+    fn injected_pool_is_reused_not_rebuilt() {
+        let external = TaskPool::new(2);
+        let s = SolverOpts::with_pool(external.clone());
+        assert_eq!(s.threads, external.threads());
+        assert_eq!(s.pool().threads(), external.threads());
+        let fo = s.fiedler_options();
+        assert_eq!(fo.pool.threads(), external.threads());
+        if external.is_parallel() {
+            // Regions run through the injected pool show up in its stats —
+            // proof the expansion shares workers instead of spawning anew.
+            let before = external.stats().regions;
+            let v: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+            let _ = fo.pool.dot(&v, &v);
+            assert_eq!(external.stats().regions, before + 1);
+        }
     }
 }

@@ -155,6 +155,13 @@ pub fn contract_with(g: &SymmetricPattern, pool: &TaskPool) -> Contraction {
 /// Collects one `(min, max)` coarse edge per fine edge crossing two domains,
 /// in exactly the order `g.edges()` yields them: vertex chunks are processed
 /// in parallel into per-chunk buffers and concatenated in chunk order.
+///
+/// The chunk grid is submitted as **two concurrently outstanding regions**
+/// (low and high halves) through [`TaskPool::scope`] — on the work-stealing
+/// pool both are in flight together and their chunks interleave across the
+/// workers. Which region a chunk belongs to never changes which vertices it
+/// scans or where its buffer sits, so the concatenation is byte-identical
+/// to the serial scan.
 fn collect_crossing_edges(
     g: &SymmetricPattern,
     domain: &[usize],
@@ -177,7 +184,7 @@ fn collect_crossing_edges(
     const CHUNK: usize = 1024;
     let nchunks = n.div_ceil(CHUNK);
     let mut buffers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nchunks];
-    pool.for_each_task_mut(&mut buffers, |c, out| {
+    let fill = |c: usize, out: &mut Vec<(usize, usize)>| {
         let (s, e) = (c * CHUNK, ((c + 1) * CHUNK).min(n));
         for u in s..e {
             let du = domain[u];
@@ -190,6 +197,21 @@ fn collect_crossing_edges(
                 }
             }
         }
+    };
+    let half = nchunks / 2;
+    let fill = &fill;
+    pool.scope(|s| {
+        let base = sparsemat::par::slice_sender(&mut buffers);
+        s.spawn_tasks(half, move |c| {
+            // SAFETY: this region owns buffer indices `0..half` exclusively;
+            // `buffers` outlives the scope, which joins both regions.
+            fill(c, unsafe { &mut *base.get().add(c) });
+        });
+        s.spawn_tasks(nchunks - half, move |i| {
+            let c = half + i;
+            // SAFETY: this region owns `half..nchunks` exclusively.
+            fill(c, unsafe { &mut *base.get().add(c) });
+        });
     });
     let mut edges = Vec::with_capacity(buffers.iter().map(Vec::len).sum());
     for buf in &mut buffers {

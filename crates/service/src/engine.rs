@@ -76,7 +76,22 @@ pub struct Engine {
     /// The consistent-hash peer mesh, present when `Config::peers` is
     /// non-empty. Owns the ring view and the per-peer connection pools.
     mesh: Option<Mesh>,
+    /// Solver pools keyed by resolved thread count, reused across requests.
+    /// Building a [`sparsemat::par::TaskPool`] spawns and later joins OS
+    /// threads; doing that per request wasted milliseconds and — worse —
+    /// meant concurrent requests could never share workers. With the cache,
+    /// simultaneous solves at the same thread count submit their regions to
+    /// one work-stealing pool and genuinely overlap. Bounded by
+    /// [`SOLVER_POOL_CACHE_CAP`]; drained (workers joined) on shutdown.
+    solver_pools: Mutex<Vec<(usize, sparsemat::par::TaskPool)>>,
 }
+
+/// Upper bound on distinct cached solver pools. Keys are thread counts
+/// clamped to the host's cores, so the map is naturally small; the cap keeps
+/// the worst case (many distinct counts on a many-core host) bounded, with
+/// oldest-first eviction (a dropped pool joins its workers once its last
+/// in-flight request finishes).
+const SOLVER_POOL_CACHE_CAP: usize = 8;
 
 /// Upper bound on remembered-but-unconsumed cancel marks. Marks are only
 /// set for ids that are pending, and the pending job consumes its mark, so
@@ -149,7 +164,47 @@ impl Engine {
             faults: cfg.faults.clone(),
             addr,
             mesh,
+            solver_pools: Mutex::new(Vec::new()),
         })
+    }
+
+    /// The cached solver pool for a clamped request thread count (`0` =
+    /// all cores), building and caching it on first use. Serial counts
+    /// bypass the cache — a serial pool owns no threads worth reusing.
+    fn solver_pool(&self, threads: usize) -> sparsemat::par::TaskPool {
+        let resolved = if threads == 0 {
+            sparsemat::par::available_threads()
+        } else {
+            threads
+        };
+        if resolved <= 1 {
+            return sparsemat::par::TaskPool::serial();
+        }
+        let mut pools = lock_unpoisoned(&self.solver_pools);
+        if let Some((_, p)) = pools.iter().find(|(k, _)| *k == resolved) {
+            return p.clone();
+        }
+        let p = sparsemat::par::TaskPool::new(resolved);
+        if pools.len() >= SOLVER_POOL_CACHE_CAP {
+            pools.remove(0);
+        }
+        pools.push((resolved, p.clone()));
+        p
+    }
+
+    /// Aggregated scheduler health over every cached solver pool:
+    /// `(cached pools, cumulative steals, cumulative parks, currently
+    /// parked workers)`. Feeds STATS and METRICS.
+    fn solver_pool_health(&self) -> (usize, u64, u64, usize) {
+        let pools = lock_unpoisoned(&self.solver_pools);
+        let (mut steals, mut parks, mut parked) = (0u64, 0u64, 0usize);
+        for (_, p) in pools.iter() {
+            let s = p.stats();
+            steals += s.steals;
+            parks += s.parks;
+            parked += p.parked_workers();
+        }
+        (pools.len(), steals, parks, parked)
     }
 
     /// The peer mesh, when this node was configured with `Config::peers`.
@@ -203,6 +258,10 @@ impl Engine {
             return 0;
         };
         let completed = pool.shutdown_drain();
+        // Drain the solver pool cache: dropping the last clone of each
+        // TaskPool joins its workers. Any solve still holding a clone keeps
+        // its pool alive until it finishes — the workers join then.
+        lock_unpoisoned(&self.solver_pools).clear();
         // Mesh drain: with a spill directory configured, ship every spill
         // file to its key's owner on the ring *without* this node, so a
         // rolling restart loses no cached work. Runs after the pool drain
@@ -234,6 +293,13 @@ impl Engine {
             &self.cache.shard_stats(),
             self.cache.dir().is_some(),
         );
+        let (cached, steals, parks, parked) = self.solver_pool_health();
+        if let crate::json::Json::Obj(pairs) = &mut snap {
+            pairs.push((
+                "solver_pool".to_string(),
+                crate::metrics::solver_pool_json(cached, steals, parks, parked),
+            ));
+        }
         if let Some(mesh) = &self.mesh {
             if let crate::json::Json::Obj(pairs) = &mut snap {
                 pairs.push(("mesh".to_string(), mesh.stats_json()));
@@ -523,6 +589,10 @@ impl Engine {
                     t => t.min(sparsemat::par::available_threads()),
                 };
                 let mut solver = se_order::SolverOpts::with_threads(threads);
+                // Run on the shared per-thread-count pool instead of
+                // spawning workers for this one request; concurrent solves
+                // at the same count overlap their regions on one pool.
+                solver.pool = Some(self.solver_pool(threads));
                 // Every computed ordering runs under an enabled tracer: its
                 // span tree feeds the per-stage histograms METRICS exposes
                 // and, when the request asked, the response's trace field.
@@ -674,6 +744,10 @@ impl Engine {
             &self.cache.shard_stats(),
             self.cache.dir().is_some(),
         );
+        let (cached, steals, parks, parked) = self.solver_pool_health();
+        text.push_str(&crate::metrics::render_solver_pool_prometheus(
+            cached, steals, parks, parked,
+        ));
         if let Some(mesh) = &self.mesh {
             text.push_str(&format!(
                 "# HELP se_peer_mesh_size Nodes on the consistent-hash ring (peers + this node).\n\
@@ -864,5 +938,67 @@ fn load_pattern(source: &MatrixSource) -> Result<SymmetricPattern, ErrorResponse
                 .map_err(|e| fatal(&e))
                 .and_then(from_csr),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_engine() -> Arc<Engine> {
+        let cfg = Config::default();
+        Arc::new(Engine::new(&cfg, "127.0.0.1:0".parse().unwrap()).unwrap())
+    }
+
+    #[test]
+    fn solver_pool_cache_reuses_per_thread_count() {
+        let e = test_engine();
+        // Serial counts bypass the cache entirely.
+        assert!(!e.solver_pool(1).is_parallel());
+        assert!(e.solver_pool(0).threads() >= 1);
+        let serial_cached = e.solver_pool_health().0;
+        // `0` caches only when the host has more than one core.
+        assert_eq!(
+            serial_cached,
+            usize::from(sparsemat::par::available_threads() > 1)
+        );
+
+        // Multi-thread counts are cached and found again, one entry per
+        // distinct count.
+        let base = serial_cached;
+        let a = e.solver_pool(4);
+        assert_eq!(e.solver_pool_health().0, base + 1);
+        let b = e.solver_pool(4);
+        assert_eq!(e.solver_pool_health().0, base + 1, "same count must hit");
+        assert_eq!(a.threads(), b.threads());
+        if a.is_parallel() {
+            // Regions run on `b` show up in `a`'s stats: one shared pool.
+            let before = a.stats().regions;
+            let v: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+            let _ = b.dot(&v, &v);
+            assert_eq!(a.stats().regions, before + 1);
+        }
+        let _ = e.solver_pool(3);
+        assert_eq!(e.solver_pool_health().0, base + 2);
+    }
+
+    #[test]
+    fn solver_pool_cache_is_bounded_and_cleared_on_shutdown() {
+        let e = test_engine();
+        for t in 0..SOLVER_POOL_CACHE_CAP + 3 {
+            let _ = e.solver_pool(t + 2);
+        }
+        assert_eq!(e.solver_pool_health().0, SOLVER_POOL_CACHE_CAP);
+        // Oldest entries were evicted: the first count misses (re-inserting
+        // it evicts again, keeping the cap).
+        let _ = e.solver_pool(2);
+        assert_eq!(e.solver_pool_health().0, SOLVER_POOL_CACHE_CAP);
+
+        e.begin_shutdown();
+        assert_eq!(
+            e.solver_pool_health().0,
+            0,
+            "shutdown must drop every cached pool"
+        );
     }
 }

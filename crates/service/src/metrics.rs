@@ -586,6 +586,46 @@ impl Metrics {
     }
 }
 
+/// The STATS fragment for the engine's solver pool cache — scheduler health
+/// of the shared work-stealing pools (`steals`/`parks` cumulative, `parked`
+/// a point-in-time gauge, `cached` the live pool count). The engine appends
+/// this under the `"solver_pool"` key.
+pub fn solver_pool_json(cached: usize, steals: u64, parks: u64, parked: usize) -> Json {
+    Json::Obj(vec![
+        ("cached".to_string(), Json::Num(cached as f64)),
+        ("steals".to_string(), Json::Num(steals as f64)),
+        ("parks".to_string(), Json::Num(parks as f64)),
+        ("parked_workers".to_string(), Json::Num(parked as f64)),
+    ])
+}
+
+/// The METRICS fragment for the engine's solver pool cache, in Prometheus
+/// text exposition format. `se_pool_steals_total` rising with flat
+/// `se_orders_total` means chunk costs are irregular (stealing is doing real
+/// balancing); `se_pool_parked_workers` pinned at the pool size means the
+/// pools are idle.
+pub fn render_solver_pool_prometheus(
+    cached: usize,
+    steals: u64,
+    parks: u64,
+    parked: usize,
+) -> String {
+    format!(
+        "# HELP se_pool_steals_total Tasks stolen across solver-pool worker deques.\n\
+         # TYPE se_pool_steals_total counter\n\
+         se_pool_steals_total {steals}\n\
+         # HELP se_pool_parks_total Solver-pool worker idle transitions (condvar parks).\n\
+         # TYPE se_pool_parks_total counter\n\
+         se_pool_parks_total {parks}\n\
+         # HELP se_pool_parked_workers Solver-pool workers currently parked.\n\
+         # TYPE se_pool_parked_workers gauge\n\
+         se_pool_parked_workers {parked}\n\
+         # HELP se_pool_cached Solver pools alive in the per-thread-count cache.\n\
+         # TYPE se_pool_cached gauge\n\
+         se_pool_cached {cached}\n"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,12 +27,7 @@ fn allow(rate: Option<&RateLimiter>, peer: Option<IpAddr>, cost: u64) -> bool {
 /// rate limiter and the REPLICATE peer check); `rate` is the per-IP
 /// limiter — ORDER costs one token, BATCH one per member, everything else
 /// (HELLO, STATS, METRICS, CANCEL, SHUTDOWN) is free.
-pub fn run(
-    mut conn: Conn,
-    engine: &Arc<Engine>,
-    peer: Option<IpAddr>,
-    rate: Option<&RateLimiter>,
-) {
+pub fn run(mut conn: Conn, engine: &Arc<Engine>, peer: Option<IpAddr>, rate: Option<&RateLimiter>) {
     let mut mode = FrameMode::default();
     loop {
         let line = match conn.read_line() {

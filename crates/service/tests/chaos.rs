@@ -116,9 +116,13 @@ fn expired_deadline_aborts_mid_solve_and_degrades() {
     // Large enough that the spectral solve cannot finish inside the
     // deadline on any realistic machine, while RCM (linear-time) still
     // handles it in far less than the solver budget the timeout leaves.
+    // The timeout is sized so its reserved slice (timeout/8, capped at
+    // 500 ms — see `solver_deadline`) covers the post-abort RCM rung and
+    // response encoding even on a slow single-core debug build, where
+    // RCM on 160k vertices alone costs a few hundred milliseconds.
     let g = meshgen::grid2d(400, 400);
     let mut req = chaco_request(&g, se_order::Algorithm::Spectral);
-    req.timeout_ms = Some(800);
+    req.timeout_ms = Some(4000);
     req.trace = true;
     let r = client.order(req).unwrap();
     assert_eq!(r.alg, "RCM");

@@ -310,7 +310,10 @@ fn replicate_is_refused_from_non_peer_sources() {
         .expect("bind ephemeral port");
         let mut c = Client::connect(solo.local_addr()).unwrap();
         let err = c.replicate(b"SOCF-whatever").unwrap_err();
-        assert!(err.to_string().contains("REPLICATE refused"), "legacy={legacy}");
+        assert!(
+            err.to_string().contains("REPLICATE refused"),
+            "legacy={legacy}"
+        );
     }
 }
 

@@ -193,27 +193,51 @@ fn cancel_suppresses_a_queued_order() {
     let addr = handle.local_addr();
 
     // Connection A occupies the only worker with a slow spectral order —
-    // big enough to still be running after both 150 ms sleeps below, even
-    // on a fast machine.
+    // big enough to still be running while the cancel below goes through,
+    // even on a fast machine. STATS polling (not fixed sleeps) confirms
+    // each stage actually happened before moving on, so a loaded or slow
+    // host can't race B's job past the cancel.
+    // Both requests carry explicit generous timeouts: the queued job's
+    // "request cancelled" answer is only delivered when the worker
+    // dequeues it — i.e. after the slow solve finishes — and on a slow
+    // debug host that solve can outlast the 30 s default timeout, which
+    // would turn both answers into retriable "request timed out" lines.
+    // This test is about cancellation semantics, not deadlines.
     let slow = meshgen::grid2d(400, 400);
-    let slow_req = chaco_request(&slow, se_order::Algorithm::Spectral);
+    let mut slow_req = chaco_request(&slow, se_order::Algorithm::Spectral);
+    slow_req.timeout_ms = Some(300_000);
     let a = std::thread::spawn(move || {
         let mut client = Client::connect(addr).unwrap();
         client.order(slow_req)
     });
-    std::thread::sleep(std::time::Duration::from_millis(150));
+    let mut control = Client::connect(addr).unwrap();
+    let wait_for = |control: &mut Client, key: &str, want: u64| {
+        let t0 = std::time::Instant::now();
+        loop {
+            let stats = control.stats().unwrap();
+            if stats.get(key).and_then(Json::as_u64) == Some(want) {
+                return;
+            }
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(20),
+                "timed out waiting for {key} == {want}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    };
+    wait_for(&mut control, "active_jobs", 1);
 
     // Connection B queues a small order with a client id.
     let mut queued = chaco_request(&meshgen::grid2d(6, 5), se_order::Algorithm::Rcm);
+    queued.timeout_ms = Some(300_000);
     queued.id = Some(9);
     let b = std::thread::spawn(move || {
         let mut client = Client::connect(addr).unwrap();
         client.order(queued)
     });
-    std::thread::sleep(std::time::Duration::from_millis(150));
+    wait_for(&mut control, "queue_depth", 1);
 
     // Connection C cancels it while it waits behind the slow job.
-    let mut control = Client::connect(addr).unwrap();
     assert!(control.cancel(9).unwrap(), "id 9 must still be pending");
     assert!(!control.cancel(999).unwrap(), "unknown ids are not pending");
 
