@@ -73,8 +73,17 @@ use spectral_env::{Algorithm, CsrMatrix, SolverOpts};
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// Parses `--alg`, reporting the accepted vocabulary (shared with the wire
+/// decoder — one table in `se_service::proto`) on failure.
 fn parse_alg(s: &str) -> Option<Algorithm> {
-    proto::parse_algorithm(s)
+    let alg = proto::parse_algorithm(s);
+    if alg.is_none() {
+        eprintln!(
+            "unknown algorithm '{s}' (expected one of: {})",
+            proto::algorithm_names()
+        );
+    }
+    alg
 }
 
 fn usage() -> ExitCode {
@@ -89,7 +98,9 @@ fn usage() -> ExitCode {
          [--legacy-transport] [--peers HOST:PORT,...] [--replicas N]\n\
          \x20      spectral-order client --addr HOST:PORT (<matrix>... [--alg NAME] [--no-perm] \
          [--threads N] [--compressed] [--binary] [--trace] [--id N] [--retry N] \
-         [--pipeline N] [--progress] | --stats | --metrics-text | --cancel ID | --shutdown)"
+         [--pipeline N] [--progress] | --stats | --metrics-text | --cancel ID | --shutdown)\n\
+         \x20      --alg NAME: one of {}",
+        proto::algorithm_names()
     );
     ExitCode::from(2)
 }

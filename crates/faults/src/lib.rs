@@ -72,6 +72,10 @@ pub mod sites {
     /// Drops a mesh replication push before it reaches the wire (the
     /// successor simply never receives the entry).
     pub const PEER_REPLICATE: &str = "service.peer.replicate";
+    /// Forces the TraceMin outer iteration to report non-convergence.
+    pub const TRACEMIN_OUTER_CONVERGE: &str = "tracemin.outer.converge";
+    /// Forces the per-column TraceMin inner MINRES stage to report failure.
+    pub const TRACEMIN_INNER_CONVERGE: &str = "tracemin.inner.converge";
 }
 
 /// Per-site arming state.

@@ -41,6 +41,7 @@ pub mod rcm;
 pub mod refine;
 pub mod sloan;
 pub mod spectral;
+pub mod tracemin;
 
 pub use gk::gibbs_king;
 pub use gps::gibbs_poole_stockmeyer;
@@ -51,6 +52,7 @@ pub use rcm::{cuthill_mckee, reverse_cuthill_mckee};
 pub use refine::exchange_refine;
 pub use sloan::{sloan, SloanWeights};
 pub use spectral::{spectral_ordering, spectral_ordering_weighted, SpectralOptions};
+pub use tracemin::tracemin_ordering;
 
 pub use se_eigen::SolverOpts;
 
@@ -118,6 +120,10 @@ pub enum Algorithm {
     /// sibling of the spectral envelope algorithm (§1's lineage; not an
     /// envelope method).
     SpectralNd,
+    /// Spectral ordering with the TraceMin-Fiedler block eigensolver
+    /// (Manguoglu) instead of the multilevel Lanczos/RQI pipeline — same
+    /// Algorithm 1 sort, different (embarrassingly parallel) solver.
+    TraceMin,
 }
 
 impl Algorithm {
@@ -135,6 +141,7 @@ impl Algorithm {
             Algorithm::SpectralRefined => "SPECTRAL+X",
             Algorithm::MinDegree => "MINDEG",
             Algorithm::SpectralNd => "SPECTRAL-ND",
+            Algorithm::TraceMin => "TRACEMIN",
         }
     }
 
@@ -234,6 +241,7 @@ fn dispatch_forced(
                 ..NestedDissectionOptions::default()
             },
         )?,
+        Algorithm::TraceMin => tracemin::tracemin_ordering(g, solver, force_lanczos)?,
     };
     Ok(perm)
 }
@@ -327,6 +335,7 @@ fn uses_eigensolver(alg: Algorithm) -> bool {
             | Algorithm::SpectralRefined
             | Algorithm::HybridSloanSpectral
             | Algorithm::SpectralNd
+            | Algorithm::TraceMin
     )
 }
 

@@ -87,23 +87,56 @@ impl MatrixFormat {
     }
 }
 
+/// The one algorithm vocabulary: `(wire/CLI name, algorithm)` pairs, in the
+/// order error messages and usage strings enumerate them. Everything that
+/// names an algorithm — wire decode ([`parse_algorithm`]), wire encode
+/// ([`algorithm_wire_name`]), the CLI's `--alg` parser and its usage text,
+/// and the "unknown algorithm" error — derives from this table, so a new
+/// algorithm added here is automatically accepted and advertised everywhere.
+pub const ALGORITHMS: &[(&str, Algorithm)] = &[
+    ("spectral", Algorithm::Spectral),
+    ("tracemin", Algorithm::TraceMin),
+    ("rcm", Algorithm::Rcm),
+    ("cm", Algorithm::CuthillMckee),
+    ("gps", Algorithm::Gps),
+    ("gk", Algorithm::Gk),
+    ("sloan", Algorithm::Sloan),
+    ("hybrid", Algorithm::HybridSloanSpectral),
+    ("refined", Algorithm::SpectralRefined),
+    ("mindeg", Algorithm::MinDegree),
+    ("nd", Algorithm::SpectralNd),
+    ("identity", Algorithm::Identity),
+];
+
 /// Parses the CLI/wire algorithm name (shared by `spectral-order` and the
-/// service so both accept the same vocabulary).
+/// service so both accept the same vocabulary — see [`ALGORITHMS`]).
 pub fn parse_algorithm(s: &str) -> Option<Algorithm> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "spectral" => Algorithm::Spectral,
-        "rcm" => Algorithm::Rcm,
-        "cm" => Algorithm::CuthillMckee,
-        "gps" => Algorithm::Gps,
-        "gk" => Algorithm::Gk,
-        "sloan" => Algorithm::Sloan,
-        "hybrid" => Algorithm::HybridSloanSpectral,
-        "refined" => Algorithm::SpectralRefined,
-        "mindeg" => Algorithm::MinDegree,
-        "nd" => Algorithm::SpectralNd,
-        "identity" => Algorithm::Identity,
-        _ => return None,
-    })
+    let lower = s.to_ascii_lowercase();
+    ALGORITHMS
+        .iter()
+        .find(|(name, _)| *name == lower)
+        .map(|&(_, alg)| alg)
+}
+
+/// The wire/CLI name of `alg` — the reverse of [`parse_algorithm`]. Distinct
+/// from [`Algorithm::name`] (the paper's uppercase table labels, which are
+/// not all parseable wire names, e.g. `SPECTRAL+X`).
+pub fn algorithm_wire_name(alg: Algorithm) -> &'static str {
+    ALGORITHMS
+        .iter()
+        .find(|&&(_, a)| a == alg)
+        .map(|&(name, _)| name)
+        .expect("every Algorithm variant has a row in ALGORITHMS")
+}
+
+/// The accepted algorithm names, comma-joined — for usage strings and the
+/// "unknown algorithm" error.
+pub fn algorithm_names() -> String {
+    ALGORITHMS
+        .iter()
+        .map(|&(name, _)| name)
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// One ordering request.
@@ -844,7 +877,7 @@ pub fn encode_request(r: &Request) -> String {
             ("cmd".to_string(), Json::Str("ORDER".to_string())),
             (
                 "alg".to_string(),
-                Json::Str(o.alg.name().to_ascii_lowercase()),
+                Json::Str(algorithm_wire_name(o.alg).to_string()),
             ),
         ];
         match &o.source {
@@ -921,8 +954,12 @@ pub fn encode_request(r: &Request) -> String {
 
 fn order_request_from_json(v: &Json) -> Result<OrderRequest, ProtoError> {
     let alg_name = v.get("alg").and_then(Json::as_str).unwrap_or("spectral");
-    let alg = parse_algorithm(alg_name)
-        .ok_or_else(|| shape(format!("unknown algorithm '{alg_name}'")))?;
+    let alg = parse_algorithm(alg_name).ok_or_else(|| {
+        shape(format!(
+            "unknown algorithm '{alg_name}' (expected one of: {})",
+            algorithm_names()
+        ))
+    })?;
     let source = match (v.get("payload"), v.get("path")) {
         (Some(payload), None) => {
             let payload = payload
@@ -1526,6 +1563,7 @@ mod tests {
     fn algorithm_vocabulary_matches_cli() {
         for (name, alg) in [
             ("spectral", Algorithm::Spectral),
+            ("tracemin", Algorithm::TraceMin),
             ("rcm", Algorithm::Rcm),
             ("cm", Algorithm::CuthillMckee),
             ("gps", Algorithm::Gps),
@@ -1539,5 +1577,32 @@ mod tests {
             assert_eq!(parse_algorithm(name), Some(alg));
         }
         assert_eq!(parse_algorithm("bogus"), None);
+    }
+
+    #[test]
+    fn every_algorithm_roundtrips_through_the_wire_name() {
+        // encode → decode must be the identity for every table row; this
+        // also pins the encode path to the table (Algorithm::name() produces
+        // labels like SPECTRAL+X that do not parse).
+        for &(name, alg) in ALGORITHMS {
+            assert_eq!(parse_algorithm(algorithm_wire_name(alg)), Some(alg));
+            assert_eq!(algorithm_wire_name(alg), name);
+            let req = Request::Order(OrderRequest::inline_mtx(alg, "stub"));
+            let line = encode_request(&req);
+            match decode_request(&line).expect("encoded request decodes") {
+                Request::Order(o) => assert_eq!(o.alg, alg, "{name}"),
+                other => panic!("unexpected decode: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_error_enumerates_the_vocabulary() {
+        let err = decode_request(r#"{"cmd":"ORDER","alg":"bogus","path":"x.mtx"}"#).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown algorithm 'bogus'"), "{msg}");
+        for &(name, _) in ALGORITHMS {
+            assert!(msg.contains(name), "missing {name} in: {msg}");
+        }
     }
 }

@@ -428,3 +428,185 @@ fn order_with_retry_rides_out_busy_rejections() {
     client.shutdown().unwrap();
     handle.join();
 }
+
+/// Forced `tracemin.outer.converge` non-convergence (with Lanczos also
+/// armed so the rung-2 retry fails too): `alg:"tracemin"` walks the ladder
+/// to a *bit-exact* RCM permutation with `degraded_reason` on the wire —
+/// the new eigensolver sits on exactly the same degradation path as the
+/// multilevel one.
+#[test]
+fn forced_tracemin_non_convergence_degrades_to_a_valid_rcm_permutation() {
+    let faults = FaultPlane::seeded(42);
+    faults.arm(sites::TRACEMIN_OUTER_CONVERGE);
+    faults.arm(sites::LANCZOS_CONVERGE); // kill rung 2 as well
+    let handle = serve(Config {
+        faults,
+        ..Config::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let g = meshgen::grid2d(14, 11);
+
+    let r = client
+        .order(chaco_request(&g, se_order::Algorithm::TraceMin))
+        .unwrap();
+    assert_eq!(r.alg, "RCM", "rung 3 must have produced the result");
+    assert_eq!(r.degraded.as_deref(), Some("not_converged"));
+    assert_valid_perm(r.perm.as_ref().unwrap().order(), g.n());
+
+    // The degraded permutation is exactly what a direct RCM run produces.
+    let direct = se_order::order(&g, se_order::Algorithm::Rcm).unwrap();
+    assert_eq!(r.perm.as_ref().unwrap().order(), direct.perm.order());
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// A mid-solve deadline aborts a running tracemin solve at an iteration
+/// boundary (outer-loop or inner-MINRES budget check) and the ladder still
+/// answers with a valid RCM permutation, reason `deadline`, inside the
+/// request's timeout window.
+#[test]
+fn tracemin_deadline_walks_the_ladder_to_rcm() {
+    let handle = serve(Config {
+        cache_budget_bytes: 0, // force the compute path
+        ..Config::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // Large enough that the tracemin solve cannot finish inside the
+    // deadline (same sizing rationale as the spectral deadline test).
+    let g = meshgen::grid2d(400, 400);
+    let mut req = chaco_request(&g, se_order::Algorithm::TraceMin);
+    req.timeout_ms = Some(4000);
+    req.trace = true;
+    let r = client.order(req).unwrap();
+    assert_eq!(r.alg, "RCM");
+    assert_eq!(r.degraded.as_deref(), Some("deadline"));
+    assert_valid_perm(r.perm.as_ref().unwrap().order(), g.n());
+    let trace = r.trace.as_deref().expect("traced request");
+    assert!(
+        trace.contains(r#""tracemin""#),
+        "the tracemin span must be recorded: {trace}"
+    );
+    assert!(
+        trace.contains(r#""rung":3"#),
+        "the ladder must record which rung answered: {trace}"
+    );
+
+    let stats = client.stats().unwrap();
+    let aborts = stats.get("budget_aborts").expect("budget_aborts table");
+    let total: u64 = match aborts {
+        Json::Obj(pairs) => pairs.iter().filter_map(|(_, v)| v.as_u64()).sum(),
+        other => panic!("budget_aborts must be a keyed table, got {other:?}"),
+    };
+    assert!(total >= 1, "an abort stage must be counted");
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+/// CANCEL reaches into a *running* tracemin solve: the shared budget's
+/// cancel flag aborts it at the next iteration boundary instead of letting
+/// the block iteration run to completion.
+#[test]
+fn cancel_aborts_a_running_tracemin_solve_at_an_iteration_boundary() {
+    let handle = serve(Config {
+        cache_budget_bytes: 0,
+        ..Config::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.local_addr();
+
+    let order_thread = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        let g = meshgen::grid2d(150, 150);
+        let mut req = chaco_request(&g, se_order::Algorithm::TraceMin);
+        req.id = Some(9);
+        client.order(req)
+    });
+    // Wait until the worker is provably computing (the cache-miss counter
+    // ticks right before the solve starts), then cancel mid-flight.
+    let mut control = Client::connect(addr).unwrap();
+    let t0 = std::time::Instant::now();
+    loop {
+        let stats = control.stats().unwrap();
+        if stats.get("cache_misses").and_then(Json::as_u64) == Some(1) {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "the order never reached the solver"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(control.cancel(9).unwrap(), "id 9 must still be in flight");
+
+    let err = order_thread.join().unwrap().expect_err("must be cancelled");
+    match err {
+        ClientError::Server(e) => {
+            assert!(!e.retriable, "a cancellation is final");
+            assert!(e.error.contains("cancelled"), "got: {}", e.error);
+        }
+        other => panic!("expected the cancellation error, got {other}"),
+    }
+
+    let stats = control.stats().unwrap();
+    assert_eq!(stats.get("cancelled").and_then(Json::as_u64), Some(1));
+    let aborts = stats.get("budget_aborts").expect("budget_aborts table");
+    let total: u64 = match aborts {
+        Json::Obj(pairs) => pairs.iter().filter_map(|(_, v)| v.as_u64()).sum(),
+        other => panic!("budget_aborts must be a keyed table, got {other:?}"),
+    };
+    assert!(total >= 1, "the cancel must abort the solver cooperatively");
+
+    control.shutdown().unwrap();
+    handle.join();
+}
+
+/// The wire acceptance contract for `alg:"tracemin"`: a valid permutation
+/// whose envelope is within 5% of `alg:"spectral"`, bit-identical across
+/// solver thread counts — and, because of that, served from one cache entry
+/// regardless of the requested thread count.
+#[test]
+fn tracemin_over_the_wire_is_thread_invariant_and_close_to_spectral() {
+    let handle = serve(Config::default()).expect("bind ephemeral port");
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let g = meshgen::standin("CAN1072").unwrap().pattern;
+
+    let spectral = client
+        .order(chaco_request(&g, se_order::Algorithm::Spectral))
+        .unwrap();
+    let mut req = chaco_request(&g, se_order::Algorithm::TraceMin);
+    req.threads = Some(1);
+    let base = client.order(req).unwrap();
+    assert_eq!(base.alg, "TRACEMIN");
+    assert!(base.degraded.is_none(), "healthy solve must not degrade");
+    assert!(!base.cache_hit);
+    assert_valid_perm(base.perm.as_ref().unwrap().order(), g.n());
+
+    let (e_tm, e_sp) = (
+        base.stats.envelope_size as f64,
+        spectral.stats.envelope_size as f64,
+    );
+    assert!(
+        (e_tm - e_sp).abs() <= 0.05 * e_sp,
+        "tracemin envelope {e_tm} vs spectral {e_sp}"
+    );
+
+    // The thread count is not part of the cache key: requests at other
+    // thread counts are *hits* on the threads=1 entry, which is only sound
+    // because the permutation is bit-identical at every thread count.
+    for threads in [2usize, 4, 8] {
+        let mut req = chaco_request(&g, se_order::Algorithm::TraceMin);
+        req.threads = Some(threads);
+        let r = client.order(req).unwrap();
+        assert!(r.cache_hit, "threads={threads} must hit the cached entry");
+        assert_eq!(r.perm, base.perm, "threads={threads} diverged");
+    }
+
+    client.shutdown().unwrap();
+    handle.join();
+}

@@ -9,5 +9,6 @@ pub use se_graph as graph;
 pub use se_order as order;
 pub use se_prng as prng;
 pub use se_service as service;
+pub use se_tracemin as tracemin;
 pub use sparsemat;
 pub use spectral_env;
