@@ -72,6 +72,15 @@ pub mod sites {
     /// Drops a mesh replication push before it reaches the wire (the
     /// successor simply never receives the entry).
     pub const PEER_REPLICATE: &str = "service.peer.replicate";
+    /// Drops one failure-detector heartbeat before it is sent, so the
+    /// target peer records no ack and suspicion builds deterministically.
+    pub const PEER_HEARTBEAT_DROP: &str = "service.peer.heartbeat_drop";
+    /// Makes a member refuse a JOIN announcement with a retriable error,
+    /// forcing the joiner onto the next live member.
+    pub const PEER_JOIN_REJECT: &str = "service.peer.join_reject";
+    /// Flips bits in a queued hint's entry bytes before replay; the replay
+    /// path must detect the damage and drop the hint, never ship it.
+    pub const PEER_HINT_CORRUPT: &str = "service.peer.hint_corrupt";
     /// Forces the TraceMin outer iteration to report non-convergence.
     pub const TRACEMIN_OUTER_CONVERGE: &str = "tracemin.outer.converge";
     /// Forces the per-column TraceMin inner MINRES stage to report failure.

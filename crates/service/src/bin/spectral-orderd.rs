@@ -30,6 +30,23 @@
 //!   --replicas N        mesh replication factor; entries this node owns
 //!                       are pushed to N-1 ring successors (default 1,
 //!                       meaningful only with --peers)
+//!   --peer-dial-timeout-ms N
+//!                       dial deadline for one peer connection (default 250)
+//!   --peer-io-timeout-ms N
+//!                       read/write deadline on peer connections, including
+//!                       heartbeats and membership exchanges (default 2000)
+//!   --peer-heartbeat-ms N
+//!                       failure-detector heartbeat period (default 1000)
+//!   --peer-suspect-after-ms N
+//!                       silence before a member turns Suspect (default 3000)
+//!   --peer-dead-after-ms N
+//!                       silence before a Suspect member turns Dead and is
+//!                       routed around (default 10000)
+//!   --antientropy-every N
+//!                       run the anti-entropy digest exchange every N
+//!                       heartbeat rounds (default 8; 0 disables)
+//!   --hint-cap N        hinted-handoff queue depth per unreachable peer;
+//!                       past the cap the oldest hint is dropped (default 512)
 //! ```
 //!
 //! The daemon prints `listening on ADDR` once ready and exits after a
@@ -44,7 +61,9 @@ fn usage() -> ExitCode {
          [--cache-mb N] [--shards N] [--cache-dir PATH] [--max-conns N] \
          [--timeout-ms N] [--rate-limit RPS[:BURST]] [--io-timeout MS] \
          [--reactor-threads N] [--legacy-transport] [--peers HOST:PORT,...] \
-         [--replicas N]"
+         [--replicas N] [--peer-dial-timeout-ms N] [--peer-io-timeout-ms N] \
+         [--peer-heartbeat-ms N] [--peer-suspect-after-ms N] \
+         [--peer-dead-after-ms N] [--antientropy-every N] [--hint-cap N]"
     );
     ExitCode::from(2)
 }
@@ -125,6 +144,34 @@ fn main() -> ExitCode {
             },
             "--replicas" => match num(&mut it) {
                 Some(v) if v > 0 => cfg.replicas = v,
+                _ => return usage(),
+            },
+            "--peer-dial-timeout-ms" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.peer_dial_timeout_ms = v as u64,
+                _ => return usage(),
+            },
+            "--peer-io-timeout-ms" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.peer_io_timeout_ms = v as u64,
+                _ => return usage(),
+            },
+            "--peer-heartbeat-ms" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.peer_heartbeat_ms = v as u64,
+                _ => return usage(),
+            },
+            "--peer-suspect-after-ms" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.peer_suspect_after_ms = v as u64,
+                _ => return usage(),
+            },
+            "--peer-dead-after-ms" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.peer_dead_after_ms = v as u64,
+                _ => return usage(),
+            },
+            "--antientropy-every" => match num(&mut it) {
+                Some(v) => cfg.antientropy_every = v as u32,
+                None => return usage(),
+            },
+            "--hint-cap" => match num(&mut it) {
+                Some(v) if v > 0 => cfg.hint_cap = v,
                 _ => return usage(),
             },
             "--help" | "-h" => {

@@ -490,12 +490,18 @@ impl ShardedOrderingCache {
     }
 
     /// Inserts an entry that arrived already in [`PersistedEntry`] form —
-    /// a replica pushed over the wire by a mesh peer, or a drain handoff.
-    /// Unlike the startup reload path (`insert_loaded`) the entry is **not**
-    /// yet on this node's disk, so with persistence on it is spilled first
-    /// exactly like a locally computed ordering. Returns whether the entry
-    /// was stored in memory (an entry bigger than one shard's budget is
-    /// dropped, matching [`insert`](Self::insert)).
+    /// a replica pushed over the wire by a mesh peer, a warm-up transfer,
+    /// or a drain handoff. Unlike the startup reload path (`insert_loaded`)
+    /// the entry is **not** yet on this node's disk, so with persistence on
+    /// it is spilled first exactly like a locally computed ordering.
+    /// Returns whether the entry was *newly* stored: a key already cached
+    /// keeps the existing copy (orderings are deterministic, so the copies
+    /// are identical) and returns `false` — the same entry can legitimately
+    /// arrive more than once (a startup WARM pull racing a REPLICATE push,
+    /// a replayed hint after an anti-entropy repair) and duplicates must
+    /// not inflate `peer_entries_received` or churn the LRU. An entry
+    /// bigger than one shard's budget is dropped, matching
+    /// [`insert`](Self::insert).
     pub fn insert_persisted(&self, e: PersistedEntry) -> bool {
         let entry = Self::entry_from(
             e.stats,
@@ -509,12 +515,23 @@ impl ShardedOrderingCache {
             return false;
         }
         let key = e.key;
+        if lock_unpoisoned(&self.shards[self.shard_of(key)])
+            .entries
+            .contains_key(&key)
+        {
+            return false;
+        }
         if let Some(dir) = &self.dir {
             let _ = persist::save(dir, &e, &self.faults);
             self.note_spill(key);
         }
         let evicted = {
             let mut shard = lock_unpoisoned(&self.shards[self.shard_of(key)]);
+            // Re-checked under the insertion lock: a concurrent delivery of
+            // the same key may have won the race since the check above.
+            if shard.entries.contains_key(&key) {
+                return false;
+            }
             shard.insert(key, entry, self.shard_budget)
         };
         for key in evicted {
@@ -566,6 +583,48 @@ impl ShardedOrderingCache {
             .iter()
             .map(|s| lock_unpoisoned(s).used_bytes)
             .sum()
+    }
+
+    /// The shard a key's range lands in — public so the mesh's
+    /// anti-entropy exchange can bucket keys the same way the cache does.
+    pub fn shard_index(&self, key: u64) -> usize {
+        self.shard_of(key)
+    }
+
+    /// Every cached key, sorted ascending (deterministic across nodes for
+    /// the same content — the basis of the anti-entropy digests).
+    pub fn keys(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                lock_unpoisoned(s)
+                    .entries
+                    .keys()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Re-materializes a cached entry in [`PersistedEntry`] form so it can
+    /// travel to a peer (warm-up transfer, anti-entropy repair) without
+    /// touching the spill directory. Does not refresh recency or count a
+    /// hit — peers pulling state must not distort this node's LRU.
+    pub fn export(&self, key: u64) -> Option<PersistedEntry> {
+        let shard = lock_unpoisoned(&self.shards[self.shard_of(key)]);
+        let e = shard.entries.get(&key)?;
+        Some(PersistedEntry {
+            key,
+            n: e.n,
+            adjacency_len: e.adjacency_len,
+            stats: e.stats,
+            compression_ratio: e.compression_ratio,
+            degraded: e.degraded.as_deref().map(str::to_string),
+            perm: e.payload.order().to_vec(),
+        })
     }
 
     /// Per-shard counters, in shard order.

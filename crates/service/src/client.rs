@@ -365,6 +365,66 @@ impl Client {
         }
     }
 
+    /// Heartbeats the server: sends a PING identifying this node as
+    /// `from` and returns the responder's own mesh name from the ACK.
+    pub fn ping(&mut self, from: &str) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Ping {
+            from: from.to_string(),
+        })? {
+            Response::Pong { from } => Ok(from),
+            _ => Err(ClientError::UnexpectedResponse("a PING ack")),
+        }
+    }
+
+    /// Announces `from` as a (re)joining mesh member; the admitting
+    /// server returns its current member list.
+    pub fn join(&mut self, from: &str) -> Result<Vec<String>, ClientError> {
+        match self.roundtrip(&Request::Join {
+            from: from.to_string(),
+        })? {
+            Response::JoinOk { members } => Ok(members),
+            _ => Err(ClientError::UnexpectedResponse("a JOIN ack")),
+        }
+    }
+
+    /// Announces that `from` is leaving the mesh cleanly.
+    pub fn leave(&mut self, from: &str) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Leave {
+            from: from.to_string(),
+        })? {
+            Response::LeaveOk => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse("a LEAVE ack")),
+        }
+    }
+
+    /// Anti-entropy digest exchange: sends `from`'s per-shard cache
+    /// digests and returns the shard indices that diverged plus the keys
+    /// the responder holds in those shards.
+    pub fn sync(
+        &mut self,
+        from: &str,
+        digests: &[u64],
+    ) -> Result<(Vec<usize>, Vec<u64>), ClientError> {
+        match self.roundtrip(&Request::Sync {
+            from: from.to_string(),
+            digests: digests.to_vec(),
+        })? {
+            Response::SyncOk { shards, keys } => Ok((shards, keys)),
+            _ => Err(ClientError::UnexpectedResponse("a SYNC ack")),
+        }
+    }
+
+    /// Warm-up pull for a joining member: the server bulk-returns the
+    /// cached entries (spill-file byte layout) whose keys `from` now owns.
+    pub fn warm(&mut self, from: &str) -> Result<Vec<Vec<u8>>, ClientError> {
+        match self.roundtrip(&Request::Warm {
+            from: from.to_string(),
+        })? {
+            Response::WarmOk { entries } => Ok(entries),
+            _ => Err(ClientError::UnexpectedResponse("a WARM ack")),
+        }
+    }
+
     /// Asks the server to drain and exit; returns the drained-job count.
     pub fn shutdown(&mut self) -> Result<u64, ClientError> {
         match self.roundtrip(&Request::Shutdown)? {

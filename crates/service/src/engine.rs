@@ -8,7 +8,8 @@
 //! with the request's wall-clock timeout while a pool worker computes.
 
 use crate::cache::ShardedOrderingCache;
-use crate::mesh::Mesh;
+use crate::membership::Transition;
+use crate::mesh::{Mesh, MeshTuning};
 use crate::metrics::Metrics;
 use crate::pool::{SubmitError, WorkerPool};
 use crate::proto::{
@@ -74,8 +75,18 @@ pub struct Engine {
     /// to wake the blocking accept loop.
     addr: SocketAddr,
     /// The consistent-hash peer mesh, present when `Config::peers` is
-    /// non-empty. Owns the ring view and the per-peer connection pools.
+    /// non-empty. Owns the live ring, the member table, the hint log and
+    /// the per-peer connection pools.
     mesh: Option<Mesh>,
+    /// Stop signal for the mesh heartbeat thread
+    /// ([`Engine::start_mesh_tasks`]); flipped by
+    /// [`Engine::begin_shutdown`].
+    mesh_stop: Arc<(Mutex<bool>, Condvar)>,
+    /// Set once the startup JOIN announcement and WARM pull have finished
+    /// (immediately for a node without a mesh). Lets tests — and operators
+    /// scripting a rolling restart — distinguish "listening" from "warmed
+    /// up": before this flips, a WARM exchange may still be in flight.
+    mesh_warmed: AtomicBool,
     /// Solver pools keyed by resolved thread count, reused across requests.
     /// Building a [`sparsemat::par::TaskPool`] spawns and later joins OS
     /// threads; doing that per request wasted milliseconds and — worse —
@@ -144,11 +155,20 @@ impl Engine {
         let mesh = if cfg.peers.is_empty() {
             None
         } else {
-            Some(Mesh::new(
+            Some(Mesh::with_tuning(
                 &cfg.peers,
                 cfg.replicas,
                 addr,
                 cfg.faults.clone(),
+                MeshTuning {
+                    dial_timeout: Duration::from_millis(cfg.peer_dial_timeout_ms),
+                    io_timeout: Duration::from_millis(cfg.peer_io_timeout_ms),
+                    suspect_after_ms: cfg.peer_suspect_after_ms,
+                    dead_after_ms: cfg.peer_dead_after_ms.max(cfg.peer_suspect_after_ms),
+                    hint_cap: cfg.hint_cap,
+                    hint_dir: cfg.cache_dir.clone(),
+                    clock: crate::membership::Clock::system(),
+                },
             ))
         };
         Ok(Engine {
@@ -164,6 +184,8 @@ impl Engine {
             faults: cfg.faults.clone(),
             addr,
             mesh,
+            mesh_stop: Arc::new((Mutex::new(false), Condvar::new())),
+            mesh_warmed: AtomicBool::new(false),
             solver_pools: Mutex::new(Vec::new()),
         })
     }
@@ -251,6 +273,13 @@ impl Engine {
     /// pool completed over its lifetime. Idempotent: later calls return 0.
     pub fn begin_shutdown(self: &Arc<Self>) -> u64 {
         self.shutting_down.store(true, AtOrd::SeqCst);
+        // Stop the mesh heartbeat thread before tearing anything down so a
+        // half-shut node never PINGs peers or replays hints mid-drain.
+        {
+            let (stop, cvar) = &*self.mesh_stop;
+            *lock_unpoisoned(stop) = true;
+            cvar.notify_all();
+        }
         // Wake the accept loop so it observes the flag.
         let _ = TcpStream::connect(self.addr);
         let pool = lock_unpoisoned(&self.pool).take();
@@ -258,6 +287,13 @@ impl Engine {
             return 0;
         };
         let completed = pool.shutdown_drain();
+        // Announce the departure so peers reassign this node's key range
+        // immediately instead of waiting out the suspicion window. Happens
+        // once (the pool guard above) and before the handoff, so the
+        // entries ship to the range's *new* owners.
+        if let Some(mesh) = &self.mesh {
+            mesh.announce_leave();
+        }
         // Drain the solver pool cache: dropping the last clone of each
         // TaskPool joins its workers. Any solve still holding a clone keeps
         // its pool alive until it finishes — the workers join then.
@@ -759,6 +795,25 @@ impl Engine {
                 mesh.size(),
                 mesh.replicas(),
             ));
+            text.push_str(&format!(
+                "# HELP se_hints_queued Handoff hints currently parked for unreachable peers.\n\
+                 # TYPE se_hints_queued gauge\n\
+                 se_hints_queued {}\n",
+                mesh.hints_queued(),
+            ));
+            text.push_str(
+                "# HELP se_peer_state Failure-detector verdict per peer \
+                 (0=alive, 1=suspect, 2=dead, 3=rejoining).\n\
+                 # TYPE se_peer_state gauge\n",
+            );
+            for (peer, state) in mesh.members().snapshot() {
+                text.push_str(&format!(
+                    "se_peer_state{{peer=\"{}\",state=\"{}\"}} {}\n",
+                    peer,
+                    state.as_str(),
+                    state.code(),
+                ));
+            }
         }
         text
     }
@@ -790,6 +845,362 @@ impl Engine {
         }
         Ok(stored)
     }
+
+    /// Spawns the mesh background thread: announce this node to its peers
+    /// (JOIN), warm its key range from live members, then run the
+    /// heartbeat / suspicion / hint-replay / anti-entropy loop until
+    /// [`Engine::begin_shutdown`] flips the stop signal. A no-op without
+    /// a mesh, so a plain single node spawns nothing.
+    pub fn start_mesh_tasks(self: &Arc<Self>, cfg: &Config) {
+        if self.mesh.is_none() {
+            return;
+        }
+        let engine = Arc::clone(self);
+        let heartbeat = Duration::from_millis(cfg.peer_heartbeat_ms.max(10));
+        let antientropy_every = cfg.antientropy_every;
+        std::thread::Builder::new()
+            .name("mesh-heartbeat".to_string())
+            .spawn(move || engine.mesh_loop(heartbeat, antientropy_every))
+            .expect("spawn mesh heartbeat thread");
+    }
+
+    /// Whether the startup membership sequence — JOIN announcement plus
+    /// the bulk WARM pull of this node's key range — has finished.
+    /// Trivially `true` without a mesh. Until it flips, a WARM exchange
+    /// may still be in flight, so exact-count assertions (and rolling
+    /// restart scripts waiting for a node to be warm) should poll this
+    /// first.
+    pub fn mesh_warmed(&self) -> bool {
+        self.mesh.is_none() || self.mesh_warmed.load(AtOrd::SeqCst)
+    }
+
+    /// Body of the `mesh-heartbeat` thread.
+    fn mesh_loop(self: Arc<Self>, heartbeat: Duration, antientropy_every: u32) {
+        let Some(mesh) = self.mesh.as_ref() else {
+            return;
+        };
+        // (Re)join: announce to every configured member and bulk-pull the
+        // entries this node's key range is responsible for, so a restarted
+        // node serves warm instead of recomputing its whole range.
+        let (admitted_by, transitions) = mesh.announce();
+        self.count_transitions(&transitions);
+        let mut warmed = 0usize;
+        for entry in mesh.pull_warm() {
+            if self.cache.insert_persisted(entry) {
+                warmed += 1;
+                self.metrics.inc(&self.metrics.peer_entries_received);
+            }
+        }
+        if self.log_requests {
+            eprintln!("[spectral-orderd] op=mesh_join admitted_by={admitted_by} warmed={warmed}");
+        }
+        self.mesh_warmed.store(true, AtOrd::SeqCst);
+        // Deterministic per-node jitter de-phases the members' heartbeats
+        // so a mesh started by one script doesn't PING in lockstep.
+        let seed = mesh
+            .self_name()
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            });
+        let span = (heartbeat.as_millis() as u64 / 4).max(1);
+        let mut round: u64 = 0;
+        let mut sync_cursor: usize = 0;
+        loop {
+            round += 1;
+            let wait = heartbeat + Duration::from_millis(jitter_ms(seed, round, span));
+            let (stop, cvar) = &*self.mesh_stop;
+            let guard = lock_unpoisoned(stop);
+            let (guard, _) = cvar.wait_timeout(guard, wait).unwrap();
+            let stopped = *guard;
+            drop(guard);
+            if stopped {
+                break;
+            }
+            let transitions = mesh.heartbeat_round();
+            self.count_transitions(&transitions);
+            // Hints parked for a peer drain as soon as it is routable
+            // again (Rejoining counts — that is the whole point).
+            for peer in mesh.peers_with_hints() {
+                if mesh.members().routable(&peer) {
+                    let delivered = mesh.replay_hints(&peer, &self.metrics);
+                    if delivered > 0 && self.log_requests {
+                        eprintln!(
+                            "[spectral-orderd] op=hint_replay peer={peer} delivered={delivered}"
+                        );
+                    }
+                }
+            }
+            if antientropy_every > 0 && round.is_multiple_of(u64::from(antientropy_every)) {
+                let live: Vec<String> = mesh
+                    .members()
+                    .snapshot()
+                    .into_iter()
+                    .filter(|(_, s)| s.routable())
+                    .map(|(n, _)| n)
+                    .collect();
+                if !live.is_empty() {
+                    let peer = live[sync_cursor % live.len()].clone();
+                    sync_cursor += 1;
+                    let repaired = self.antientropy_with(&peer);
+                    if repaired > 0 && self.log_requests {
+                        eprintln!(
+                            "[spectral-orderd] op=antientropy peer={peer} repaired={repaired}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts (and with `--log-requests`, logs) failure-detector
+    /// transitions in `se_peer_transitions_total`.
+    fn count_transitions(&self, transitions: &[Transition]) {
+        for (peer, from, to) in transitions {
+            self.metrics.inc_peer_transition(from.as_str(), to.as_str());
+            if self.log_requests {
+                eprintln!(
+                    "[spectral-orderd] op=peer_state peer={peer} from={} to={}",
+                    from.as_str(),
+                    to.as_str()
+                );
+            }
+        }
+    }
+
+    /// Answers a peer's PING. The ack doubles as passive liveness
+    /// evidence: hearing from a peer refreshes its entry in the member
+    /// table exactly like an answered heartbeat of our own.
+    pub fn handle_ping(&self, from: &str) -> crate::proto::Response {
+        if let Some(mesh) = &self.mesh {
+            if let Some(t) = mesh.members().record_ack(from) {
+                self.count_transitions(std::slice::from_ref(&t));
+            }
+            crate::proto::Response::Pong {
+                from: mesh.self_name().to_string(),
+            }
+        } else {
+            // A plain single node still answers PING (harmless, and it
+            // lets operators probe liveness uniformly); it just has no
+            // member table to refresh.
+            crate::proto::Response::Pong {
+                from: self.addr.to_string(),
+            }
+        }
+    }
+
+    /// Admits a (re)joining node announced over JOIN: marks it `Alive`,
+    /// puts it (back) on the ring, records its source address in the
+    /// REPLICATE allowlist, and answers with this node's member view.
+    pub fn handle_join(
+        &self,
+        from: &str,
+        src: Option<std::net::IpAddr>,
+    ) -> Result<crate::proto::Response, ErrorResponse> {
+        let Some(mesh) = &self.mesh else {
+            return Err(ErrorResponse::fatal(
+                "JOIN refused: this node is not a mesh member",
+            ));
+        };
+        if self.faults.should_fail(sites::PEER_JOIN_REJECT) {
+            return Err(ErrorResponse::retriable(
+                "JOIN refused (injected fault), retry",
+            ));
+        }
+        let (new_member, transition) = mesh.admit(from, src);
+        if let Some(t) = transition {
+            self.count_transitions(std::slice::from_ref(&t));
+        }
+        if self.log_requests {
+            eprintln!("[spectral-orderd] op=join peer={from} new={new_member}");
+        }
+        let mut members = mesh.members().names();
+        members.push(mesh.self_name().to_string());
+        members.sort();
+        members.dedup();
+        Ok(crate::proto::Response::JoinOk { members })
+    }
+
+    /// Handles a peer's LEAVE announcement: marks it `Dead` and takes it
+    /// off the ring immediately, so its key range is reassigned without
+    /// waiting out the suspicion window. Member-gated like REPLICATE — a
+    /// stranger must not be able to evict ring members.
+    pub fn handle_leave(
+        &self,
+        from: &str,
+        src: Option<std::net::IpAddr>,
+    ) -> Result<crate::proto::Response, ErrorResponse> {
+        let Some(mesh) = &self.mesh else {
+            return Err(ErrorResponse::fatal(
+                "LEAVE refused: this node is not a mesh member",
+            ));
+        };
+        if !mesh.replicate_allowed(src) {
+            return Err(ErrorResponse::fatal(
+                "LEAVE refused: sender is not a configured mesh peer",
+            ));
+        }
+        if let Some(t) = mesh.depart(from) {
+            self.count_transitions(std::slice::from_ref(&t));
+        }
+        if self.log_requests {
+            eprintln!("[spectral-orderd] op=leave peer={from}");
+        }
+        Ok(crate::proto::Response::LeaveOk)
+    }
+
+    /// Answers a joining peer's WARM pull with the encoded cache entries
+    /// whose replica set includes it, capped at `WARM_BATCH_CAP` entries
+    /// (anti-entropy repairs whatever a truncated warm-up missed).
+    pub fn handle_warm(
+        &self,
+        from: &str,
+        src: Option<std::net::IpAddr>,
+    ) -> Result<crate::proto::Response, ErrorResponse> {
+        let Some(mesh) = &self.mesh else {
+            return Err(ErrorResponse::fatal(
+                "WARM refused: this node is not a mesh member",
+            ));
+        };
+        if !mesh.replicate_allowed(src) {
+            return Err(ErrorResponse::fatal(
+                "WARM refused: sender is not a configured mesh peer",
+            ));
+        }
+        if let Some(t) = mesh.members().record_ack(from) {
+            self.count_transitions(std::slice::from_ref(&t));
+        }
+        let mut entries = Vec::new();
+        for key in self.cache.keys() {
+            if mesh.replica_names(key).iter().any(|n| n == from) {
+                if let Some(entry) = self.cache.export(key) {
+                    entries.push(crate::persist::encode_entry(&entry));
+                    if entries.len() >= WARM_BATCH_CAP {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(crate::proto::Response::WarmOk { entries })
+    }
+
+    /// Answers a peer's anti-entropy SYNC: compares its per-shard digests
+    /// of the shared replica range against this node's own, and returns
+    /// the divergent shard indices plus this node's keys in them, so the
+    /// sender can push exactly the entries this node is missing.
+    pub fn handle_sync(
+        &self,
+        from: &str,
+        digests: &[u64],
+        src: Option<std::net::IpAddr>,
+    ) -> Result<crate::proto::Response, ErrorResponse> {
+        let Some(mesh) = &self.mesh else {
+            return Err(ErrorResponse::fatal(
+                "SYNC refused: this node is not a mesh member",
+            ));
+        };
+        if !mesh.replicate_allowed(src) {
+            return Err(ErrorResponse::fatal(
+                "SYNC refused: sender is not a configured mesh peer",
+            ));
+        }
+        if let Some(t) = mesh.members().record_ack(from) {
+            self.count_transitions(std::slice::from_ref(&t));
+        }
+        let (mine_digests, mine_keys) = self.shared_range_digests(from);
+        let shards: Vec<usize> = if digests.len() != mine_digests.len() {
+            // Incomparable digests (shard-count mismatch across versions):
+            // offer everything and let the key lists sort it out.
+            (0..mine_digests.len()).collect()
+        } else {
+            (0..mine_digests.len())
+                .filter(|&i| digests[i] != mine_digests[i])
+                .collect()
+        };
+        let keys: Vec<u64> = mine_keys
+            .into_iter()
+            .filter(|&k| shards.binary_search(&self.cache.shard_index(k)).is_ok())
+            .collect();
+        Ok(crate::proto::Response::SyncOk { shards, keys })
+    }
+
+    /// One anti-entropy exchange with `peer`: compare per-shard digests
+    /// of the shared replica range over SYNC, then push every entry the
+    /// peer's divergent shards are missing (plain REPLICATE via
+    /// [`Mesh::push_entry`]). Returns how many entries were pushed.
+    /// Repairs flow one way per exchange; the peer's own periodic
+    /// exchange covers the other direction.
+    pub fn antientropy_with(&self, peer: &str) -> usize {
+        let Some(mesh) = &self.mesh else {
+            return 0;
+        };
+        let (digests, mine) = self.shared_range_digests(peer);
+        let Ok((shards, peer_keys)) = mesh.try_sync(peer, &digests) else {
+            return 0;
+        };
+        if shards.is_empty() {
+            return 0;
+        }
+        let theirs: HashSet<u64> = peer_keys.into_iter().collect();
+        let mut repaired = 0;
+        for key in mine {
+            if !shards.contains(&self.cache.shard_index(key)) || theirs.contains(&key) {
+                continue;
+            }
+            let Some(entry) = self.cache.export(key) else {
+                continue;
+            };
+            let bytes = crate::persist::encode_entry(&entry);
+            if mesh.push_entry(peer, &bytes).is_ok() {
+                repaired += 1;
+                self.metrics.inc(&self.metrics.antientropy_repairs);
+            }
+        }
+        repaired
+    }
+
+    /// Per-shard FNV-1a digests over this node's cached keys restricted
+    /// to the replica range it shares with `peer` — keys whose *natural*
+    /// (unfiltered) replica set contains both nodes — plus those keys
+    /// themselves, sorted ascending. Both sides of a SYNC restrict the
+    /// same way, so with agreeing ring views the digests match exactly
+    /// when the shared range is in sync.
+    fn shared_range_digests(&self, peer: &str) -> (Vec<u64>, Vec<u64>) {
+        let Some(mesh) = &self.mesh else {
+            return (Vec::new(), Vec::new());
+        };
+        let me = mesh.self_name();
+        let mut keys = Vec::new();
+        for key in self.cache.keys() {
+            let reps = mesh.replica_names(key);
+            if reps.iter().any(|n| n == me) && reps.iter().any(|n| n == peer) {
+                keys.push(key);
+            }
+        }
+        let mut hashers: Vec<crate::cache::Fnv1a> = (0..self.cache.shard_count())
+            .map(|_| crate::cache::Fnv1a::new())
+            .collect();
+        for &key in &keys {
+            hashers[self.cache.shard_index(key)].write_u64(key);
+        }
+        (hashers.into_iter().map(|h| h.finish()).collect(), keys)
+    }
+}
+
+/// Upper bound on entries one WARM response ships. A joining node warms
+/// up in one bulk pull; the cap bounds the response size, and the
+/// periodic anti-entropy exchange repairs whatever a truncated warm-up
+/// missed.
+const WARM_BATCH_CAP: usize = 256;
+
+/// splitmix64 over `(seed, round)`, reduced to `[0, span)` — the
+/// deterministic heartbeat jitter (no RNG state, reproducible per node).
+fn jitter_ms(seed: u64, round: u64, span: u64) -> u64 {
+    let mut z = seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    z % span.max(1)
 }
 
 /// Guarantees the submitter of an async order is answered exactly once.

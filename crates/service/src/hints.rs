@@ -1,0 +1,307 @@
+//! Hinted handoff: a bounded per-peer queue of cache entries whose
+//! replication or drain push could not be delivered.
+//!
+//! When a replica push or a shutdown handoff fails (target `Suspect`,
+//! `Dead`, or just unreachable), the entry — already in the spill-file
+//! byte layout ([`crate::persist::encode_entry`]) — is queued here under
+//! the target's name instead of being dropped. The moment the failure
+//! detector sees the target again ([`Rejoining`]/JOIN), the mesh drains
+//! the queue and delivers each hint as an ordinary `REPLICATE`.
+//!
+//! With a cache directory configured the queue is mirrored to
+//! `<dir>/hints/<peer>/NNNNNN-<key>.soc` so hints survive the hinting
+//! node's own restart; without one it is memory-only. Each peer's queue
+//! is bounded: past the cap the *oldest* hint is dropped (and counted) —
+//! newer entries supersede older state, and anti-entropy repairs whatever
+//! a dropped hint would have carried.
+//!
+//! Replay revalidates every hint by decoding it exactly like a spill file
+//! ([`crate::persist::load_from`]); bytes damaged at rest (or by the
+//! [`sites::PEER_HINT_CORRUPT`] chaos site) are detected here and
+//! dropped, never shipped to a peer.
+//!
+//! [`Rejoining`]: crate::membership::PeerState::Rejoining
+
+use se_faults::{lock_unpoisoned, sites, FaultPlane};
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Queued hints per target peer before the oldest is dropped.
+pub const DEFAULT_HINT_CAP: usize = 512;
+
+/// One queued hint: the entry's cache key plus its encoded bytes.
+#[derive(Debug, Clone)]
+struct Hint {
+    key: u64,
+    bytes: Vec<u8>,
+    /// Mirror file, when the log is disk-backed.
+    path: Option<PathBuf>,
+}
+
+#[derive(Debug, Default)]
+struct Queues {
+    by_peer: HashMap<String, VecDeque<Hint>>,
+    /// Monotonic filename counter so replay order survives a restart.
+    next_seq: u64,
+}
+
+/// The bounded hint log (see the module docs).
+#[derive(Debug)]
+pub struct HintLog {
+    queues: Mutex<Queues>,
+    /// `<cache_dir>/hints`, when disk-backed.
+    dir: Option<PathBuf>,
+    cap_per_peer: usize,
+    faults: FaultPlane,
+}
+
+/// A peer name as a directory component: `:` (and any other separator) is
+/// not portable in filenames, so it becomes `_`.
+fn sanitize(peer: &str) -> String {
+    peer.chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl HintLog {
+    /// An empty log. With `cache_dir` set, hints mirror to
+    /// `<cache_dir>/hints/` and any hints already there (from a previous
+    /// run) are loaded back. `cap_per_peer` is clamped to ≥ 1.
+    pub fn new(cache_dir: Option<&Path>, cap_per_peer: usize, faults: FaultPlane) -> HintLog {
+        let dir = cache_dir.map(|d| d.join("hints"));
+        let log = HintLog {
+            queues: Mutex::new(Queues::default()),
+            dir,
+            cap_per_peer: cap_per_peer.max(1),
+            faults,
+        };
+        log.reload();
+        log
+    }
+
+    /// Loads mirrored hints from disk (best-effort; unreadable files are
+    /// removed). Queue order is the filename sequence number.
+    fn reload(&self) {
+        let Some(dir) = &self.dir else { return };
+        let Ok(peers) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut queues = lock_unpoisoned(&self.queues);
+        for peer_dir in peers.flatten() {
+            // The raw peer name (a `host:port` that is not filename-safe)
+            // is recorded in a `.peer` marker; the directory name is its
+            // sanitized form. No marker → fall back to the directory name.
+            let peer = std::fs::read_to_string(peer_dir.path().join(".peer"))
+                .map(|s| s.trim().to_string())
+                .unwrap_or_else(|_| peer_dir.file_name().to_string_lossy().into_owned());
+            let Ok(files) = std::fs::read_dir(peer_dir.path()) else {
+                continue;
+            };
+            let mut loaded: Vec<(u64, Hint)> = Vec::new();
+            for f in files.flatten() {
+                let path = f.path();
+                let name = f.file_name().to_string_lossy().into_owned();
+                // NNNNNN-<key>.soc
+                let Some(stem) = name.strip_suffix(".soc") else {
+                    continue;
+                };
+                let parsed = stem.split_once('-').and_then(|(seq, key)| {
+                    Some((seq.parse::<u64>().ok()?, u64::from_str_radix(key, 16).ok()?))
+                });
+                let (Some((seq, key)), Ok(bytes)) = (parsed, std::fs::read(&path)) else {
+                    let _ = std::fs::remove_file(&path);
+                    continue;
+                };
+                queues.next_seq = queues.next_seq.max(seq + 1);
+                loaded.push((
+                    seq,
+                    Hint {
+                        key,
+                        bytes,
+                        path: Some(path),
+                    },
+                ));
+            }
+            loaded.sort_by_key(|(seq, _)| *seq);
+            let q = queues.by_peer.entry(peer).or_default();
+            for (_, h) in loaded {
+                q.push_back(h);
+            }
+        }
+    }
+
+    /// Queues one encoded entry for `peer`. Past the per-peer cap the
+    /// oldest hint is dropped; returns how many were dropped (0 or 1) so
+    /// the caller can count them.
+    pub fn queue(&self, peer: &str, key: u64, bytes: Vec<u8>) -> usize {
+        let mut queues = lock_unpoisoned(&self.queues);
+        let seq = queues.next_seq;
+        queues.next_seq += 1;
+        let path = self.dir.as_ref().and_then(|d| {
+            let peer_dir = d.join(sanitize(peer));
+            std::fs::create_dir_all(&peer_dir).ok()?;
+            let marker = peer_dir.join(".peer");
+            if !marker.exists() {
+                let _ = std::fs::write(&marker, peer);
+            }
+            let path = peer_dir.join(format!("{seq:06}-{key:016x}.soc"));
+            std::fs::write(&path, &bytes).ok()?;
+            Some(path)
+        });
+        let q = queues.by_peer.entry(peer.to_string()).or_default();
+        q.push_back(Hint { key, bytes, path });
+        let mut dropped = 0;
+        while q.len() > self.cap_per_peer {
+            if let Some(old) = q.pop_front() {
+                if let Some(p) = old.path {
+                    let _ = std::fs::remove_file(p);
+                }
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Takes every hint queued for `peer`, validating each entry exactly
+    /// like a spill file; invalid bytes (possibly damaged through
+    /// [`sites::PEER_HINT_CORRUPT`]) are dropped. Returns the deliverable
+    /// `(key, bytes)` pairs in queue order plus the dropped count. The
+    /// hints leave the log (and disk) here — a failed delivery re-queues
+    /// through [`HintLog::queue`].
+    pub fn take(&self, peer: &str) -> (Vec<(u64, Vec<u8>)>, usize) {
+        let hints = {
+            let mut queues = lock_unpoisoned(&self.queues);
+            queues.by_peer.remove(peer).unwrap_or_default()
+        };
+        let mut out = Vec::with_capacity(hints.len());
+        let mut dropped = 0;
+        for mut h in hints {
+            if let Some(p) = &h.path {
+                let _ = std::fs::remove_file(p);
+            }
+            if self.faults.should_fail(sites::PEER_HINT_CORRUPT) {
+                self.faults.corrupt(sites::PEER_HINT_CORRUPT, &mut h.bytes);
+            }
+            match crate::persist::load_from(&h.bytes[..]) {
+                Ok(entry) if entry.key == h.key => out.push((h.key, h.bytes)),
+                _ => dropped += 1,
+            }
+        }
+        (out, dropped)
+    }
+
+    /// Peers with at least one queued hint, sorted.
+    pub fn peers_with_hints(&self) -> Vec<String> {
+        let queues = lock_unpoisoned(&self.queues);
+        let mut out: Vec<String> = queues
+            .by_peer
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(p, _)| p.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Total hints currently queued (the `se_hints_queued` gauge).
+    pub fn queued(&self) -> u64 {
+        lock_unpoisoned(&self.queues)
+            .by_peer
+            .values()
+            .map(|q| q.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::{encode_entry, PersistedEntry};
+    use se_faults::FaultPlane;
+    use sparsemat::envelope::EnvelopeStats;
+
+    fn entry(key: u64) -> Vec<u8> {
+        encode_entry(&PersistedEntry {
+            key,
+            n: 3,
+            adjacency_len: 2,
+            stats: EnvelopeStats {
+                envelope_size: 1,
+                bandwidth: 1,
+                envelope_work: 2,
+                one_sum: 3,
+                two_sum_sq: 4,
+            },
+            compression_ratio: None,
+            degraded: None,
+            perm: vec![0, 1, 2],
+        })
+    }
+
+    #[test]
+    fn queue_and_take_preserve_order_and_validate() {
+        let log = HintLog::new(None, 8, FaultPlane::disabled());
+        assert_eq!(log.queue("p:1", 1, entry(1)), 0);
+        assert_eq!(log.queue("p:1", 2, entry(2)), 0);
+        log.queue("p:1", 3, b"garbage".to_vec());
+        assert_eq!(log.queued(), 3);
+        assert_eq!(log.peers_with_hints(), ["p:1"]);
+
+        let (hints, dropped) = log.take("p:1");
+        assert_eq!(hints.iter().map(|(k, _)| *k).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(dropped, 1, "the garbage hint is dropped, not shipped");
+        assert_eq!(log.queued(), 0);
+        assert!(log.take("p:1").0.is_empty());
+    }
+
+    #[test]
+    fn cap_drops_oldest_first() {
+        let log = HintLog::new(None, 2, FaultPlane::disabled());
+        assert_eq!(log.queue("p:1", 1, entry(1)), 0);
+        assert_eq!(log.queue("p:1", 2, entry(2)), 0);
+        assert_eq!(log.queue("p:1", 3, entry(3)), 1, "over cap drops one");
+        let (hints, _) = log.take("p:1");
+        assert_eq!(hints.iter().map(|(k, _)| *k).collect::<Vec<_>>(), [2, 3]);
+    }
+
+    #[test]
+    fn disk_backed_hints_survive_a_reload() {
+        let dir = std::env::temp_dir().join(format!("se-hints-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let log = HintLog::new(Some(&dir), 8, FaultPlane::disabled());
+            log.queue("10.0.0.1:7878", 7, entry(7));
+            log.queue("10.0.0.1:7878", 8, entry(8));
+        }
+        let reloaded = HintLog::new(Some(&dir), 8, FaultPlane::disabled());
+        assert_eq!(reloaded.queued(), 2);
+        assert_eq!(reloaded.peers_with_hints(), ["10.0.0.1:7878"]);
+        let (hints, dropped) = reloaded.take("10.0.0.1:7878");
+        assert_eq!(hints.iter().map(|(k, _)| *k).collect::<Vec<_>>(), [7, 8]);
+        assert_eq!(dropped, 0);
+        // Taking removed the mirror files too.
+        let reloaded = HintLog::new(Some(&dir), 8, FaultPlane::disabled());
+        assert_eq!(reloaded.queued(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_hints_are_detected_at_replay() {
+        let faults = FaultPlane::seeded(11);
+        faults.arm(sites::PEER_HINT_CORRUPT);
+        let log = HintLog::new(None, 8, faults.clone());
+        log.queue("p:1", 5, entry(5));
+        let (hints, dropped) = log.take("p:1");
+        assert!(hints.is_empty(), "a corrupted hint must never ship");
+        assert_eq!(dropped, 1);
+        assert!(faults.fired(sites::PEER_HINT_CORRUPT) >= 1);
+    }
+}

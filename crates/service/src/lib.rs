@@ -77,12 +77,28 @@
 //! spill files to the keys' new owners on SHUTDOWN. When a peer is
 //! unreachable the node computes the answer itself — a mesh member never
 //! returns a hard error because of another member.
+//!
+//! The mesh is *self-healing*: members heartbeat each other with
+//! `PING`/`ACK` over the existing peer connections and run each peer
+//! through a suspicion state machine ([`membership`],
+//! `Alive → Suspect → Dead → Rejoining`), routing around suspect and dead
+//! owners to the next live ring successor. A (re)starting node announces
+//! itself with `JOIN`, is admitted by any live member, and warms its key
+//! range from its predecessors (`WARM`, bulk entry transfer in the spill
+//! byte layout). Replica pushes that cannot be delivered park in a
+//! bounded on-disk hint log ([`hints`]) and replay when the target
+//! returns, and a periodic anti-entropy digest exchange (`SYNC`, per-shard
+//! FNV digests) repairs replicas that diverged anyway. Peer states,
+//! transitions, hint depth, and repair counts are all visible in `STATS`
+//! and `METRICS`.
 
 pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod frame;
+pub mod hints;
 pub mod json;
+pub mod membership;
 pub mod mesh;
 pub mod metrics;
 pub mod persist;

@@ -1,0 +1,415 @@
+//! Live mesh membership: the failure detector's suspicion state machine.
+//!
+//! The mesh of PR 7 froze its member list at startup — a dead peer was
+//! retried forever and a new node needed a fleet restart. This module
+//! holds each node's *local* view of its peers' liveness, driven by two
+//! inputs: heartbeat acks ([`MemberTable::record_ack`], also recorded
+//! passively when a peer's PING arrives) and the passage of time
+//! ([`MemberTable::tick`]). The state machine per peer:
+//!
+//! ```text
+//!            ack                    no ack for            no ack for
+//!   Alive ◄──────── Suspect ◄────── suspect_after   Dead ◄── dead_after
+//!     ▲                │                               │
+//!     │ ack (again)    └───────────────────────────────┘
+//!   Rejoining ◄──────────────────── first ack while Dead
+//! ```
+//!
+//! `Rejoining` is the hint-replay window: the peer is reachable again but
+//! has not yet confirmed (a second ack, or an explicit JOIN, promotes it
+//! to `Alive`). A JOIN announcement admits a member directly to `Alive`;
+//! a LEAVE marks it `Dead` without waiting out the windows.
+//!
+//! Time comes from a [`Clock`] rather than `Instant::now()` so the unit
+//! tests (and the chaos suites' tighter windows) can force every
+//! transition deterministically instead of sleeping through them.
+
+use se_faults::lock_unpoisoned;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One peer's liveness as seen from this node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PeerState {
+    /// Acking heartbeats inside the suspicion window; fully routable.
+    Alive,
+    /// Missed acks past `suspect_after`; routed around, not yet given up.
+    Suspect,
+    /// Missed acks past `dead_after` (or announced LEAVE); the ring routes
+    /// to its next live successor and pushes destined for it queue as
+    /// hints.
+    Dead,
+    /// Reachable again after `Dead` but not yet confirmed — the window in
+    /// which queued hints replay. A further ack or a JOIN promotes it.
+    Rejoining,
+}
+
+impl PeerState {
+    /// The lowercase wire/metrics name of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PeerState::Alive => "alive",
+            PeerState::Suspect => "suspect",
+            PeerState::Dead => "dead",
+            PeerState::Rejoining => "rejoining",
+        }
+    }
+
+    /// Stable numeric code for the `se_peer_state` gauge
+    /// (0 = alive, 1 = suspect, 2 = dead, 3 = rejoining).
+    pub fn code(self) -> u64 {
+        match self {
+            PeerState::Alive => 0,
+            PeerState::Suspect => 1,
+            PeerState::Dead => 2,
+            PeerState::Rejoining => 3,
+        }
+    }
+
+    /// Whether the mesh may route work (forwards, replication pushes) to a
+    /// peer in this state. `Rejoining` counts: the peer answered recently
+    /// and pushing entries to it is exactly how it warms back up.
+    pub fn routable(self) -> bool {
+        matches!(self, PeerState::Alive | PeerState::Rejoining)
+    }
+}
+
+/// A monotonic millisecond clock the failure detector reads time from.
+///
+/// Production uses [`Clock::system`]; tests use [`Clock::manual`] and
+/// advance the shared counter to force suspicion transitions without
+/// real waiting.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Milliseconds since an arbitrary process-local epoch.
+    System(Instant),
+    /// Reads a shared counter advanced explicitly by a test.
+    Manual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// The real monotonic clock.
+    pub fn system() -> Clock {
+        Clock::System(Instant::now())
+    }
+
+    /// A test clock plus the handle that advances it (milliseconds).
+    pub fn manual() -> (Clock, Arc<AtomicU64>) {
+        let t = Arc::new(AtomicU64::new(0));
+        (Clock::Manual(Arc::clone(&t)), t)
+    }
+
+    /// Current time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        match self {
+            Clock::System(epoch) => epoch.elapsed().as_millis() as u64,
+            Clock::Manual(t) => t.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// One observed state change, `(peer, from, to)` — callers turn these into
+/// `se_peer_transitions_total` bumps and hint replays.
+pub type Transition = (String, PeerState, PeerState);
+
+#[derive(Debug)]
+struct Member {
+    state: PeerState,
+    /// Clock reading of the last ack (or admission).
+    last_ack_ms: u64,
+    /// The peer's resolved address, feeding the live REPLICATE allowlist.
+    ip: Option<IpAddr>,
+}
+
+/// This node's member table: peer name → liveness, plus the suspicion
+/// windows. Interior mutability so the mesh can share it between the
+/// heartbeat thread and request handlers.
+#[derive(Debug)]
+pub struct MemberTable {
+    members: Mutex<HashMap<String, Member>>,
+    clock: Clock,
+    suspect_after_ms: u64,
+    dead_after_ms: u64,
+}
+
+impl MemberTable {
+    /// A table of the configured peers, all starting `Alive` (a node boots
+    /// optimistic; a genuinely dead peer is suspected one window later).
+    /// `suspect_after_ms`/`dead_after_ms` are clamped to ≥ 1 and ordered
+    /// (`dead` at least `suspect`).
+    pub fn new<S: AsRef<str>>(
+        peers: &[S],
+        ips: &HashMap<String, IpAddr>,
+        clock: Clock,
+        suspect_after_ms: u64,
+        dead_after_ms: u64,
+    ) -> MemberTable {
+        let now = clock.now_ms();
+        let members = peers
+            .iter()
+            .map(|p| {
+                let name = p.as_ref().to_string();
+                let ip = ips.get(&name).copied();
+                (
+                    name,
+                    Member {
+                        state: PeerState::Alive,
+                        last_ack_ms: now,
+                        ip,
+                    },
+                )
+            })
+            .collect();
+        let suspect_after_ms = suspect_after_ms.max(1);
+        MemberTable {
+            members: Mutex::new(members),
+            clock,
+            suspect_after_ms,
+            dead_after_ms: dead_after_ms.max(suspect_after_ms),
+        }
+    }
+
+    /// The table's clock (shared with the heartbeat scheduler).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Records a liveness proof for `peer` — a heartbeat ack, or any
+    /// request that could only come from it. `Suspect` recovers straight
+    /// to `Alive`; `Dead` steps to `Rejoining` (opening the hint-replay
+    /// window); a `Rejoining` peer's next proof completes the rejoin.
+    /// Unknown peers are ignored (admission is [`MemberTable::admit`]'s
+    /// job). Returns the transition, if one happened.
+    pub fn record_ack(&self, peer: &str) -> Option<Transition> {
+        let now = self.clock.now_ms();
+        let mut members = lock_unpoisoned(&self.members);
+        let m = members.get_mut(peer)?;
+        m.last_ack_ms = now;
+        let from = m.state;
+        m.state = match from {
+            PeerState::Alive | PeerState::Suspect => PeerState::Alive,
+            PeerState::Dead => PeerState::Rejoining,
+            PeerState::Rejoining => PeerState::Alive,
+        };
+        (m.state != from).then(|| (peer.to_string(), from, m.state))
+    }
+
+    /// Advances the suspicion state machine against the clock: a routable
+    /// peer with no ack for `suspect_after` becomes `Suspect`, a `Suspect`
+    /// peer with no ack for `dead_after` becomes `Dead`. Returns every
+    /// transition that fired.
+    pub fn tick(&self) -> Vec<Transition> {
+        let now = self.clock.now_ms();
+        let mut out = Vec::new();
+        let mut members = lock_unpoisoned(&self.members);
+        for (name, m) in members.iter_mut() {
+            let silent = now.saturating_sub(m.last_ack_ms);
+            let next = match m.state {
+                PeerState::Alive | PeerState::Rejoining if silent >= self.suspect_after_ms => {
+                    PeerState::Suspect
+                }
+                PeerState::Suspect if silent >= self.dead_after_ms => PeerState::Dead,
+                s => s,
+            };
+            if next != m.state {
+                out.push((name.clone(), m.state, next));
+                m.state = next;
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Admits `peer` (a JOIN announcement): a new name is inserted
+    /// `Alive`, a known one is promoted to `Alive` from any state. `ip`
+    /// (the announcement's source address) joins the REPLICATE allowlist.
+    /// Returns `(newly_inserted, transition)`.
+    pub fn admit(&self, peer: &str, ip: Option<IpAddr>) -> (bool, Option<Transition>) {
+        let now = self.clock.now_ms();
+        let mut members = lock_unpoisoned(&self.members);
+        match members.get_mut(peer) {
+            Some(m) => {
+                m.last_ack_ms = now;
+                if ip.is_some() {
+                    m.ip = ip;
+                }
+                let from = m.state;
+                m.state = PeerState::Alive;
+                (
+                    false,
+                    (from != PeerState::Alive).then(|| (peer.to_string(), from, PeerState::Alive)),
+                )
+            }
+            None => {
+                members.insert(
+                    peer.to_string(),
+                    Member {
+                        state: PeerState::Alive,
+                        last_ack_ms: now,
+                        ip,
+                    },
+                );
+                (true, None)
+            }
+        }
+    }
+
+    /// Marks `peer` `Dead` immediately (a LEAVE announcement, or a drain
+    /// observed directly). Returns the transition, if any.
+    pub fn depart(&self, peer: &str) -> Option<Transition> {
+        let mut members = lock_unpoisoned(&self.members);
+        let m = members.get_mut(peer)?;
+        let from = m.state;
+        m.state = PeerState::Dead;
+        (from != PeerState::Dead).then(|| (peer.to_string(), from, PeerState::Dead))
+    }
+
+    /// The current state of `peer` (`None` for unknown names).
+    pub fn state(&self, peer: &str) -> Option<PeerState> {
+        lock_unpoisoned(&self.members).get(peer).map(|m| m.state)
+    }
+
+    /// Whether `peer` may be routed to ([`PeerState::routable`]); unknown
+    /// names are not.
+    pub fn routable(&self, peer: &str) -> bool {
+        self.state(peer).is_some_and(PeerState::routable)
+    }
+
+    /// Every known member with its state, sorted by name — the STATS
+    /// `mesh.members` array and the `se_peer_state` gauge.
+    pub fn snapshot(&self) -> Vec<(String, PeerState)> {
+        let mut out: Vec<(String, PeerState)> = lock_unpoisoned(&self.members)
+            .iter()
+            .map(|(name, m)| (name.clone(), m.state))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Known member names, sorted (every state — the heartbeat loop pings
+    /// dead peers too; that is how they are discovered alive again).
+    pub fn names(&self) -> Vec<String> {
+        let mut out: Vec<String> = lock_unpoisoned(&self.members).keys().cloned().collect();
+        out.sort();
+        out
+    }
+
+    /// Whether `ip` belongs to any known member — the live REPLICATE
+    /// allowlist. Dead members stay allowed: a restarted peer replays its
+    /// hints the moment it returns, possibly before its JOIN is processed.
+    pub fn allows_ip(&self, ip: IpAddr) -> bool {
+        lock_unpoisoned(&self.members)
+            .values()
+            .any(|m| m.ip == Some(ip))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(suspect_ms: u64, dead_ms: u64) -> (MemberTable, Arc<AtomicU64>) {
+        let (clock, t) = Clock::manual();
+        let ips = HashMap::from([("b:1".to_string(), "10.0.0.2".parse().unwrap())]);
+        let peers = ["a:1", "b:1"];
+        (
+            MemberTable::new(&peers, &ips, clock, suspect_ms, dead_ms),
+            t,
+        )
+    }
+
+    #[test]
+    fn silence_walks_alive_suspect_dead_and_acks_recover() {
+        let (mt, t) = table(100, 300);
+        assert_eq!(mt.state("a:1"), Some(PeerState::Alive));
+        assert!(mt.tick().is_empty(), "fresh members are in their window");
+
+        t.store(100, Ordering::SeqCst);
+        let trans = mt.tick();
+        assert_eq!(trans.len(), 2);
+        assert!(trans
+            .iter()
+            .all(|(_, f, to)| *f == PeerState::Alive && *to == PeerState::Suspect));
+
+        // One peer acks: straight back to Alive. The other stays Suspect
+        // until the dead window, then Dead.
+        assert_eq!(
+            mt.record_ack("a:1"),
+            Some(("a:1".to_string(), PeerState::Suspect, PeerState::Alive))
+        );
+        t.store(300, Ordering::SeqCst);
+        let trans = mt.tick();
+        assert_eq!(
+            trans,
+            vec![
+                ("a:1".to_string(), PeerState::Alive, PeerState::Suspect),
+                ("b:1".to_string(), PeerState::Suspect, PeerState::Dead),
+            ]
+        );
+        assert!(!mt.routable("b:1"));
+        assert!(!mt.routable("a:1"), "suspects are routed around too");
+    }
+
+    #[test]
+    fn a_dead_peer_rejoins_via_rejoining() {
+        let (mt, t) = table(10, 20);
+        t.store(25, Ordering::SeqCst);
+        mt.tick(); // everyone Suspect…
+        t.store(50, Ordering::SeqCst);
+        mt.tick(); // …then Dead.
+        assert_eq!(mt.state("b:1"), Some(PeerState::Dead));
+
+        // First proof of life opens the replay window, the second
+        // completes the rejoin.
+        assert_eq!(
+            mt.record_ack("b:1"),
+            Some(("b:1".to_string(), PeerState::Dead, PeerState::Rejoining))
+        );
+        assert!(mt.routable("b:1"), "rejoining peers take pushes");
+        assert_eq!(
+            mt.record_ack("b:1"),
+            Some(("b:1".to_string(), PeerState::Rejoining, PeerState::Alive))
+        );
+        assert_eq!(mt.record_ack("b:1"), None, "steady state has no edges");
+    }
+
+    #[test]
+    fn join_admits_and_leave_departs_immediately() {
+        let (mt, _t) = table(10, 20);
+        let (new, trans) = mt.admit("c:1", "10.0.0.9".parse().ok());
+        assert!(new && trans.is_none());
+        assert_eq!(mt.state("c:1"), Some(PeerState::Alive));
+        assert!(mt.allows_ip("10.0.0.9".parse().unwrap()));
+
+        assert_eq!(
+            mt.depart("c:1"),
+            Some(("c:1".to_string(), PeerState::Alive, PeerState::Dead))
+        );
+        // A JOIN from a Dead member readmits it without the ack dance.
+        let (new, trans) = mt.admit("c:1", None);
+        assert!(!new);
+        assert_eq!(
+            trans,
+            Some(("c:1".to_string(), PeerState::Dead, PeerState::Alive))
+        );
+        // Unknown peers never ack into existence.
+        assert_eq!(mt.record_ack("ghost:1"), None);
+        assert_eq!(mt.state("ghost:1"), None);
+    }
+
+    #[test]
+    fn allowlist_tracks_the_member_table() {
+        let (mt, _t) = table(10, 20);
+        assert!(mt.allows_ip("10.0.0.2".parse().unwrap()));
+        assert!(!mt.allows_ip("10.0.0.3".parse().unwrap()));
+        mt.admit("d:1", "10.0.0.3".parse().ok());
+        assert!(mt.allows_ip("10.0.0.3".parse().unwrap()));
+        // Departed members keep their allowlist entry: a restarting peer
+        // may push hints before its JOIN lands.
+        mt.depart("d:1");
+        assert!(mt.allows_ip("10.0.0.3".parse().unwrap()));
+    }
+}

@@ -133,6 +133,18 @@ pub struct Metrics {
     /// Cache entries received from peers via REPLICATE (replication or
     /// drain handoff) and stored locally.
     pub peer_entries_received: AtomicU64,
+    /// Queued hints delivered to their returned target peer.
+    pub hints_replayed: AtomicU64,
+    /// Hints dropped — queue overflow (oldest first) or corruption
+    /// detected at replay validation.
+    pub hints_dropped: AtomicU64,
+    /// Entries re-pushed to a diverged replica by the anti-entropy
+    /// digest exchange.
+    pub antientropy_repairs: AtomicU64,
+    /// Peer suspicion-state transitions, keyed `from:to` (lowercase
+    /// state names) — rendered as the two-label
+    /// `se_peer_transitions_total{from=,to=}` family.
+    peer_transitions: Mutex<Vec<(String, u64)>>,
     /// Degraded ORDER responses by machine-readable reason
     /// (`not_converged`, `deadline`, `cancelled`, `matvec_cap`,
     /// `numerical`, `fault:<site>`).
@@ -198,6 +210,17 @@ impl Metrics {
     /// the exhausted budget.
     pub fn inc_budget_abort(&self, stage: &str) {
         Self::bump_keyed(&self.budget_aborts, stage);
+    }
+
+    /// Counts one peer suspicion-state transition
+    /// ([`crate::membership::PeerState`] names, e.g. `alive` → `suspect`).
+    pub fn inc_peer_transition(&self, from: &str, to: &str) {
+        Self::bump_keyed(&self.peer_transitions, &format!("{from}:{to}"));
+    }
+
+    /// Transitions counted for the `from` → `to` edge.
+    pub fn peer_transition_count(&self, from: &str, to: &str) -> u64 {
+        Self::keyed_value(&self.peer_transitions, &format!("{from}:{to}"))
     }
 
     /// Degraded responses counted for `reason`.
@@ -311,6 +334,10 @@ impl Metrics {
                 load(&self.peer_replication_failures),
             ),
             ("peer_entries_received", load(&self.peer_entries_received)),
+            ("hints_replayed", load(&self.hints_replayed)),
+            ("hints_dropped", load(&self.hints_dropped)),
+            ("antientropy_repairs", load(&self.antientropy_repairs)),
+            ("peer_transitions", keyed_json(&self.peer_transitions)),
             ("degraded_orders", keyed_json(&self.degraded_orders)),
             ("budget_aborts", keyed_json(&self.budget_aborts)),
             ("queue_depth", Json::Num(queue_depth as f64)),
@@ -437,6 +464,37 @@ impl Metrics {
             "Cache entries received from peers via REPLICATE.",
             load(&self.peer_entries_received),
         );
+        counter(
+            "se_hints_replayed_total",
+            "Queued handoff hints delivered to their returned target peer.",
+            load(&self.hints_replayed),
+        );
+        counter(
+            "se_hints_dropped_total",
+            "Hints dropped by queue overflow or replay-time corruption.",
+            load(&self.hints_dropped),
+        );
+        counter(
+            "se_antientropy_repairs_total",
+            "Entries re-pushed to a diverged replica by anti-entropy.",
+            load(&self.antientropy_repairs),
+        );
+
+        // Transition rows are keyed "from:to"; split into the two labels.
+        {
+            let name = "se_peer_transitions_total";
+            let _ = writeln!(
+                out,
+                "# HELP {name} Peer suspicion-state transitions observed by the failure detector."
+            );
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let mut rows = lock_unpoisoned(&self.peer_transitions).clone();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            for (edge, v) in rows {
+                let (from, to) = edge.split_once(':').unwrap_or((edge.as_str(), ""));
+                let _ = writeln!(out, "{name}{{from=\"{from}\",to=\"{to}\"}} {v}");
+            }
+        }
 
         let mut labeled_counter =
             |name: &str, help: &str, label: &str, table: &Mutex<Vec<(String, u64)>>| {
@@ -773,5 +831,39 @@ mod tests {
         // A non-mesh node reports zeros, not missing keys.
         let solo = Metrics::new().snapshot(0, 0, &[], false);
         assert_eq!(solo.get("peer_forwards").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn self_healing_counters_surface_in_snapshot_and_prometheus() {
+        let m = Metrics::new();
+        m.inc(&m.hints_replayed);
+        m.inc(&m.hints_dropped);
+        m.inc(&m.antientropy_repairs);
+        m.inc_peer_transition("alive", "suspect");
+        m.inc_peer_transition("alive", "suspect");
+        m.inc_peer_transition("suspect", "dead");
+        assert_eq!(m.peer_transition_count("alive", "suspect"), 2);
+        assert_eq!(m.peer_transition_count("dead", "rejoining"), 0);
+
+        let snap = m.snapshot(0, 0, &[], false);
+        assert_eq!(snap.get("hints_replayed").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("hints_dropped").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            snap.get("antientropy_repairs").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("peer_transitions")
+                .and_then(|t| t.get("alive:suspect"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+
+        let text = m.render_prometheus(0, 0, &[], false);
+        assert!(text.contains("se_hints_replayed_total 1"));
+        assert!(text.contains("se_hints_dropped_total 1"));
+        assert!(text.contains("se_antientropy_repairs_total 1"));
+        assert!(text.contains("se_peer_transitions_total{from=\"alive\",to=\"suspect\"} 2"));
+        assert!(text.contains("se_peer_transitions_total{from=\"suspect\",to=\"dead\"} 1"));
     }
 }

@@ -255,6 +255,50 @@ pub enum Request {
         /// The entry, encoded by [`crate::persist::encode_entry`].
         entry: Vec<u8>,
     },
+    /// Failure-detector heartbeat between mesh members: the sender names
+    /// itself so the receiver can record a passive liveness proof, and the
+    /// [`Response::Pong`] ack is the sender's own evidence. Multiplexed
+    /// over the ordinary peer connections — no separate heartbeat port.
+    Ping {
+        /// The sender's ring name (its bound address).
+        from: String,
+    },
+    /// Membership announcement: a (re)starting member asks to be admitted
+    /// to the ring. Any live member may admit it; the ack returns the
+    /// admitter's member list so the joiner learns names it was not
+    /// configured with. Never sent by ordinary clients.
+    Join {
+        /// The joiner's ring name (its bound address).
+        from: String,
+    },
+    /// Membership departure: a draining member announces it is leaving, so
+    /// peers mark it dead immediately instead of waiting out the suspicion
+    /// window. Accepted only from mesh member addresses.
+    Leave {
+        /// The leaver's ring name.
+        from: String,
+    },
+    /// Anti-entropy digest exchange: the sender's per-cache-shard FNV
+    /// summaries of the keys both it and the receiver replicate. The
+    /// receiver answers with the shards whose digests disagree plus its
+    /// own keys there ([`Response::SyncOk`]); the sender then repairs the
+    /// difference with ordinary `REPLICATE` pushes. Accepted only from
+    /// mesh member addresses.
+    Sync {
+        /// The sender's ring name.
+        from: String,
+        /// One FNV-1a digest per cache shard, over the sorted keys of the
+        /// shared replica range (see `OPERATIONS.md`).
+        digests: Vec<u64>,
+    },
+    /// Warm-up request from a joining member: the receiver bulk-returns
+    /// the cache entries (spill-file layout) whose keys the joiner now
+    /// owns, so the joiner serves hits before its first client asks.
+    /// Accepted only from mesh member addresses.
+    Warm {
+        /// The joiner's ring name.
+        from: String,
+    },
     /// Graceful drain and exit.
     Shutdown,
 }
@@ -466,6 +510,35 @@ pub enum Response {
         /// owner still has it).
         stored: bool,
     },
+    /// PING acknowledged — the liveness proof the failure detector feeds
+    /// on.
+    Pong {
+        /// The responder's ring name (empty outside a mesh).
+        from: String,
+    },
+    /// JOIN acknowledged: the joiner is admitted.
+    JoinOk {
+        /// The admitter's current member list (including itself), so the
+        /// joiner learns members it was not configured with.
+        members: Vec<String>,
+    },
+    /// LEAVE acknowledged.
+    LeaveOk,
+    /// SYNC answer: where the replicas diverge.
+    SyncOk {
+        /// Cache shards whose digest disagreed with the sender's.
+        shards: Vec<usize>,
+        /// The responder's keys in those shards (within the shared
+        /// replica range) — the sender pushes whatever it holds that is
+        /// missing here.
+        keys: Vec<u64>,
+    },
+    /// WARM answer: bulk entry transfer for a joiner's warm-up.
+    WarmOk {
+        /// Cache entries in the spill-file layout
+        /// ([`crate::persist::encode_entry`]), bounded by the responder.
+        entries: Vec<Vec<u8>>,
+    },
     /// Request failed.
     Error(ErrorResponse),
 }
@@ -511,6 +584,28 @@ fn hex_decode(s: &str) -> Option<Vec<u8>> {
     (0..s.len())
         .step_by(2)
         .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+/// A `u64` list (digests, cache keys) as one hex string — 16 chars per
+/// value, big-endian, no separators. Far denser on the wire than a JSON
+/// number array, and immune to the f64 precision loss 64-bit keys would
+/// suffer inside JSON numbers.
+fn hex_u64s(values: &[u64]) -> String {
+    let mut s = String::with_capacity(values.len() * 16);
+    for v in values {
+        s.push_str(&format!("{v:016x}"));
+    }
+    s
+}
+
+fn u64s_from_hex(s: &str) -> Option<Vec<u64>> {
+    if !s.len().is_multiple_of(16) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(16)
+        .map(|i| u64::from_str_radix(s.get(i..i + 16)?, 16).ok())
         .collect()
 }
 
@@ -747,6 +842,37 @@ fn response_to_json(r: &Response, mode: FrameMode, frames: &mut Vec<FramePayload
             ("replicated", Json::Bool(true)),
             ("stored", Json::Bool(*stored)),
         ]),
+        Response::Pong { from } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("pong", Json::Bool(true)),
+            ("from", Json::Str(from.clone())),
+        ]),
+        Response::JoinOk { members } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("joined", Json::Bool(true)),
+            (
+                "members",
+                Json::Arr(members.iter().map(|m| Json::Str(m.clone())).collect()),
+            ),
+        ]),
+        Response::LeaveOk => Json::obj(vec![("ok", Json::Bool(true)), ("left", Json::Bool(true))]),
+        Response::SyncOk { shards, keys } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("sync", Json::Bool(true)),
+            (
+                "shards",
+                Json::Arr(shards.iter().map(|s| Json::Num(*s as f64)).collect()),
+            ),
+            ("keys", Json::Str(hex_u64s(keys))),
+        ]),
+        Response::WarmOk { entries } => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("warm", Json::Bool(true)),
+            (
+                "entries",
+                Json::Arr(entries.iter().map(|e| Json::Str(hex_encode(e))).collect()),
+            ),
+        ]),
         Response::Progress(p) => {
             let mut pairs = vec![
                 ("ok", Json::Bool(true)),
@@ -858,6 +984,65 @@ fn response_from_json(v: &Json) -> Result<Response, ProtoError> {
             stored: v.get("stored").and_then(Json::as_bool).unwrap_or(false),
         });
     }
+    if v.get("pong").and_then(Json::as_bool) == Some(true) {
+        return Ok(Response::Pong {
+            from: v
+                .get("from")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        });
+    }
+    if v.get("joined").and_then(Json::as_bool) == Some(true) {
+        let members = v
+            .get("members")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| shape("JOIN ack needs a members array"))?
+            .iter()
+            .map(|m| {
+                m.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| shape("members must be strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Response::JoinOk { members });
+    }
+    if v.get("left").and_then(Json::as_bool) == Some(true) {
+        return Ok(Response::LeaveOk);
+    }
+    if v.get("sync").and_then(Json::as_bool) == Some(true) {
+        let shards = v
+            .get("shards")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| shape("SYNC ack needs a shards array"))?
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .map(|u| u as usize)
+                    .ok_or_else(|| shape("shards must be integers"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let keys = v
+            .get("keys")
+            .and_then(Json::as_str)
+            .and_then(u64s_from_hex)
+            .ok_or_else(|| shape("SYNC ack needs hex keys"))?;
+        return Ok(Response::SyncOk { shards, keys });
+    }
+    if v.get("warm").and_then(Json::as_bool) == Some(true) {
+        let entries = v
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| shape("WARM ack needs an entries array"))?
+            .iter()
+            .map(|e| {
+                e.as_str()
+                    .and_then(hex_decode)
+                    .ok_or_else(|| shape("entries must be hex strings"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Response::WarmOk { entries });
+    }
     if let Some(text) = v.get("metrics").and_then(Json::as_str) {
         return Ok(Response::Metrics(text.to_string()));
     }
@@ -946,6 +1131,27 @@ pub fn encode_request(r: &Request) -> String {
         Request::Replicate { entry } => Json::obj(vec![
             ("cmd", Json::Str("REPLICATE".to_string())),
             ("entry", Json::Str(hex_encode(entry))),
+        ]),
+        Request::Ping { from } => Json::obj(vec![
+            ("cmd", Json::Str("PING".to_string())),
+            ("from", Json::Str(from.clone())),
+        ]),
+        Request::Join { from } => Json::obj(vec![
+            ("cmd", Json::Str("JOIN".to_string())),
+            ("from", Json::Str(from.clone())),
+        ]),
+        Request::Leave { from } => Json::obj(vec![
+            ("cmd", Json::Str("LEAVE".to_string())),
+            ("from", Json::Str(from.clone())),
+        ]),
+        Request::Sync { from, digests } => Json::obj(vec![
+            ("cmd", Json::Str("SYNC".to_string())),
+            ("from", Json::Str(from.clone())),
+            ("digests", Json::Str(hex_u64s(digests))),
+        ]),
+        Request::Warm { from } => Json::obj(vec![
+            ("cmd", Json::Str("WARM".to_string())),
+            ("from", Json::Str(from.clone())),
         ]),
         Request::Shutdown => Json::obj(vec![("cmd", Json::Str("SHUTDOWN".to_string()))]),
     };
@@ -1090,6 +1296,32 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
                 entry: hex_decode(entry).ok_or_else(|| shape("entry is not valid hex"))?,
             })
         }
+        "PING" | "JOIN" | "LEAVE" | "WARM" => {
+            let from = v
+                .get("from")
+                .and_then(Json::as_str)
+                .ok_or_else(|| shape(format!("{cmd} needs a from address")))?
+                .to_string();
+            Ok(match cmd.to_ascii_uppercase().as_str() {
+                "PING" => Request::Ping { from },
+                "JOIN" => Request::Join { from },
+                "LEAVE" => Request::Leave { from },
+                _ => Request::Warm { from },
+            })
+        }
+        "SYNC" => {
+            let from = v
+                .get("from")
+                .and_then(Json::as_str)
+                .ok_or_else(|| shape("SYNC needs a from address"))?
+                .to_string();
+            let digests = v
+                .get("digests")
+                .and_then(Json::as_str)
+                .and_then(u64s_from_hex)
+                .ok_or_else(|| shape("SYNC needs a hex digests string"))?;
+            Ok(Request::Sync { from, digests })
+        }
         "SHUTDOWN" => Ok(Request::Shutdown),
         other => Err(shape(format!("unknown cmd '{other}'"))),
     }
@@ -1170,6 +1402,89 @@ mod tests {
             assert!(line.contains(r#""replicated":true"#));
             assert_eq!(decode_response(&line).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn membership_commands_roundtrip() {
+        let from = "10.0.0.1:7878".to_string();
+        for req in [
+            Request::Ping { from: from.clone() },
+            Request::Join { from: from.clone() },
+            Request::Leave { from: from.clone() },
+            Request::Warm { from: from.clone() },
+        ] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+        // All four carry a sender; a missing one is a shape error.
+        for cmd in ["PING", "JOIN", "LEAVE", "WARM"] {
+            assert!(decode_request(&format!(r#"{{"cmd":"{cmd}"}}"#)).is_err());
+        }
+
+        let resp = Response::Pong { from: from.clone() };
+        let line = encode_response(&resp);
+        assert!(line.contains(r#""pong":true"#));
+        assert_eq!(decode_response(&line).unwrap(), resp);
+
+        let resp = Response::JoinOk {
+            members: vec!["a:1".into(), "b:2".into()],
+        };
+        let line = encode_response(&resp);
+        assert!(line.contains(r#""joined":true"#));
+        assert_eq!(decode_response(&line).unwrap(), resp);
+
+        let resp = Response::LeaveOk;
+        let line = encode_response(&resp);
+        assert!(line.contains(r#""left":true"#));
+        assert_eq!(decode_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn sync_and_warm_roundtrip_with_hex_u64_lists() {
+        // u64 digests above 2^53 must survive the JSON hop bit-exactly,
+        // which is why they travel as hex strings rather than numbers.
+        let big = u64::MAX - 3;
+        let req = Request::Sync {
+            from: "10.0.0.1:7878".into(),
+            digests: vec![0, 1, big],
+        };
+        let line = encode_request(&req);
+        assert!(line.contains(r#""cmd":"SYNC""#));
+        assert_eq!(decode_request(&line).unwrap(), req);
+        assert!(decode_request(r#"{"cmd":"SYNC","from":"a:1"}"#).is_err());
+        assert!(decode_request(r#"{"cmd":"SYNC","from":"a:1","digests":"123"}"#).is_err());
+
+        let resp = Response::SyncOk {
+            shards: vec![0, 5, 11],
+            keys: vec![big, 42],
+        };
+        let line = encode_response(&resp);
+        assert!(line.contains(r#""sync":true"#));
+        assert_eq!(decode_response(&line).unwrap(), resp);
+
+        let entry = crate::persist::encode_entry(&crate::persist::PersistedEntry {
+            key: 0xfeed,
+            n: 3,
+            adjacency_len: 2,
+            stats: sparsemat::envelope::EnvelopeStats {
+                envelope_size: 1,
+                bandwidth: 1,
+                envelope_work: 2,
+                one_sum: 3,
+                two_sum_sq: 4,
+            },
+            compression_ratio: None,
+            degraded: None,
+            perm: vec![0, 1, 2],
+        });
+        let resp = Response::WarmOk {
+            entries: vec![entry.clone(), entry],
+        };
+        let line = encode_response(&resp);
+        assert!(line.contains(r#""warm":true"#));
+        assert_eq!(decode_response(&line).unwrap(), resp);
+        // An empty warm answer (nothing owned) is legal.
+        let empty = Response::WarmOk { entries: vec![] };
+        assert_eq!(decode_response(&encode_response(&empty)).unwrap(), empty);
     }
 
     #[test]

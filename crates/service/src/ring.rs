@@ -34,6 +34,8 @@ pub struct HashRing {
     /// `(point, node index)` sorted by point.
     points: Vec<(u64, usize)>,
     nodes: Vec<String>,
+    /// Points per member, kept so live add/remove rebuilds identically.
+    vnodes: usize,
 }
 
 /// Final avalanche step (the splitmix64 finalizer). FNV-1a is a fine
@@ -76,6 +78,7 @@ impl HashRing {
         HashRing {
             points,
             nodes: names,
+            vnodes,
         }
     }
 
@@ -132,6 +135,46 @@ impl HashRing {
             }
         }
         out
+    }
+
+    /// Whether `name` is currently on the ring.
+    pub fn contains(&self, name: &str) -> bool {
+        self.nodes.iter().any(|n| n == name)
+    }
+
+    /// Adds `name` to the ring without disturbing any other member's
+    /// points: the resulting ring is bit-identical to one constructed from
+    /// the enlarged name set, so every node that applies the same JOIN
+    /// converges on the same ownership. Returns `false` (and changes
+    /// nothing) when the name is already a member.
+    pub fn add(&mut self, name: &str) -> bool {
+        if self.contains(name) {
+            return false;
+        }
+        self.rebuild_with(|names| names.push(name.to_string()));
+        true
+    }
+
+    /// Removes `name` from the ring; only keys it owned change owner (the
+    /// defining consistent-hashing property, pinned by the module tests).
+    /// Returns `false` when the name was not a member. Removing the last
+    /// node leaves an empty ring — callers guard against removing
+    /// themselves.
+    pub fn remove(&mut self, name: &str) -> bool {
+        if !self.contains(name) {
+            return false;
+        }
+        self.rebuild_with(|names| names.retain(|n| n != name));
+        true
+    }
+
+    /// Applies `edit` to the name set and rebuilds the point list exactly
+    /// as [`HashRing::new`] would — membership changes stay a pure
+    /// function of the name set, never of the edit order.
+    fn rebuild_with(&mut self, edit: impl FnOnce(&mut Vec<String>)) {
+        let mut names = std::mem::take(&mut self.nodes);
+        edit(&mut names);
+        *self = HashRing::new(&names, self.vnodes);
     }
 
     /// The owner of `key` on the ring with `exclude` removed — where a
@@ -277,6 +320,32 @@ mod tests {
         }
         let solo = HashRing::new(&["only:1"], 8);
         assert_eq!(solo.owner_excluding(7, "only:1"), None);
+    }
+
+    #[test]
+    fn live_add_and_remove_match_fresh_construction() {
+        // A ring grown (or shrunk) one member at a time must be
+        // indistinguishable from one built from the final name set — the
+        // property every JOIN/LEAVE applier relies on to converge.
+        let mut live = HashRing::new(&names(3), DEFAULT_VNODES);
+        assert!(live.add(&names(5)[3]));
+        assert!(live.add(&names(5)[4]));
+        assert!(!live.add(&names(5)[4]), "re-adding a member is a no-op");
+        let fresh = HashRing::new(&names(5), DEFAULT_VNODES);
+        assert_eq!(live.nodes(), fresh.nodes());
+        for key in (0..10_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)) {
+            assert_eq!(live.owner(key), fresh.owner(key));
+            assert_eq!(live.replicas(key, 3), fresh.replicas(key, 3));
+        }
+        assert!(live.remove(&names(5)[1]));
+        assert!(!live.remove(&names(5)[1]), "re-removing is a no-op");
+        let reduced: Vec<String> = names(5).into_iter().filter(|n| *n != names(5)[1]).collect();
+        let fresh = HashRing::new(&reduced, DEFAULT_VNODES);
+        for key in (0..10_000u64).map(|i| i.wrapping_mul(0x517cc1b727220a95)) {
+            assert_eq!(live.owner(key), fresh.owner(key));
+        }
+        assert!(live.contains(&names(5)[0]));
+        assert!(!live.contains(&names(5)[1]));
     }
 
     #[test]

@@ -385,6 +385,59 @@ impl Handler<SessionMsg> for Session {
                 let bytes = render(&resp, self.mode, None);
                 self.ready(ctx, seq, bytes);
             }
+            // Membership traffic answers inline like STATS: every handler
+            // is a cheap in-memory operation (WARM reads the cache but
+            // never computes). PING and JOIN are open; LEAVE / SYNC /
+            // WARM are member-gated inside the engine handlers.
+            Ok(Request::Ping { from }) => {
+                let resp = self.engine.handle_ping(&from);
+                let bytes = render(&resp, self.mode, None);
+                self.ready(ctx, seq, bytes);
+            }
+            Ok(Request::Join { from }) => {
+                let resp = match self.engine.handle_join(&from, self.peer) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.metrics().inc(&self.metrics().errors);
+                        Response::Error(e)
+                    }
+                };
+                let bytes = render(&resp, self.mode, None);
+                self.ready(ctx, seq, bytes);
+            }
+            Ok(Request::Leave { from }) => {
+                let resp = match self.engine.handle_leave(&from, self.peer) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.metrics().inc(&self.metrics().errors);
+                        Response::Error(e)
+                    }
+                };
+                let bytes = render(&resp, self.mode, None);
+                self.ready(ctx, seq, bytes);
+            }
+            Ok(Request::Sync { from, digests }) => {
+                let resp = match self.engine.handle_sync(&from, &digests, self.peer) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.metrics().inc(&self.metrics().errors);
+                        Response::Error(e)
+                    }
+                };
+                let bytes = render(&resp, self.mode, None);
+                self.ready(ctx, seq, bytes);
+            }
+            Ok(Request::Warm { from }) => {
+                let resp = match self.engine.handle_warm(&from, self.peer) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.metrics().inc(&self.metrics().errors);
+                        Response::Error(e)
+                    }
+                };
+                let bytes = render(&resp, self.mode, None);
+                self.ready(ctx, seq, bytes);
+            }
             Ok(Request::Shutdown) => {
                 // Draining the pool blocks, so it runs on its own thread;
                 // the ack comes back as a ShutdownReady message. Completions

@@ -92,6 +92,34 @@ pub struct Config {
     /// default, keeps a single copy and `2` means owner + one replica).
     /// Clamped to ≥ 1; ignored without peers.
     pub replicas: usize,
+    /// Dial deadline for one peer connection, ms
+    /// (`--peer-dial-timeout-ms`, default 250). Bounds how long a
+    /// blackholed peer can stall a forward, a replication push or a
+    /// heartbeat before the mesh moves on.
+    pub peer_dial_timeout_ms: u64,
+    /// Socket read/write deadline on peer connections, ms
+    /// (`--peer-io-timeout-ms`, default 2000). Wider than the dial
+    /// deadline so a forwarded cache *miss* has time to compute at the
+    /// owner; also the deadline on heartbeat and membership exchanges.
+    pub peer_io_timeout_ms: u64,
+    /// Failure-detector heartbeat period, ms (`--peer-heartbeat-ms`,
+    /// default 1000). Each round PINGs every known member with seeded
+    /// jitter; suspicion windows are measured against the acks.
+    pub peer_heartbeat_ms: u64,
+    /// Silence before an `Alive` member turns `Suspect`, ms
+    /// (`--peer-suspect-after-ms`, default 3000 — three missed
+    /// heartbeats at the default period).
+    pub peer_suspect_after_ms: u64,
+    /// Silence before a `Suspect` member turns `Dead`, ms
+    /// (`--peer-dead-after-ms`, default 10000). Clamped to at least the
+    /// suspect window.
+    pub peer_dead_after_ms: u64,
+    /// Run the anti-entropy digest exchange every N heartbeat rounds
+    /// (default 8); 0 disables anti-entropy.
+    pub antientropy_every: u32,
+    /// Hinted-handoff queue depth per unreachable peer (default 512);
+    /// past the cap the oldest hint is dropped and counted.
+    pub hint_cap: usize,
 }
 
 impl Default for Config {
@@ -115,6 +143,13 @@ impl Default for Config {
             legacy_transport: false,
             peers: Vec::new(),
             replicas: 1,
+            peer_dial_timeout_ms: 250,
+            peer_io_timeout_ms: 2_000,
+            peer_heartbeat_ms: 1_000,
+            peer_suspect_after_ms: 3_000,
+            peer_dead_after_ms: 10_000,
+            antientropy_every: 8,
+            hint_cap: crate::hints::DEFAULT_HINT_CAP,
         }
     }
 }
@@ -173,6 +208,9 @@ pub fn serve(cfg: Config) -> std::io::Result<ServerHandle> {
         ));
     }
     let engine = Arc::new(Engine::new(&cfg, addr)?);
+    // With a mesh configured, announce/warm/heartbeat in the background;
+    // a plain single node spawns nothing.
+    engine.start_mesh_tasks(&cfg);
     let accept_engine = Arc::clone(&engine);
     let max_conns = cfg.max_conns.max(1);
     let rate = cfg

@@ -93,6 +93,41 @@ pub fn run(mut conn: Conn, engine: &Arc<Engine>, peer: Option<IpAddr>, rate: Opt
                     }
                 }
             }
+            // Membership traffic: PING is open (liveness probes are
+            // harmless), JOIN is open by design (a rejoining node's own
+            // address may not be in the allowlist yet), LEAVE / SYNC /
+            // WARM are member-gated like REPLICATE.
+            Ok(Request::Ping { from }) => engine.handle_ping(&from),
+            Ok(Request::Join { from }) => match engine.handle_join(&from, peer) {
+                Ok(r) => r,
+                Err(e) => {
+                    engine.metrics().inc(&engine.metrics().errors);
+                    Response::Error(e)
+                }
+            },
+            Ok(Request::Leave { from }) => match engine.handle_leave(&from, peer) {
+                Ok(r) => r,
+                Err(e) => {
+                    engine.metrics().inc(&engine.metrics().errors);
+                    Response::Error(e)
+                }
+            },
+            Ok(Request::Sync { from, digests }) => {
+                match engine.handle_sync(&from, &digests, peer) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        engine.metrics().inc(&engine.metrics().errors);
+                        Response::Error(e)
+                    }
+                }
+            }
+            Ok(Request::Warm { from }) => match engine.handle_warm(&from, peer) {
+                Ok(r) => r,
+                Err(e) => {
+                    engine.metrics().inc(&engine.metrics().errors);
+                    Response::Error(e)
+                }
+            },
             Ok(Request::Shutdown) => {
                 let drained = engine.begin_shutdown();
                 let resp = Response::ShutdownOk { drained };

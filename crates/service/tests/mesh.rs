@@ -64,7 +64,7 @@ fn start_mesh(
     replicas: usize,
     mut tweak: impl FnMut(usize, &mut Config),
 ) -> Vec<ServerHandle> {
-    addrs
+    let handles = addrs
         .iter()
         .enumerate()
         .map(|(i, addr)| {
@@ -78,12 +78,31 @@ fn start_mesh(
                 addr: addr.clone(),
                 peers,
                 replicas,
+                // This suite exercises the synchronous mesh paths with
+                // exact counter assertions; park the background healing
+                // (heartbeats, hint replay, anti-entropy) far beyond any
+                // test's lifetime so it cannot perturb the counts. The
+                // membership suite owns the background machinery.
+                peer_heartbeat_ms: 600_000,
+                antientropy_every: 0,
                 ..Config::default()
             };
             tweak(i, &mut cfg);
             serve(cfg).expect("bind reserved mesh port")
         })
-        .collect()
+        .collect::<Vec<_>>();
+    // Wait out every node's startup JOIN + WARM pull: a WARM response
+    // landing mid-test would deliver entries outside the synchronous
+    // paths this suite pins down with exact counts.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !handles.iter().all(|h| h.engine().mesh_warmed()) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mesh startup warm-up did not finish"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    handles
 }
 
 /// Probes grid graphs until one's cache key is owned by `node` (all ring

@@ -60,7 +60,7 @@ fn start_mesh(
     replicas: usize,
     mut tweak: impl FnMut(usize, &mut Config),
 ) -> Vec<ServerHandle> {
-    addrs
+    let handles = addrs
         .iter()
         .enumerate()
         .map(|(i, addr)| {
@@ -74,12 +74,31 @@ fn start_mesh(
                 addr: addr.clone(),
                 peers,
                 replicas,
+                // This suite exercises the synchronous mesh paths with
+                // exact counter assertions; park the background healing
+                // (heartbeats, hint replay, anti-entropy) far beyond any
+                // test's lifetime so it cannot perturb the counts. The
+                // membership suite owns the background machinery.
+                peer_heartbeat_ms: 600_000,
+                antientropy_every: 0,
                 ..Config::default()
             };
             tweak(i, &mut cfg);
             serve(cfg).expect("bind reserved mesh port")
         })
-        .collect()
+        .collect::<Vec<_>>();
+    // Wait out every node's startup JOIN + WARM pull: a WARM response
+    // landing mid-test would deliver entries outside the synchronous
+    // paths this suite pins down with exact counts.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !handles.iter().all(|h| h.engine().mesh_warmed()) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mesh startup warm-up did not finish"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    handles
 }
 
 /// Probes grid graphs until one's cache key — for the algorithm the test
@@ -102,14 +121,27 @@ fn counter(stats: &Json, name: &str) -> u64 {
 }
 
 /// Kill the owner of a key (real SHUTDOWN, so its port refuses), then ask
-/// a survivor: the forward attempts fail fast through the retry policy
-/// and the survivor computes the answer locally — a correct response,
-/// never an error line.
+/// a survivor: the departing node's LEAVE announcement took it off the
+/// ring, so the survivor now *owns* the key outright and computes it
+/// locally — no forward attempt, no error line. (Fail-fast forwarding at
+/// an unreachable peer that did NOT get to say LEAVE is covered by the
+/// partition test below and the membership suite's SIGKILL test.)
 #[test]
 fn killed_owner_is_answered_locally_by_survivors() {
     let addrs = reserve_addrs(3);
     let handles = start_mesh(&addrs, 1, |_, _| {});
-    let g = graph_owned_by(&handles[0], &addrs[2], se_order::Algorithm::Rcm);
+    // A key the doomed node owns whose post-LEAVE owner is the survivor
+    // we will query — otherwise the query node would (correctly) forward
+    // to the other survivor instead of answering itself.
+    let ring = handles[0].engine().mesh().unwrap().ring();
+    let g = (8..400)
+        .map(|w| meshgen::grid2d(w, 7))
+        .find(|g| {
+            let key = se_service::cache::pattern_key(g, se_order::Algorithm::Rcm, false);
+            ring.owner(key) == addrs[2]
+                && ring.owner_excluding(key, &addrs[2]) == Some(addrs[0].as_str())
+        })
+        .expect("a probe graph owned by the victim with the queried survivor next");
 
     // Take the owner down for real.
     Client::connect(handles[2].local_addr())
@@ -128,9 +160,16 @@ fn killed_owner_is_answered_locally_by_survivors() {
         "a healthy local solve is not degraded"
     );
 
+    // LEAVE removed the dead owner from the live ring, so the survivor
+    // served the key as its own — it never even tried to forward.
     let s = survivor.stats().unwrap();
     assert_eq!(counter(&s, "peer_forwards"), 0);
-    assert_eq!(counter(&s, "peer_forward_failures"), 1);
+    assert_eq!(counter(&s, "peer_forward_failures"), 0);
+    let mesh0 = handles[0].engine().mesh().unwrap();
+    assert!(
+        !mesh0.ring().contains(&addrs[2]),
+        "a graceful departure reshapes the ring"
+    );
 
     // The locally computed fallback entry serves later asks as plain hits.
     let again = survivor
@@ -210,7 +249,9 @@ fn dead_peer_plus_solver_faults_walk_the_ladder_not_error() {
     assert_eq!(r.alg, "RCM", "rung 3 produced the fallback answer");
     assert_eq!(r.degraded.as_deref(), Some("not_converged"));
     assert_valid_perm(r.perm.as_ref().unwrap().order(), g.n());
-    assert_eq!(counter(&c.stats().unwrap(), "peer_forward_failures"), 1);
+    // The owner's LEAVE already reshaped the ring, so the survivor owned
+    // the key and walked its own ladder without a forward attempt.
+    assert_eq!(counter(&c.stats().unwrap(), "peer_forward_failures"), 0);
 }
 
 /// [`sites::PEER_REPLICATE`] drops replication pushes before the wire:
@@ -243,6 +284,9 @@ fn dropped_replication_is_counted_and_leaves_the_successor_empty() {
     let s = owner.stats().unwrap();
     assert_eq!(counter(&s, "peer_replications"), 0);
     assert_eq!(counter(&s, "peer_replication_failures"), 1);
+    // The dropped push parked as a hint toward the successor, waiting
+    // for a heartbeat round that this suite deliberately never runs.
+    assert_eq!(handles[0].engine().mesh().unwrap().hints_queued(), 1);
 
     // The successor never got the entry: it misses, and (being a replica
     // itself) computes locally rather than forwarding.
